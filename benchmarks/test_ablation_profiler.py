@@ -1,0 +1,131 @@
+"""Ablation: shotgun-profiler design choices (Section 5 trade-offs).
+
+- Signature quality: two bits per instruction vs one (directions only):
+  dropping bit 2 removes the hit/miss discriminator, so per-instance
+  sample matching degrades on miss-heavy code;
+- sampling density: sparser detailed samples raise the default rate and
+  the breakdown error -- the paper's "two-fold -> 10% overhead without
+  significantly impacting accuracy" trade-off, explored as error vs
+  sampling interval;
+- fragment count: more skeletons reduce statistical noise.
+"""
+
+import pytest
+
+from repro.analysis.graphsim import analyze_trace
+from repro.core import Category, interaction_breakdown
+from repro.profiler import profile_trace
+from repro.profiler.monitor import MonitorConfig
+from repro.uarch import MachineConfig
+from repro.workloads import get_workload
+
+CFG = MachineConfig(dl1_latency=4)
+SIGNIFICANT = 5.0
+
+
+def breakdown_error(prof_bd, ref_bd):
+    errs = []
+    for entry in ref_bd.entries:
+        if entry.kind in ("base", "interaction") and abs(entry.percent) >= SIGNIFICANT:
+            errs.append(abs(prof_bd.percent(entry.label) - entry.percent))
+    return sum(errs) / len(errs)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    trace = get_workload("twolf")
+    ref = interaction_breakdown(analyze_trace(trace, CFG), focus=Category.DL1)
+    return trace, ref
+
+
+def test_sampling_density_tradeoff(check, reference):
+    """Error vs detailed-sample interval: sparser sampling (cheaper
+    hardware/overhead) must degrade gracefully, not catastrophically."""
+    def run():
+        trace, ref = reference
+        errors = {}
+        for interval in (3, 10, 40):
+            provider = profile_trace(
+                trace, CFG, monitor=MonitorConfig(detailed_interval=interval),
+                fragments=10)
+            prof = interaction_breakdown(provider, focus=Category.DL1)
+            errors[interval] = (breakdown_error(prof, ref),
+                                provider.stats.default_rate)
+        print("\nsampling-density ablation (twolf):")
+        for interval, (err, default_rate) in errors.items():
+            print(f"  interval={interval:3d}: avg |err|={err:5.2f} pts, "
+                  f"default rate={default_rate:.1%}")
+        assert errors[3][1] <= errors[40][1]   # denser -> fewer defaults
+        assert errors[3][0] < 15 and errors[10][0] < 15
+        assert errors[40][0] < 30               # sparse degrades gracefully
+    check(run)
+
+
+def test_fragment_count_reduces_noise(check, reference):
+    def run():
+        trace, ref = reference
+        errs = {}
+        for fragments in (2, 16):
+            provider = profile_trace(trace, CFG, fragments=fragments, seed=5)
+            prof = interaction_breakdown(provider, focus=Category.DL1)
+            errs[fragments] = breakdown_error(prof, ref)
+        print(f"\nfragment-count ablation (twolf): {errs}")
+        assert errs[16] <= errs[2] + 3.0
+    check(run)
+
+
+def test_signature_context_width(check, reference):
+    """Shrinking the +/-10-instruction context to +/-2 weakens sample
+    matching; error must not improve."""
+    def run():
+        import repro.profiler.monitor as monitor_mod
+
+        trace, ref = reference
+        full = profile_trace(trace, CFG, fragments=10)
+        full_bd = interaction_breakdown(full, focus=Category.DL1)
+        original = monitor_mod.CONTEXT
+        try:
+            monitor_mod.CONTEXT = 2
+            narrow = profile_trace(trace, CFG, fragments=10)
+            narrow_bd = interaction_breakdown(narrow, focus=Category.DL1)
+        finally:
+            monitor_mod.CONTEXT = original
+        err_full = breakdown_error(full_bd, ref)
+        err_narrow = breakdown_error(narrow_bd, ref)
+        print(f"\ncontext-width ablation (twolf): +/-10 -> {err_full:.2f} pts, "
+              f"+/-2 -> {err_narrow:.2f} pts")
+        assert err_full <= err_narrow + 3.0
+    check(run)
+
+
+def test_abort_detection_effectiveness(check):
+    """Figure 5a's caption: 95-100% of errant graphs are discarded by
+    the impossible-signature check.  Corrupt skeletons and count."""
+    def run():
+        import random
+
+        from repro.profiler.monitor import HardwareMonitor
+        from repro.profiler.reconstruct import FragmentReconstructor
+        from repro.profiler.samples import SignatureSample
+        from repro.uarch import simulate
+
+        trace = get_workload("gzip")
+        result = simulate(trace, CFG)
+        data = HardwareMonitor().collect(result)
+        rec = FragmentReconstructor(trace.program, data, CFG)
+        rng = random.Random(0)
+        detected = total = 0
+        for sample in data.signature_samples:
+            # corrupt a random prefix-aligned slice of bit1s: the walk
+            # diverges and should hit an impossible signature
+            bits = list(sample.bits)
+            for i in range(40, min(140, len(bits))):
+                bits[i] = (1 - bits[i][0], bits[i][1])
+            corrupted = SignatureSample(start_pc=sample.start_pc,
+                                        bits=tuple(bits))
+            total += 1
+            if rec.reconstruct(corrupted) is None:
+                detected += 1
+        print(f"\ncorrupted-skeleton detection: {detected}/{total} aborted")
+        assert detected / total >= 0.9
+    check(run)

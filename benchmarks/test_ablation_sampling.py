@@ -1,0 +1,92 @@
+"""Ablation: sampled in-simulator graph construction (Section 4, end).
+
+"The overhead of building the graph during simulation in our research
+prototype is approximately two-fold slowdown ... using the same
+principles of sampling ... the overhead could be reduced to
+approximately 10% without significantly impacting accuracy."
+
+This harness measures both halves of that claim on our substrate:
+
+- overhead: wall time of simulate-only vs simulate+full-graph vs
+  simulate+sampled-graphs, and the graphed fraction each pays for;
+- accuracy: breakdown error of the sampled provider vs the full graph
+  as a function of coverage.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.graphsim import analyze_trace
+from repro.analysis.sampled import SampledGraphProvider
+from repro.core import Category, interaction_breakdown
+from repro.graph.builder import GraphBuilder
+from repro.graph.cost import GraphCostAnalyzer
+from repro.uarch import MachineConfig, simulate
+from repro.workloads import get_workload
+
+CFG = MachineConfig(dl1_latency=4)
+
+
+@pytest.fixture(scope="module")
+def run():
+    trace = get_workload("twolf")
+    return trace, simulate(trace, CFG)
+
+
+def test_overhead_scaling(check, run):
+    """Graphing cost scales with the fraction of the run graphed."""
+    def body():
+        trace, result = run
+
+        t0 = time.perf_counter()
+        simulate(trace, CFG)
+        t_sim = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        GraphCostAnalyzer(GraphBuilder().build(result))
+        t_full = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        sampled = SampledGraphProvider(result, windows=3, window_length=300)
+        t_sampled = time.perf_counter() - t0
+
+        print(f"\nsimulate only        : {t_sim * 1000:7.1f} ms")
+        print(f"+ full graph         : {t_full * 1000:7.1f} ms extra "
+              f"({t_full / t_sim:.1%} of sim time)")
+        print(f"+ sampled graphs     : {t_sampled * 1000:7.1f} ms extra "
+              f"({t_sampled / t_sim:.1%} of sim time, "
+              f"{sampled.graphed_fraction:.0%} of insts graphed)")
+        assert t_sampled < t_full
+        assert sampled.graphed_fraction < 0.5
+    check(body)
+
+
+def test_accuracy_vs_coverage(check, run):
+    """The paper's 'without significantly impacting accuracy' half."""
+    def body():
+        trace, result = run
+        full = interaction_breakdown(
+            analyze_trace(trace, CFG), focus=Category.DL1)
+
+        def err(windows, length):
+            provider = SampledGraphProvider(result, windows=windows,
+                                            window_length=length)
+            bd = interaction_breakdown(provider, focus=Category.DL1)
+            errors = [abs(bd.percent(e.label) - e.percent)
+                      for e in full.entries
+                      if e.kind in ("base", "interaction")
+                      and abs(e.percent) >= 5]
+            return provider.graphed_fraction, sum(errors) / len(errors)
+
+        print("\ncoverage -> avg |error| (percentage points):")
+        results = []
+        for windows, length in ((1, 200), (3, 300), (6, 600)):
+            frac, error = err(windows, length)
+            results.append((frac, error))
+            print(f"  {frac:5.0%} graphed -> {error:5.2f} pts")
+        # denser coverage must not be materially worse
+        assert results[-1][1] <= results[0][1] + 2.0
+        # and ~1/3 coverage is already within a few points of exact
+        assert results[-1][1] < 6.0
+    check(body)

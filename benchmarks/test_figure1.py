@@ -1,0 +1,77 @@
+"""Figure 1: correctly reporting breakdowns.
+
+The paper opens with the deficiency of traditional single-blame
+breakdowns: they cannot accurately account for cycles with multiple
+simultaneous causes.  This harness reproduces the contrast concretely:
+
+- two traditional breakdowns of the same run, differing only in charge
+  order, disagree materially;
+- the interaction-cost breakdown is order-free, accounts for 100% of
+  execution time, and exposes the overlap explicitly -- with positive
+  categories stacking above 100% offset by negative serial
+  interactions, as in Figure 1b's stacked-bar form.
+"""
+
+import pytest
+
+from repro.analysis.experiments import figure1
+from repro.core import BASE_CATEGORIES, render_stacked_bar
+
+
+@pytest.fixture(scope="module")
+def contrast():
+    return figure1()
+
+
+def test_drive_figure1(benchmark):
+    result = benchmark.pedantic(lambda: figure1(scale=0.5),
+                                rounds=1, iterations=1)
+    assert len(result) == 3
+
+
+def test_report(check, contrast):
+    def run():
+        forward, backward, icost_bd = contrast
+        print("\nFigure 1 (reproduced): traditional vs icost breakdowns (gzip)")
+        print(f"{'category':>10} {'trad(fwd)':>10} {'trad(rev)':>10} {'icost':>8}")
+        for cat in BASE_CATEGORIES:
+            print(f"{cat.value:>10} {forward.percent(cat.value):10.1f} "
+                  f"{backward.percent(cat.value):10.1f} "
+                  f"{icost_bd.percent(cat.value):8.1f}")
+        print("\nFigure 1b stacked-bar form:")
+        print(render_stacked_bar(icost_bd))
+    check(run)
+
+
+def test_traditional_is_order_dependent(check, contrast):
+    def run():
+        forward, backward, __ = contrast
+        diffs = [abs(forward.percent(c.value) - backward.percent(c.value))
+                 for c in BASE_CATEGORIES]
+        assert max(diffs) > 3.0
+    check(run)
+
+
+def test_icost_accounts_for_all_cycles(check, contrast):
+    def run():
+        __, __, icost_bd = contrast
+        displayed = sum(e.percent for e in icost_bd.entries
+                        if e.kind in ("base", "interaction", "other"))
+        assert displayed == pytest.approx(100.0)
+    check(run)
+
+
+def test_positive_stack_exceeds_100_with_negative_offset(check, contrast):
+    """Figure 1b's visual signature: parallel interactions push the
+    positive stack above 100%, offset by serial interactions below the
+    axis."""
+    def run():
+        __, __, icost_bd = contrast
+        pos = sum(e.percent for e in icost_bd.entries
+                  if e.kind in ("base", "interaction", "other") and e.percent > 0)
+        neg = sum(e.percent for e in icost_bd.entries
+                  if e.kind in ("base", "interaction", "other") and e.percent < 0)
+        assert pos > 100.0
+        assert neg < 0.0
+        assert pos + neg == pytest.approx(100.0)
+    check(run)

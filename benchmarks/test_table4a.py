@@ -1,0 +1,135 @@
+"""Table 4a: CPI breakdown with a four-cycle level-one data cache.
+
+Regenerates the paper's Table 4a on the synthetic suite (all twelve
+workloads, dl1 focus) and checks the shape claims of Section 4.1:
+
+- dl1 carries a substantial cost (the paper's 15-25% band);
+- dl1+win is the dominant *serial* interaction for most workloads
+  ("perhaps the most effective mitigation of the data-cache loop would
+  be to increase the size of the instruction window");
+- dl1+bmisp and dl1+shalu are serial, dl1+dmiss is near zero
+  ("reducing data-cache misses is unlikely to mitigate the ... loop");
+- mcf is dominated by dmiss; vortex is window-bound with no
+  mispredicts; eon owns imiss and lgalu.
+"""
+
+import pytest
+
+from repro.analysis.experiments import table4a
+from repro.core import render_breakdown_table
+from repro.workloads import WORKLOAD_NAMES
+
+from paper_data import TABLE_4A, print_comparison
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    return table4a()
+
+
+def test_drive_table4a(benchmark):
+    """Times the full driver for one workload (the headline cost:
+    one simulation + one graph + 15 idealized critical paths)."""
+    result = benchmark.pedantic(lambda: table4a(names=("gzip",)),
+                                rounds=1, iterations=1)
+    assert "gzip" in result
+
+
+def test_report(check, breakdowns):
+    def run():
+        print()
+        print(render_breakdown_table(
+            breakdowns,
+            "Table 4a (reproduced): % of execution time, dl1 latency = 4"))
+        for name in ("gzip", "vortex", "mcf"):
+            print_comparison(f"--- {name} vs paper ---",
+                             breakdowns[name].as_dict(), TABLE_4A[name])
+    check(run)
+
+
+def test_dl1_cost_substantial(check, breakdowns):
+    def run():
+        costly = [n for n in WORKLOAD_NAMES if breakdowns[n].percent("dl1") > 8]
+        assert len(costly) >= 9
+    check(run)
+
+
+def test_dl1_win_serial_for_most(check, breakdowns):
+    def run():
+        serial = [n for n in WORKLOAD_NAMES
+                  if breakdowns[n].percent("dl1+win") < 0]
+        assert len(serial) >= 9
+        assert breakdowns["vortex"].percent("dl1+win") < -15
+    check(run)
+
+
+def test_dl1_bmisp_serial(check, breakdowns):
+    def run():
+        serial = [n for n in WORKLOAD_NAMES
+                  if breakdowns[n].percent("dl1+bmisp") <= 0.5]
+        assert len(serial) >= 10
+    check(run)
+
+
+def test_dl1_shalu_serial(check, breakdowns):
+    def run():
+        values = [breakdowns[n].percent("dl1+shalu") for n in WORKLOAD_NAMES]
+        assert sum(1 for v in values if v <= 0.5) >= 9
+    check(run)
+
+
+def test_dl1_dmiss_interaction_small(check, breakdowns):
+    """'In reality, this interaction is very small' (Section 4.1)."""
+    def run():
+        small = [n for n in WORKLOAD_NAMES
+                 if abs(breakdowns[n].percent("dl1+dmiss")) < 8]
+        assert len(small) >= 9
+    check(run)
+
+
+def test_bw_alive_and_dl1_bw_mostly_parallel(check, breakdowns):
+    """bw is a real (if small) category everywhere except mcf, and its
+    interaction with dl1 is predominantly parallel, as in the paper."""
+    def run():
+        nonzero = [n for n in WORKLOAD_NAMES if breakdowns[n].percent("bw") > 1]
+        assert len(nonzero) >= 9
+        assert breakdowns["mcf"].percent("bw") == min(
+            breakdowns[n].percent("bw") for n in WORKLOAD_NAMES)
+        positive = [n for n in WORKLOAD_NAMES
+                    if breakdowns[n].percent("dl1+bw") > -0.5]
+        assert len(positive) >= 8
+    check(run)
+
+
+def test_mcf_dmiss_dominant(check, breakdowns):
+    def run():
+        bd = breakdowns["mcf"]
+        assert bd.percent("dmiss") > 60
+        assert bd.percent("dmiss") > 3 * bd.percent("bmisp")
+    check(run)
+
+
+def test_vortex_window_bound_no_mispredicts(check, breakdowns):
+    def run():
+        bd = breakdowns["vortex"]
+        assert bd.percent("win") >= max(
+            bd.percent(c) for c in ("dl1", "bmisp", "shalu", "lgalu", "imiss"))
+        assert bd.percent("bmisp") < 3
+    check(run)
+
+
+def test_eon_owns_imiss_and_lgalu(check, breakdowns):
+    def run():
+        for cat in ("imiss", "lgalu"):
+            assert breakdowns["eon"].percent(cat) == max(
+                breakdowns[n].percent(cat) for n in WORKLOAD_NAMES)
+    check(run)
+
+
+def test_magnitude_varies_across_workloads(check, breakdowns):
+    """'the magnitude of the interaction varies significantly across
+    benchmarks ... useful in workload characterization'."""
+    def run():
+        values = [breakdowns[n].percent("dl1+win") for n in WORKLOAD_NAMES]
+        assert max(values) - min(values) > 10
+    check(run)

@@ -1,0 +1,76 @@
+"""Table 4b: breakdown with a two-cycle issue-wakeup loop.
+
+Section 4.2's issue-wakeup analysis: with wakeup latency two, one-cycle
+integer ops can no longer issue back to back.  The shape claims:
+
+- shalu becomes a first-order category for the chain-heavy workloads;
+- shalu+win is the dominant serial interaction ("as large as -27% for
+  gap"): enlarging the window mitigates the longer wakeup loop;
+- mcf stays dmiss-bound regardless.
+"""
+
+import pytest
+
+from repro.analysis.experiments import table4b
+from repro.core import render_breakdown_table
+from repro.workloads import TABLE4BC_NAMES
+
+from paper_data import TABLE_4B, print_comparison
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    return table4b()
+
+
+def test_drive_table4b(benchmark):
+    result = benchmark.pedantic(lambda: table4b(names=("gap",)),
+                                rounds=1, iterations=1)
+    assert "gap" in result
+
+
+def test_report(check, breakdowns):
+    def run():
+        print()
+        print(render_breakdown_table(
+            breakdowns,
+            "Table 4b (reproduced): % of execution time, issue-wakeup = 2"))
+        for name in ("gap", "mcf"):
+            print_comparison(f"--- {name} vs paper ---",
+                             breakdowns[name].as_dict(), TABLE_4B[name])
+    check(run)
+
+
+def test_shalu_first_order_for_chain_workloads(check, breakdowns):
+    def run():
+        assert breakdowns["gap"].percent("shalu") > 20
+        assert breakdowns["gzip"].percent("shalu") > 8
+    check(run)
+
+
+def test_shalu_win_serial_dominant(check, breakdowns):
+    """The headline: the most significant interaction is with window
+    stalls, strongly negative for gap."""
+    def run():
+        gap = breakdowns["gap"]
+        assert gap.percent("shalu+win") < -10
+        inter = {e.label: e.percent for e in gap.entries
+                 if e.kind == "interaction"}
+        assert min(inter, key=inter.get) == "shalu+win"
+    check(run)
+
+
+def test_shalu_win_serial_for_majority(check, breakdowns):
+    def run():
+        serial = [n for n in TABLE4BC_NAMES
+                  if breakdowns[n].percent("shalu+win") < 1]
+        assert len(serial) >= 4
+    check(run)
+
+
+def test_mcf_unmoved_by_wakeup(check, breakdowns):
+    def run():
+        bd = breakdowns["mcf"]
+        assert bd.percent("dmiss") > 60
+        assert bd.percent("shalu") < 10
+    check(run)

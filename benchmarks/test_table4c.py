@@ -1,0 +1,75 @@
+"""Table 4c: breakdown with a 15-cycle branch-mispredict loop.
+
+Section 4.2's mispredict-loop analysis and its *negative* result:
+
+- unlike the dl1 and wakeup loops, bmisp+win interacts in PARALLEL
+  (positive icost) -- "reducing window stalls is not likely to
+  significantly reduce branch misprediction costs";
+- for mcf (and parser in the paper), bmisp+dmiss is SERIAL: missing
+  loads feed branch directions, so prefetching them also shortens the
+  mispredict loop.
+"""
+
+import pytest
+
+from repro.analysis.experiments import table4c
+from repro.core import render_breakdown_table
+from repro.workloads import TABLE4BC_NAMES
+
+from paper_data import TABLE_4C, print_comparison
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    return table4c()
+
+
+def test_drive_table4c(benchmark):
+    result = benchmark.pedantic(lambda: table4c(names=("mcf",)),
+                                rounds=1, iterations=1)
+    assert "mcf" in result
+
+
+def test_report(check, breakdowns):
+    def run():
+        print()
+        print(render_breakdown_table(
+            breakdowns,
+            "Table 4c (reproduced): % of execution time, recovery = 15"))
+        for name in ("gzip", "mcf"):
+            print_comparison(f"--- {name} vs paper ---",
+                             breakdowns[name].as_dict(), TABLE_4C[name])
+    check(run)
+
+
+def test_bmisp_grows_with_long_loop(check, breakdowns):
+    def run():
+        substantial = [n for n in TABLE4BC_NAMES
+                       if breakdowns[n].percent("bmisp") > 8]
+        assert len(substantial) >= 3
+    check(run)
+
+
+def test_bmisp_win_parallel_not_serial(check, breakdowns):
+    """The key contrast with Tables 4a/4b: for the mispredict loop the
+    window interaction is parallel (positive) for the branchy
+    workloads."""
+    def run():
+        values = {n: breakdowns[n].percent("bmisp+win")
+                  for n in TABLE4BC_NAMES}
+        positive = [n for n, v in values.items() if v > 0]
+        assert len(positive) >= 2, values
+        # and never strongly serial the way dl1+win / shalu+win are
+        assert min(values.values()) > -12, values
+    check(run)
+
+
+def test_bmisp_dmiss_serial_for_mcf(check, breakdowns):
+    """'For a couple of benchmarks, mcf and parser, we do see
+    significant serial interactions with data cache misses.'"""
+    def run():
+        assert breakdowns["mcf"].percent("bmisp+dmiss") < -1
+        others = [breakdowns[n].percent("bmisp+dmiss")
+                  for n in ("gap", "gzip")]
+        assert breakdowns["mcf"].percent("bmisp+dmiss") < min(others)
+    check(run)

@@ -1,0 +1,104 @@
+"""Table 7: validating profiler (and graph) accuracy (Section 6).
+
+Three ways of computing the same dl1-focused breakdown are compared on
+gcc, parser and twolf: multiple idealized simulations (ground truth),
+the full in-simulator dependence graph, and the shotgun profiler.  The
+paper's findings to reproduce:
+
+- the full graph tracks multisim closely (theirs: ~11% avg error
+  implied; ours is tighter because our simulator is simpler);
+- the profiler tracks the full graph with single-digit-ish average
+  error per the caption's formula (theirs: 9%; suite averages below);
+- the profiler-vs-multisim error is somewhat larger (theirs: 11%).
+"""
+
+import pytest
+
+from repro.analysis.experiments import table7
+from repro.core.report import render_comparison
+
+from paper_data import (
+    PAPER_AVG_ERR_PROFILER_VS_GRAPH,
+    PAPER_AVG_ERR_PROFILER_VS_MULTISIM,
+    TABLE_7_MULTISIM,
+)
+
+NAMES = ("gcc", "parser", "twolf")
+
+
+@pytest.fixture(scope="module")
+def validation():
+    return table7(names=NAMES)
+
+
+def test_drive_table7(benchmark):
+    """Times the expensive part: the per-workload multisim sweep plus
+    graph and profiler pipelines (gcc only)."""
+    result = benchmark.pedantic(lambda: table7(names=("gcc",), scale=0.5),
+                                rounds=1, iterations=1)
+    assert "gcc" in result
+
+
+def test_report(check, validation):
+    def run():
+        for name in NAMES:
+            entry = validation[name]
+            rows = {}
+            for label in entry["multisim"]:
+                if label in ("Other", "Total"):
+                    continue
+                rows[label] = {
+                    "multisim": entry["multisim"][label],
+                    "fullgraph": entry["fullgraph"][label],
+                    "profiler": entry["profiler"][label],
+                }
+            print()
+            print(render_comparison(
+                rows, ["multisim", "fullgraph", "profiler"],
+                f"Table 7 (reproduced): {name}"))
+            print(f"  avg err profiler-vs-graph:    "
+                  f"{entry['avg_err_profiler_vs_graph']:.1%} "
+                  f"(paper: {PAPER_AVG_ERR_PROFILER_VS_GRAPH:.0%})")
+            print(f"  avg err profiler-vs-multisim: "
+                  f"{entry['avg_err_profiler_vs_multisim']:.1%} "
+                  f"(paper: {PAPER_AVG_ERR_PROFILER_VS_MULTISIM:.0%})")
+            print(f"  (paper's multisim column for reference: "
+                  f"{TABLE_7_MULTISIM[name]})")
+    check(run)
+
+
+def test_fullgraph_tracks_multisim(check, validation):
+    def run():
+        for name in NAMES:
+            for label, delta in validation[name]["err_graph_vs_multisim"].items():
+                assert abs(delta) < 8.0, (name, label, delta)
+    check(run)
+
+
+def test_profiler_tracks_fullgraph(check, validation):
+    """The paper's 9% claim; we allow up to 25% per workload since our
+    traces are thousands (not millions) of instructions."""
+    def run():
+        errors = [validation[n]["avg_err_profiler_vs_graph"] for n in NAMES]
+        assert all(e < 0.25 for e in errors), errors
+        assert sum(errors) / len(errors) < 0.15
+    check(run)
+
+
+def test_profiler_tracks_multisim(check, validation):
+    def run():
+        errors = [validation[n]["avg_err_profiler_vs_multisim"] for n in NAMES]
+        assert all(e < 0.40 for e in errors), errors
+        assert sum(errors) / len(errors) < 0.25
+    check(run)
+
+
+def test_error_ordering_matches_paper(check, validation):
+    """Profiler-vs-graph error <= profiler-vs-multisim error on average
+    (the graph's approximations are shared by the profiler, so the
+    profiler is closer to the graph than to ground truth)."""
+    def run():
+        vs_graph = sum(v["avg_err_profiler_vs_graph"] for v in validation.values())
+        vs_ms = sum(v["avg_err_profiler_vs_multisim"] for v in validation.values())
+        assert vs_graph <= vs_ms + 0.03
+    check(run)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""De-optimization: shrinking what doesn't matter.
+
+The paper's introduction points out that zero-cost events are "good
+targets for de-optimization (e.g., making a queue smaller without
+affecting performance)" -- the flip side of bottleneck hunting, used to
+save area and energy in balanced designs.
+
+This example reads mcf's breakdown, uses the near-zero categories to
+predict which resources can shrink for free, and validates every
+prediction by re-simulating the smaller machine.  It also shows the two
+subtleties an honest user must know:
+
+1. cost is the upside of *idealizing* a constraint, not the downside of
+   tightening it -- a moderately costly resource (mcf's window, 9 %)
+   can still hurt badly when halved;
+2. a category's cost belongs to its *events*, not to one structure --
+   mcf's huge dmiss cost comes from compulsory misses on a cold heap,
+   so halving the L1 changes nothing there, while gzip's L1-resident
+   working set makes the same change expensive.
+
+Run:  python examples/deoptimization.py
+"""
+
+from repro.analysis.graphsim import analyze_trace
+from repro.core import interaction_breakdown
+from repro.uarch import MachineConfig, simulate
+from repro.workloads import get_workload
+
+
+def slowdown(trace, cfg, base_cycles):
+    cycles = simulate(trace, cfg).cycles
+    return cycles, 100.0 * (cycles - base_cycles) / base_cycles
+
+
+def main() -> None:
+    trace = get_workload("mcf")
+    base_cfg = MachineConfig()
+    provider = analyze_trace(trace, base_cfg)
+    base_cycles = provider.result.cycles
+    print(f"mcf: {len(trace)} instructions, {base_cycles} cycles "
+          f"(CPI {provider.result.cpi:.1f})\n")
+
+    bd = interaction_breakdown(provider, workload="mcf")
+    print("Cost of each category (% of execution time):")
+    for entry in bd.entries:
+        if entry.kind == "base":
+            print(f"  {entry.label:>6}: {entry.percent:5.1f}")
+
+    cheap = [e.label for e in bd.entries
+             if e.kind == "base" and e.percent < 2.0]
+    print(f"\nNear-zero-cost categories: {', '.join(cheap)}")
+    print("=> the structures behind them should shrink for free.\n")
+
+    print(f"{'change (mcf)':<46}{'cycles':>8}{'slowdown':>10}")
+    trials = [
+        ("halve issue/fetch/commit width (bw ~ 0)",
+         base_cfg.with_(issue_width=3, fetch_width=3, commit_width=3)),
+        ("drop a load/store port (bw ~ 0)",
+         base_cfg.with_(mem_ports=2)),
+        ("halve the FP units (lgalu = 0)",
+         base_cfg.with_(fp_alus=2, fp_muls=1)),
+        ("halve the instruction window (win = 9%)",
+         base_cfg.with_(window_size=32)),
+    ]
+    for label, cfg in trials:
+        cycles, pct = slowdown(trace, cfg, base_cycles)
+        print(f"{label:<46}{cycles:>8}{pct:>9.1f}%")
+
+    print("""
+The zero-cost predictions hold: width, a memory port and FP units all
+shrink for well under 1%.  The window does NOT -- its 9% cost already
+said it was a live constraint, and halving a live constraint is much
+worse than idealizing it is good (cost is directional).
+""")
+
+    # subtlety 2: dmiss cost is about the events, not the SRAM
+    halved_l1 = base_cfg.with_(l1d_bytes=16 * 1024)
+    __, mcf_pct = slowdown(trace, halved_l1, base_cycles)
+    gzip_trace = get_workload("gzip")
+    gzip_base = simulate(gzip_trace, base_cfg).cycles
+    __, gzip_pct = slowdown(gzip_trace, base_cfg.with_(l1d_bytes=8 * 1024),
+                            gzip_base)
+    print(f"Halving the L1 data cache: mcf {mcf_pct:+.1f}% "
+          f"(dmiss cost 84% -- but the misses are compulsory,")
+    print(f"the cache isn't what's expensive), gzip {gzip_pct:+.1f}% "
+          f"(dmiss cost ~3% -- but its working set")
+    print("lives in that cache).  Use per-event costs, not category "
+          "totals, before shrinking SRAMs;")
+    print("EventSelection (see examples/prefetch_guidance.py) gives "
+          "exactly that granularity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The Section 4 tutorial: optimizing a long pipeline with icosts.
+
+Walks the paper's three critical loops on the synthetic suite:
+
+1. a four-cycle L1 data cache (Section 4.1) -- whose serial dl1+win
+   interaction says 'grow the window to hide the cache latency';
+2. a two-cycle issue-wakeup loop (Section 4.2) -- whose serial
+   shalu+win interaction says the same for ALU chains;
+3. a 15-cycle mispredict loop -- whose PARALLEL bmisp+win interaction
+   says window growth will NOT help, but mcf's serial bmisp+dmiss says
+   prefetching can.
+
+Then validates prediction #2 against an actual sensitivity study, the
+paper's Section 4.3 exercise.
+
+Run:  python examples/pipeline_tuning.py
+"""
+
+from repro.analysis.experiments import table4a, table4b, table4c
+from repro.analysis.sensitivity import wakeup_window_speedups
+from repro.core import render_breakdown_table
+from repro.workloads import get_workload
+
+
+def show(title, breakdowns, rows):
+    print(f"\n=== {title} ===")
+    print(render_breakdown_table(breakdowns))
+    print()
+    for line in rows:
+        print(f"  {line}")
+
+
+def main() -> None:
+    names = ("gap", "gzip", "mcf", "vortex")
+
+    print("Loop 1: the level-one data-cache access loop (dl1 = 4 cycles)")
+    a = table4a(names=names)
+    show("Table 4a reproduction", a, [
+        "dl1+win is negative (serial): window growth hides dl1 latency;",
+        f"  strongest for vortex: {a['vortex'].percent('dl1+win'):+.1f}%",
+        "dl1+dmiss is near zero: fixing cache misses does NOT fix the",
+        "  dl1 loop -- they are independent bottlenecks.",
+    ])
+
+    print("\nLoop 2: the issue-wakeup loop (wakeup = 2 cycles)")
+    b = table4b(names=("gap", "gzip", "mcf"))
+    show("Table 4b reproduction", b, [
+        "shalu+win strongly serial for the chain-bound workloads:",
+        f"  gap: {b['gap'].percent('shalu+win'):+.1f}% "
+        f"(the paper saw -26.8%)",
+        "=> a bigger window also mitigates a slower wakeup loop.",
+    ])
+
+    print("\nLoop 3: the branch-mispredict loop (recovery = 15 cycles)")
+    c = table4c(names=("gzip", "mcf", "gap"))
+    show("Table 4c reproduction", c, [
+        "bmisp+win is POSITIVE (parallel) for the branchy workloads:",
+        f"  gzip: {c['gzip'].percent('bmisp+win'):+.1f}%",
+        "=> window growth does NOT shorten the mispredict loop;",
+        f"mcf's bmisp+dmiss is {c['mcf'].percent('bmisp+dmiss'):+.1f}% "
+        "(serial): its branches wait on",
+        "  missing loads, so prefetching also fixes mispredicts.",
+    ])
+
+    print("\nSection 4.3: validate prediction #2 with a sensitivity study")
+    speedups = wakeup_window_speedups(get_workload("gap"))
+    ratio = speedups[2] / speedups[1]
+    print(f"  gap, window 64 -> 128 speedup:")
+    print(f"    wakeup = 1: {speedups[1]:5.1f}%")
+    print(f"    wakeup = 2: {speedups[2]:5.1f}%   ({ratio:.2f}x larger)")
+    print("  The serial shalu+win icost predicted exactly this, from ONE")
+    print("  simulation -- the sweep needed four.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Render the paper's visual artefacts as SVG files.
+
+Writes four figures into ``./figures/`` (created if needed):
+
+- ``figure1b.svg``  -- the stacked-bar breakdown (positive categories
+  above 100%, serial interactions below the axis) for three workloads;
+- ``figure3.svg``   -- window-size speedup curves per dl1 latency;
+- ``matrix.svg``    -- the full pairwise interaction heat map for gzip;
+- ``timeline.svg``  -- a pipeline timeline of a gzip window, where the
+  dl1 chase staircases and mispredict gaps are visible to the eye.
+
+Run:  python examples/render_figures.py [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis.experiments import TABLE4A_CONFIG, figure3, table4a
+from repro.analysis.graphsim import analyze_trace
+from repro.analysis.matrix import interaction_matrix
+from repro.uarch import simulate
+from repro.viz import (
+    matrix_heatmap_svg,
+    pipeline_timeline_svg,
+    sensitivity_curves_svg,
+    stacked_bar_svg,
+)
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    out = Path(sys.argv[1] if len(sys.argv) > 1 else "figures")
+    out.mkdir(parents=True, exist_ok=True)
+
+    print("Figure 1b: stacked-bar breakdowns (gzip, vortex, mcf)...")
+    breakdowns = table4a(names=("gzip", "vortex", "mcf"))
+    stacked_bar_svg(breakdowns).save(out / "figure1b.svg")
+
+    print("Figure 3: sensitivity curves (vortex)...")
+    curves = figure3()
+    sensitivity_curves_svg(
+        curves, title="vortex: window-size speedup per dl1 latency"
+    ).save(out / "figure3.svg")
+
+    print("Interaction matrix heat map (gzip)...")
+    provider = analyze_trace(get_workload("gzip"), TABLE4A_CONFIG)
+    matrix = interaction_matrix(provider, workload="gzip")
+    matrix_heatmap_svg(matrix).save(out / "matrix.svg")
+
+    print("Pipeline timeline (gzip, one loop iteration)...")
+    result = simulate(get_workload("gzip"), TABLE4A_CONFIG)
+    pipeline_timeline_svg(result, start=120, count=56).save(
+        out / "timeline.svg")
+
+    print("Phase strip (two-phase workload)...")
+    from repro.analysis.phases import phase_strip_svg, segment_profiles
+    from repro.workloads.phased import make_phased_workload
+
+    phased = make_phased_workload(phase_a_iters=50, phase_b_iters=50)
+    profiles = segment_profiles(phased.trace(), segment_length=300)
+    phase_strip_svg(profiles).save(out / "phases.svg")
+
+    for name in ("figure1b", "figure3", "matrix", "timeline", "phases"):
+        size = (out / f"{name}.svg").stat().st_size
+        print(f"  wrote {out / f'{name}.svg'} ({size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Shotgun profiling: interaction costs from sampling hardware.
+
+Runs the full Section 5 pipeline on the synthetic `twolf` workload:
+the simulated performance monitors collect signature samples (two bits
+per instruction) and sparse detailed samples; the software algorithm
+stitches them into dependence-graph fragments by walking the program
+binary; the fragments answer the same breakdown queries as the full
+graph -- which this example prints side by side, with the Table 7 error
+metrics.
+
+Run:  python examples/shotgun_profiling.py
+"""
+
+from repro.analysis.experiments import TABLE4A_CONFIG
+from repro.analysis.graphsim import analyze_trace
+from repro.analysis.validation import paper_error_profiler_vs_multisim
+from repro.core import Category, interaction_breakdown
+from repro.core.report import render_comparison
+from repro.profiler import profile_trace
+from repro.profiler.monitor import HardwareMonitor, MonitorConfig
+from repro.uarch import simulate
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    trace = get_workload("twolf")
+    cfg = TABLE4A_CONFIG
+
+    print(f"Profiling 'twolf' ({len(trace)} instructions)...")
+    monitor = MonitorConfig()
+    data = HardwareMonitor(monitor).collect(simulate(trace, cfg))
+    print(f"  signature samples : {len(data.signature_samples)} "
+          f"x {monitor.signature_length} insts x 2 bits")
+    print(f"  detailed samples  : {data.detailed_count} "
+          f"({data.coverage():.0%} of instructions, one at a time)")
+
+    provider = profile_trace(trace, cfg, fragments=12)
+    stats = provider.stats
+    print(f"  fragments built   : {provider.fragment_count} "
+          f"(abort rate {stats.abort_rate:.0%}, "
+          f"default-latency rate {stats.default_rate:.1%})")
+
+    prof = interaction_breakdown(provider, focus=Category.DL1,
+                                 workload="twolf")
+    full = interaction_breakdown(analyze_trace(trace, cfg),
+                                 focus=Category.DL1, workload="twolf")
+
+    rows = {}
+    for entry in full.entries:
+        if entry.kind in ("base", "interaction"):
+            rows[entry.label] = {
+                "fullgraph": entry.percent,
+                "profiler": prof.percent(entry.label),
+            }
+    print()
+    print(render_comparison(rows, ["fullgraph", "profiler"],
+                            "Breakdown: in-simulator graph vs shotgun profiler"))
+
+    err = paper_error_profiler_vs_multisim(prof, full)
+    print(f"\naverage error on significant categories: {err:.1%} "
+          f"(the paper reports ~9-11%)")
+    print("\nThe profiler never saw the simulator's graph: it rebuilt the")
+    print("microexecution from a start PC, 2 bits per instruction, and")
+    print("per-instruction samples -- the same information the proposed")
+    print("hardware would expose on a real machine.")
+
+
+if __name__ == "__main__":
+    main()

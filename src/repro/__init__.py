@@ -1,0 +1,71 @@
+"""repro: interaction-cost microarchitectural bottleneck analysis.
+
+A from-scratch reproduction of Fields, Bodik, Hill & Newburn, "Using
+Interaction Costs for Microarchitectural Bottleneck Analysis"
+(MICRO-36, 2003): an out-of-order processor simulator, the
+dependence-graph microexecution model, the cost/interaction-cost
+algebra, parallelism-aware breakdowns, and the shotgun hardware
+profiler -- plus the benchmark harness regenerating every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import quick_breakdown
+    from repro.workloads import get_workload
+
+    trace = get_workload("gzip")
+    breakdown = quick_breakdown(trace, focus="dl1")
+    print(breakdown.as_dict())
+"""
+
+from repro.core import (
+    BASE_CATEGORIES,
+    Category,
+    EventSelection,
+    Interaction,
+    classify_interaction,
+    icost,
+    icost_pair,
+    interaction_breakdown,
+    render_breakdown_table,
+    render_stacked_bar,
+    traditional_breakdown,
+)
+from repro.uarch import IdealConfig, MachineConfig, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASE_CATEGORIES",
+    "Category",
+    "EventSelection",
+    "Interaction",
+    "classify_interaction",
+    "icost",
+    "icost_pair",
+    "interaction_breakdown",
+    "traditional_breakdown",
+    "render_breakdown_table",
+    "render_stacked_bar",
+    "IdealConfig",
+    "MachineConfig",
+    "simulate",
+    "quick_breakdown",
+    "__version__",
+]
+
+
+def quick_breakdown(trace, focus=None, config=None):
+    """Simulate *trace*, build its graph, and return a Table 4 breakdown.
+
+    *focus* may be a :class:`Category` or its string value (e.g.
+    ``"dl1"``); when given, pairwise interaction rows with every other
+    base category are included.
+    """
+    from repro.graph import GraphCostAnalyzer, build_graph
+
+    if isinstance(focus, str):
+        focus = Category(focus)
+    result = simulate(trace, config=config)
+    analyzer = GraphCostAnalyzer(build_graph(result))
+    return interaction_breakdown(analyzer, focus=focus, workload=trace.name)

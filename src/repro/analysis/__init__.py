@@ -1,0 +1,94 @@
+"""Experiment drivers: cost providers, sensitivity studies, validation.
+
+This package connects the substrate (simulator), the graph model and
+the icost algebra into the experiments of the paper's evaluation --
+one driver per table and figure, used by both the benchmark harness
+and the examples.
+"""
+
+from repro.analysis.graphsim import GraphCostProvider, analyze_trace
+from repro.analysis.multisim import MultiSimCostProvider
+from repro.analysis.sampled import SampledGraphProvider, analyze_trace_sampled
+from repro.analysis.characterize import (
+    Characterization,
+    characterize_suite,
+    characterize_trace,
+    render_suite_table,
+)
+from repro.analysis.doe import Factor, full_factorial, plackett_burman_fraction
+from repro.analysis.compare import BreakdownDelta, compare_configs, diff_breakdowns
+from repro.analysis.adaptive import AdaptiveController, AdaptiveResult, run_adaptive
+from repro.analysis.phases import (
+    SegmentProfile,
+    detect_phase_changes,
+    segment_profiles,
+)
+from repro.analysis.prefetch import (
+    best_subset_selection,
+    evaluate_plan,
+    greedy_joint_selection,
+    miss_selections_by_pc,
+    rank_by_individual_cost,
+)
+from repro.analysis.matrix import InteractionMatrix, interaction_matrix
+from repro.analysis.sensitivity import (
+    window_speedup_curves,
+    wakeup_window_speedups,
+)
+from repro.analysis.validation import (
+    breakdown_error,
+    category_errors,
+    paper_error_profiler_vs_graph,
+    paper_error_profiler_vs_multisim,
+)
+from repro.analysis.experiments import (
+    table4a,
+    table4b,
+    table4c,
+    table7,
+    figure1,
+    figure3,
+)
+
+__all__ = [
+    "GraphCostProvider",
+    "analyze_trace",
+    "MultiSimCostProvider",
+    "SampledGraphProvider",
+    "analyze_trace_sampled",
+    "Characterization",
+    "characterize_suite",
+    "characterize_trace",
+    "render_suite_table",
+    "Factor",
+    "full_factorial",
+    "plackett_burman_fraction",
+    "BreakdownDelta",
+    "compare_configs",
+    "diff_breakdowns",
+    "AdaptiveController",
+    "AdaptiveResult",
+    "run_adaptive",
+    "SegmentProfile",
+    "detect_phase_changes",
+    "segment_profiles",
+    "best_subset_selection",
+    "evaluate_plan",
+    "greedy_joint_selection",
+    "miss_selections_by_pc",
+    "rank_by_individual_cost",
+    "InteractionMatrix",
+    "interaction_matrix",
+    "window_speedup_curves",
+    "wakeup_window_speedups",
+    "breakdown_error",
+    "category_errors",
+    "paper_error_profiler_vs_graph",
+    "paper_error_profiler_vs_multisim",
+    "table4a",
+    "table4b",
+    "table4c",
+    "table7",
+    "figure1",
+    "figure3",
+]

@@ -1,0 +1,138 @@
+"""One driver per table/figure of the paper's evaluation.
+
+Each function regenerates the rows/series the paper reports, on the
+synthetic suite, and returns plain data structures the benchmark
+harness prints and asserts shape properties on.  EXPERIMENTS.md records
+the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.graphsim import analyze_trace
+from repro.core.breakdown import Breakdown, interaction_breakdown, traditional_breakdown
+from repro.core.categories import BASE_CATEGORIES, Category
+from repro.uarch.config import MachineConfig
+from repro.workloads.registry import TABLE4BC_NAMES, WORKLOAD_NAMES, get_workload
+
+#: Machine variants of the Section 4 tutorial, relative to Table 6.
+TABLE4A_CONFIG = MachineConfig(dl1_latency=4)
+TABLE4B_CONFIG = MachineConfig(issue_wakeup=2)
+TABLE4C_CONFIG = MachineConfig(mispredict_recovery=15)
+
+
+def _breakdowns(names: Sequence[str], config: MachineConfig,
+                focus: Category, scale: float,
+                seed: int = 0) -> Dict[str, Breakdown]:
+    out: Dict[str, Breakdown] = {}
+    for name in names:
+        trace = get_workload(name, scale=scale, seed=seed)
+        provider = analyze_trace(trace, config=config)
+        out[name] = interaction_breakdown(provider, focus=focus, workload=name)
+    return out
+
+
+def table4a(names: Sequence[str] = WORKLOAD_NAMES,
+            scale: float = 1.0, seed: int = 0) -> Dict[str, Breakdown]:
+    """Table 4a: CPI breakdown with a four-cycle level-one cache.
+
+    Base category costs plus every dl1+X interaction row, per workload,
+    in percent of execution time.
+    """
+    return _breakdowns(names, TABLE4A_CONFIG, Category.DL1, scale, seed)
+
+
+def table4b(names: Sequence[str] = TABLE4BC_NAMES,
+            scale: float = 1.0, seed: int = 0) -> Dict[str, Breakdown]:
+    """Table 4b: breakdown with a two-cycle issue-wakeup loop (shalu focus)."""
+    return _breakdowns(names, TABLE4B_CONFIG, Category.SHALU, scale, seed)
+
+
+def table4c(names: Sequence[str] = TABLE4BC_NAMES,
+            scale: float = 1.0, seed: int = 0) -> Dict[str, Breakdown]:
+    """Table 4c: breakdown with a 15-cycle mispredict loop (bmisp focus)."""
+    return _breakdowns(names, TABLE4C_CONFIG, Category.BMISP, scale, seed)
+
+
+def figure3(name: str = "vortex", scale: float = 1.0, seed: int = 0,
+            dl1_latencies: Sequence[int] = (1, 2, 3, 4),
+            window_sizes: Sequence[int] = (64, 80, 96, 112, 128),
+            ) -> Dict[int, List[Tuple[int, float]]]:
+    """Figure 3: window-size speedup curves at several dl1 latencies."""
+    from repro.analysis.sensitivity import window_speedup_curves
+
+    trace = get_workload(name, scale=scale, seed=seed)
+    return window_speedup_curves(trace, dl1_latencies, window_sizes)
+
+
+def figure1(name: str = "gzip", scale: float = 1.0, seed: int = 0,
+            config: Optional[MachineConfig] = None,
+            ) -> Tuple[Breakdown, Breakdown, Breakdown]:
+    """Figure 1: traditional vs interaction-cost breakdown reporting.
+
+    Returns (traditional in one category order, traditional in the
+    reverse order, interaction-cost breakdown).  The two traditional
+    breakdowns disagree -- the overlap-blame ambiguity the paper opens
+    with -- while the icost breakdown is order-free and accounts for
+    overlap explicitly.
+    """
+    trace = get_workload(name, scale=scale, seed=seed)
+    provider = analyze_trace(trace, config=config)
+    forward = traditional_breakdown(provider, BASE_CATEGORIES, workload=name)
+    backward = traditional_breakdown(
+        provider, tuple(reversed(BASE_CATEGORIES)), workload=name)
+    icost_bd = interaction_breakdown(provider, focus=Category.DMISS,
+                                     workload=name)
+    return forward, backward, icost_bd
+
+
+def table7(names: Sequence[str] = ("gcc", "parser", "twolf"),
+           scale: float = 1.0, seed: int = 0,
+           config: Optional[MachineConfig] = None,
+           profiler_kwargs: Optional[dict] = None) -> Dict[str, dict]:
+    """Table 7: multisim vs fullgraph vs profiler breakdown validation.
+
+    For each workload, returns a dict with the three breakdowns (as
+    ``{label: percent}``), the fullgraph/profiler error rows relative
+    to multisim, and the paper's two average-error figures.
+    """
+    from repro.analysis.multisim import MultiSimCostProvider
+    from repro.analysis.validation import (
+        paper_error_profiler_vs_graph,
+        paper_error_profiler_vs_multisim,
+    )
+    from repro.profiler.shotgun import profile_trace
+    
+    cfg = config or TABLE4A_CONFIG
+    out: Dict[str, dict] = {}
+    for name in names:
+        trace = get_workload(name, scale=scale, seed=seed)
+        multisim = interaction_breakdown(
+            MultiSimCostProvider(trace, cfg), focus=Category.DL1, workload=name)
+        fullgraph = interaction_breakdown(
+            analyze_trace(trace, cfg), focus=Category.DL1, workload=name)
+        prof_provider = profile_trace(trace, config=cfg,
+                                      **(profiler_kwargs or {}))
+        profiler = interaction_breakdown(
+            prof_provider, focus=Category.DL1, workload=name)
+        out[name] = {
+            "multisim": multisim.as_dict(),
+            "fullgraph": fullgraph.as_dict(),
+            "profiler": profiler.as_dict(),
+            "err_graph_vs_multisim": _delta(fullgraph, multisim),
+            "err_profiler_vs_multisim": _delta(profiler, multisim),
+            "avg_err_profiler_vs_graph": paper_error_profiler_vs_graph(
+                profiler, fullgraph, multisim),
+            "avg_err_profiler_vs_multisim": paper_error_profiler_vs_multisim(
+                profiler, multisim),
+        }
+    return out
+
+
+def _delta(breakdown: Breakdown, reference: Breakdown) -> Dict[str, float]:
+    deltas = {}
+    for entry in reference.entries:
+        if entry.kind in ("base", "interaction"):
+            deltas[entry.label] = breakdown.percent(entry.label) - entry.percent
+    return deltas

@@ -1,0 +1,69 @@
+"""The multiple-idealized-simulations cost baseline ("multisim").
+
+The ground-truth methodology the paper validates against: ``cost(S)``
+is measured by actually re-running the simulator with every category
+in *S* idealized (Table 1 switches).  Exponential in the number of
+event classes -- which is exactly why the graph/profiler alternatives
+exist -- but exact by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.core.categories import Category, EventSelection, normalize_targets
+from repro.core.icost import Target
+from repro.isa.trace import Trace
+from repro.uarch.config import IdealConfig, MachineConfig
+from repro.uarch.core import simulate
+
+
+class MultiSimCostProvider:
+    """Cost provider that re-simulates per queried idealization set.
+
+    Only whole-machine :class:`Category` targets are supported:
+    idealizing an individual dynamic instruction's events is not a
+    machine configuration, so per-instruction
+    :class:`~repro.core.categories.EventSelection` queries raise
+    ``TypeError`` (use the graph provider for those, as the paper
+    does).
+    """
+
+    def __init__(self, trace: Trace,
+                 config: Optional[MachineConfig] = None) -> None:
+        self.trace = trace
+        self.config = config or MachineConfig()
+        self._cycles: Dict[FrozenSet[Category], int] = {}
+        self.base_cycles = self.cycles_with(frozenset())
+
+    # ------------------------------------------------------------------
+
+    def cycles_with(self, categories: FrozenSet[Category]) -> int:
+        """Execution time with *categories* idealized (memoised)."""
+        key = frozenset(categories)
+        cached = self._cycles.get(key)
+        if cached is None:
+            ideal = IdealConfig.for_categories(key)
+            cached = simulate(self.trace, config=self.config, ideal=ideal).cycles
+            self._cycles[key] = cached
+        return cached
+
+    def cost(self, targets: Iterable[Target]) -> float:
+        """Cycles saved, measured by actually re-simulating."""
+        key = normalize_targets(targets)
+        for t in key:
+            if isinstance(t, EventSelection):
+                raise TypeError(
+                    "multisim cannot idealize per-instruction selections; "
+                    "use a graph-based provider"
+                )
+        return float(self.base_cycles - self.cycles_with(key))
+
+    @property
+    def total(self) -> float:
+        return float(self.base_cycles)
+
+    @property
+    def simulations(self) -> int:
+        """Number of distinct simulator runs so far (for the 2^n point)."""
+        return len(self._cycles)

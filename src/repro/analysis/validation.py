@@ -1,0 +1,82 @@
+"""Validation metrics for Table 7 (Section 6).
+
+The paper's caption defines two per-category error formulas:
+
+- profiler vs full graph:
+  ``abs(profiler - fullgraph) / (multisim + fullgraph)``
+- profiler vs multiple simulations:
+  ``abs(profiler) / multisim`` where ``profiler`` is reported as the
+  error relative to multisim (i.e. ``abs(profiler - multisim) / multisim``).
+
+Averages exclude categories under 5% of execution time, as the caption
+says, so tiny denominators cannot dominate the summary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.breakdown import Breakdown
+
+#: The caption's cutoff: categories below this percent are excluded
+#: from the average-error figures.
+SIGNIFICANCE_CUTOFF = 5.0
+
+
+def _display_labels(breakdown: Breakdown) -> List[str]:
+    return [e.label for e in breakdown.entries
+            if e.kind in ("base", "interaction")]
+
+
+def category_errors(breakdown: Breakdown,
+                    reference: Breakdown) -> Dict[str, float]:
+    """Signed per-category error (percentage points) vs *reference*."""
+    return {
+        label: breakdown.percent(label) - reference.percent(label)
+        for label in _display_labels(reference)
+    }
+
+
+def breakdown_error(breakdown: Breakdown, reference: Breakdown,
+                    cutoff: float = SIGNIFICANCE_CUTOFF) -> float:
+    """Mean relative error vs *reference* over significant categories."""
+    errors = []
+    for label in _display_labels(reference):
+        ref = reference.percent(label)
+        if abs(ref) < cutoff:
+            continue
+        errors.append(abs(breakdown.percent(label) - ref) / abs(ref))
+    return sum(errors) / len(errors) if errors else 0.0
+
+
+def paper_error_profiler_vs_graph(profiler: Breakdown, fullgraph: Breakdown,
+                                  multisim: Breakdown,
+                                  cutoff: float = SIGNIFICANCE_CUTOFF) -> float:
+    """The caption's profiler-vs-dependence-graph average error:
+    ``abs(profiler - fullgraph) / (multisim + fullgraph)`` per category,
+    averaged over categories with |multisim| >= cutoff."""
+    errors = []
+    for label in _display_labels(multisim):
+        ms = multisim.percent(label)
+        if abs(ms) < cutoff:
+            continue
+        fg = fullgraph.percent(label)
+        denom = ms + fg
+        if denom == 0:
+            continue
+        errors.append(abs(profiler.percent(label) - fg) / abs(denom))
+    return sum(errors) / len(errors) if errors else 0.0
+
+
+def paper_error_profiler_vs_multisim(profiler: Breakdown, multisim: Breakdown,
+                                     cutoff: float = SIGNIFICANCE_CUTOFF) -> float:
+    """The caption's profiler-vs-multisim average error:
+    ``abs(profiler - multisim) / multisim`` per category, averaged over
+    categories with |multisim| >= cutoff."""
+    errors = []
+    for label in _display_labels(multisim):
+        ms = multisim.percent(label)
+        if abs(ms) < cutoff:
+            continue
+        errors.append(abs(profiler.percent(label) - ms) / abs(ms))
+    return sum(errors) / len(errors) if errors else 0.0

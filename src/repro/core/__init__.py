@@ -1,0 +1,59 @@
+"""Interaction cost -- the paper's primary contribution (Section 2).
+
+This package defines event categories, the ``cost``/``icost`` algebra
+(including the recursive power-set definition), parallelism-aware
+breakdowns, and report rendering.  It is deliberately independent of
+*how* costs are measured: any object satisfying the
+:class:`repro.core.icost.CostProvider` protocol works, whether backed
+by dependence-graph analysis, multiple idealized simulations, or
+shotgun-profiler fragments.
+"""
+
+from repro.core.categories import Category, EventSelection, BASE_CATEGORIES
+from repro.core.icost import (
+    CostProvider,
+    CachingCostProvider,
+    icost,
+    icost_pair,
+    icost_of_union,
+    classify_interaction,
+    Interaction,
+)
+from repro.core.breakdown import (
+    Breakdown,
+    BreakdownEntry,
+    full_interaction_breakdown,
+    interaction_breakdown,
+    traditional_breakdown,
+)
+from repro.core.report import render_breakdown_table, render_stacked_bar
+from repro.core.serialize import (
+    breakdown_from_json,
+    breakdown_to_json,
+    breakdowns_to_csv,
+    simresult_summary,
+)
+
+__all__ = [
+    "Category",
+    "EventSelection",
+    "BASE_CATEGORIES",
+    "CostProvider",
+    "CachingCostProvider",
+    "icost",
+    "icost_pair",
+    "icost_of_union",
+    "classify_interaction",
+    "Interaction",
+    "Breakdown",
+    "BreakdownEntry",
+    "interaction_breakdown",
+    "full_interaction_breakdown",
+    "traditional_breakdown",
+    "render_breakdown_table",
+    "render_stacked_bar",
+    "breakdown_from_json",
+    "breakdown_to_json",
+    "breakdowns_to_csv",
+    "simresult_summary",
+]

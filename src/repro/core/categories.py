@@ -1,0 +1,104 @@
+"""Event categories: how stall causes are grouped into sets.
+
+The paper's breakdowns (Table 4) use eight base categories that
+partition every stall-causing event of the machine.  How events are
+grouped is application-dependent ("a software prefetching optimization
+might consider the set of events consisting of all cache misses from a
+single static load"), so alongside the fixed :class:`Category` enum
+this module provides :class:`EventSelection` for arbitrary
+per-instruction event subsets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple, Union
+
+
+class Category(enum.Enum):
+    """The eight base breakdown categories of Table 4.
+
+    - ``DL1``: level-one data-cache access latency (the dl1 loop).
+    - ``WIN``: finite-instruction-window stalls.
+    - ``BW``: processor bandwidth (fetch, issue and commit bandwidth,
+      including structural issue-port contention).
+    - ``BMISP``: branch mispredictions.
+    - ``DMISS``: data-cache misses (including DTLB walks).
+    - ``SHALU``: one-cycle integer operations.
+    - ``LGALU``: multi-cycle integer and floating-point operations.
+    - ``IMISS``: instruction-cache misses (including ITLB walks).
+    """
+
+    DL1 = "dl1"
+    WIN = "win"
+    BW = "bw"
+    BMISP = "bmisp"
+    DMISS = "dmiss"
+    SHALU = "shalu"
+    LGALU = "lgalu"
+    IMISS = "imiss"
+
+    @property
+    def index(self) -> int:
+        """Stable small-integer id used by the graph's edge tagging."""
+        return _CATEGORY_INDEX[self]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_CATEGORY_INDEX = {cat: i for i, cat in enumerate(Category)}
+
+#: All eight base categories, in Table 4's display order.
+BASE_CATEGORIES: Tuple[Category, ...] = (
+    Category.DL1,
+    Category.WIN,
+    Category.BW,
+    Category.BMISP,
+    Category.DMISS,
+    Category.SHALU,
+    Category.LGALU,
+    Category.IMISS,
+)
+
+
+@dataclass(frozen=True)
+class EventSelection:
+    """A user-defined event set: one category restricted to chosen insts.
+
+    Idealizing ``EventSelection(Category.DMISS, seqs)`` turns only the
+    cache misses of the dynamic instructions in *seqs* into hits --
+    exactly the per-static-load grouping a prefetching optimizer needs.
+    Only graph-based cost providers support selections (re-simulating a
+    per-instruction idealization is not meaningful in our simulator),
+    which mirrors the paper's use of graphs for such analyses.
+    """
+
+    category: Category
+    seqs: FrozenSet[int]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seqs, frozenset):
+            object.__setattr__(self, "seqs", frozenset(self.seqs))
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"{self.category.value}[{len(self.seqs)} insts]"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Anything costable: a whole category or a per-instruction selection.
+EventSetLike = Union[Category, EventSelection]
+
+
+def normalize_targets(targets: Iterable[EventSetLike]) -> FrozenSet[EventSetLike]:
+    """Validate and freeze a collection of cost targets."""
+    frozen = frozenset(targets)
+    for t in frozen:
+        if not isinstance(t, (Category, EventSelection)):
+            raise TypeError(f"not a cost target: {t!r}")
+    return frozen

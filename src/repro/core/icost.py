@@ -1,0 +1,160 @@
+"""The cost / interaction-cost algebra (Section 2 of the paper).
+
+Definitions implemented here, for events or sets of events:
+
+- ``cost(S) = t - t(S)``: execution-time reduction from idealizing S.
+- ``icost({S1, S2}) = cost(S1 u S2) - cost(S1) - cost(S2)``.
+- For n >= 2 groups, the recursive power-set definition:
+  ``icost(U) = cost(union U) - sum of icost(V) over proper subsets V``.
+
+The sign of an interaction cost classifies how the groups interact:
+zero means independent, positive means a parallel interaction (cycles
+removable only by optimizing both together), negative means a serial
+interaction (the groups are in series with each other but in parallel
+with something else, so fully optimizing both is not worthwhile).
+"""
+
+from __future__ import annotations
+
+import enum
+from itertools import chain, combinations
+from typing import Dict, FrozenSet, Iterable, Protocol, Union
+
+from repro.core.categories import Category, EventSelection, normalize_targets
+
+Target = Union[Category, EventSelection]
+Group = FrozenSet[Target]
+
+
+class CostProvider(Protocol):
+    """Anything that can measure aggregate costs of event sets.
+
+    Implementations in this repository: graph analysis
+    (:class:`repro.graph.cost.GraphCostAnalyzer`), re-simulation
+    (:class:`repro.analysis.multisim.MultiSimCostProvider`) and the
+    shotgun profiler (:class:`repro.profiler.shotgun.ShotgunCostProvider`).
+    """
+
+    def cost(self, targets: Iterable[Target]) -> float:
+        """Aggregate cost of idealizing every target in *targets* together."""
+
+    @property
+    def total(self) -> float:
+        """Baseline execution time, for normalising breakdowns."""
+
+
+class CachingCostProvider:
+    """Memoising wrapper; also counts underlying measurements."""
+
+    def __init__(self, provider: CostProvider) -> None:
+        self._provider = provider
+        self._cache: Dict[FrozenSet[Target], float] = {}
+        self.calls = 0
+
+    def cost(self, targets: Iterable[Target]) -> float:
+        """Memoised pass-through to the wrapped provider."""
+        key = normalize_targets(targets)
+        if key not in self._cache:
+            self.calls += 1
+            self._cache[key] = self._provider.cost(key)
+        return self._cache[key]
+
+    @property
+    def total(self) -> float:
+        return self._provider.total
+
+
+def as_group(group: Union[Target, Iterable[Target]]) -> Group:
+    """Normalise a bare target or an iterable of targets into a group."""
+    if isinstance(group, (Category, EventSelection)):
+        return frozenset((group,))
+    return normalize_targets(group)
+
+
+def _proper_subsets(groups: FrozenSet[Group]) -> Iterable[FrozenSet[Group]]:
+    items = tuple(groups)
+    return (
+        frozenset(c)
+        for size in range(len(items))
+        for c in combinations(items, size)
+    )
+
+
+def icost(provider: CostProvider,
+          groups: Iterable[Union[Target, Iterable[Target]]]) -> float:
+    """Interaction cost of two or more (sets of) events.
+
+    Each element of *groups* is one event set S_i (a bare
+    :class:`Category`/:class:`EventSelection` or an iterable of them).
+    Implements the recursive power-set definition; the icost of a
+    single group degenerates to its cost, and of the empty collection
+    to zero.  Groups must be disjoint -- overlapping groups make the
+    union/sum decomposition ill-defined.
+    """
+    normalised = frozenset(as_group(g) for g in groups)
+    _check_disjoint(normalised)
+    memo: Dict[FrozenSet[Group], float] = {}
+
+    def rec(u: FrozenSet[Group]) -> float:
+        if not u:
+            return 0.0
+        if u in memo:
+            return memo[u]
+        union: FrozenSet[Target] = frozenset(chain.from_iterable(u))
+        value = provider.cost(union)
+        for v in _proper_subsets(u):
+            if v:
+                value -= rec(v)
+        memo[u] = value
+        return value
+
+    return rec(normalised)
+
+
+def _check_disjoint(groups: FrozenSet[Group]) -> None:
+    seen: set = set()
+    for g in groups:
+        overlap = seen & g
+        if overlap:
+            raise ValueError(f"groups overlap on {overlap}")
+        seen |= g
+
+
+def icost_pair(provider: CostProvider,
+               a: Union[Target, Iterable[Target]],
+               b: Union[Target, Iterable[Target]]) -> float:
+    """``icost({a, b}) = cost(a u b) - cost(a) - cost(b)``."""
+    return icost(provider, (a, b))
+
+
+def icost_of_union(provider: CostProvider,
+                   groups: Iterable[Union[Target, Iterable[Target]]]) -> float:
+    """Sum of icosts over the whole power set = aggregate cost of the union.
+
+    This is the identity the paper uses to argue that a breakdown over
+    all interaction categories accounts for all (idealizable) cycles.
+    """
+    normalised = [as_group(g) for g in groups]
+    union: FrozenSet[Target] = frozenset(chain.from_iterable(normalised))
+    return provider.cost(union)
+
+
+class Interaction(enum.Enum):
+    """Classification of an interaction cost's sign."""
+
+    INDEPENDENT = "independent"
+    PARALLEL = "parallel"
+    SERIAL = "serial"
+
+
+def classify_interaction(value: float, epsilon: float = 1e-9) -> Interaction:
+    """Classify an icost value: zero / positive / negative.
+
+    *epsilon* absorbs floating-point noise from statistical providers
+    (the shotgun profiler's fragment aggregation yields non-integers).
+    """
+    if value > epsilon:
+        return Interaction.PARALLEL
+    if value < -epsilon:
+        return Interaction.SERIAL
+    return Interaction.INDEPENDENT

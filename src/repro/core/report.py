@@ -1,0 +1,97 @@
+"""Rendering breakdowns: Table 4-style tables and Figure 1b stacked bars."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.breakdown import Breakdown
+
+
+def render_breakdown_table(breakdowns: Dict[str, Breakdown],
+                           title: str = "") -> str:
+    """A Table 4-style text table: one row per category, one column per
+    workload, values in percent of execution time."""
+    if not breakdowns:
+        return title
+    columns = list(breakdowns)
+    labels: List[str] = []
+    for b in breakdowns.values():
+        for label in b.labels():
+            if label not in labels:
+                labels.append(label)
+    # keep Other / Total last, as in the paper
+    for tail in ("Other", "Total"):
+        if tail in labels:
+            labels.remove(tail)
+            labels.append(tail)
+
+    label_width = max(len(s) for s in labels + ["Category"])
+    col_width = max(7, max(len(c) for c in columns) + 1)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "Category".ljust(label_width) + "".join(
+        c.rjust(col_width) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label in labels:
+        row = [label.ljust(label_width)]
+        for col in columns:
+            try:
+                value = breakdowns[col].percent(label)
+                row.append(f"{value:.1f}".rjust(col_width))
+            except KeyError:
+                row.append("-".rjust(col_width))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_stacked_bar(breakdown: Breakdown, width: int = 60) -> str:
+    """The Figure 1b visualisation, in text form.
+
+    Positive categories stack upward from the axis (they can exceed
+    100% because parallel interactions add cycles beyond the total),
+    while negative (serial) interactions plot below the axis.  Each
+    category becomes one bar segment proportional to its magnitude.
+    """
+    pos = [e for e in breakdown.entries
+           if e.kind in ("base", "interaction", "other") and e.percent > 0]
+    neg = [e for e in breakdown.entries
+           if e.kind in ("base", "interaction", "other") and e.percent < 0]
+    pos_total = sum(e.percent for e in pos)
+    scale = width / pos_total if pos_total else 1.0
+
+    lines = [f"{breakdown.workload or 'workload'}: "
+             f"{breakdown.total_cycles:.0f} cycles "
+             f"(+{pos_total:.1f}% / {sum(e.percent for e in neg):.1f}%)"]
+    for entry in sorted(pos, key=lambda e: -e.percent):
+        bar = "#" * max(1, round(entry.percent * scale))
+        lines.append(f"  {entry.label:>14} |{bar} {entry.percent:.1f}%")
+    if neg:
+        lines.append(f"  {'':>14} +{'-' * width}  (serial interactions)")
+        for entry in sorted(neg, key=lambda e: e.percent):
+            bar = "=" * max(1, round(-entry.percent * scale))
+            lines.append(f"  {entry.label:>14} |{bar} {entry.percent:.1f}%")
+    return "\n".join(lines)
+
+
+def render_comparison(breakdown_rows: Dict[str, Dict[str, float]],
+                      columns: Sequence[str], title: str = "") -> str:
+    """Generic table renderer for validation views (Table 7)."""
+    labels = list(breakdown_rows)
+    label_width = max((len(s) for s in labels + ["Category"]), default=8)
+    col_width = max(9, max((len(c) for c in columns), default=5) + 2)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "Category".ljust(label_width) + "".join(
+        c.rjust(col_width) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label in labels:
+        row = [label.ljust(label_width)]
+        for col in columns:
+            value = breakdown_rows[label].get(col)
+            row.append(("-" if value is None else f"{value:+.1f}").rjust(col_width))
+        lines.append("".join(row))
+    return "\n".join(lines)

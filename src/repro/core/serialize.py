@@ -1,0 +1,82 @@
+"""Exporting analysis results: CSV, JSON, and round-trips.
+
+Breakdowns are the artefact downstream tools consume (plotting,
+regression tracking across simulator versions, spreadsheet review), so
+they serialize losslessly: every row keeps its kind, cycle count and
+percentage, and a serialized breakdown reloads into an equivalent
+:class:`~repro.core.breakdown.Breakdown`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List
+
+from repro.core.breakdown import Breakdown, BreakdownEntry
+
+
+def breakdown_to_json(breakdown: Breakdown) -> str:
+    """A self-describing JSON document for one breakdown."""
+    return json.dumps({
+        "workload": breakdown.workload,
+        "total_cycles": breakdown.total_cycles,
+        "entries": [
+            {
+                "label": e.label,
+                "cycles": e.cycles,
+                "percent": e.percent,
+                "kind": e.kind,
+            }
+            for e in breakdown.entries
+        ],
+    }, indent=2)
+
+
+def breakdown_from_json(text: str) -> Breakdown:
+    """Inverse of :func:`breakdown_to_json` (groups are not preserved)."""
+    data = json.loads(text)
+    entries = [
+        BreakdownEntry(label=e["label"], cycles=e["cycles"],
+                       percent=e["percent"], kind=e["kind"])
+        for e in data["entries"]
+    ]
+    return Breakdown(workload=data["workload"],
+                     total_cycles=data["total_cycles"], entries=entries)
+
+
+def breakdowns_to_csv(breakdowns: Dict[str, Breakdown]) -> str:
+    """A Table 4-shaped CSV: one row per category, one column per
+    workload, values in percent."""
+    columns = list(breakdowns)
+    labels: List[str] = []
+    for bd in breakdowns.values():
+        for label in bd.labels():
+            if label not in labels:
+                labels.append(label)
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["category"] + columns)
+    for label in labels:
+        row = [label]
+        for col in columns:
+            try:
+                row.append(f"{breakdowns[col].percent(label):.2f}")
+            except KeyError:
+                row.append("")
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def simresult_summary(result) -> dict:
+    """A JSON-ready summary of one simulation run."""
+    return {
+        "workload": result.trace.name,
+        "instructions": len(result.events),
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "event_counts": result.event_counts(),
+        "stats": dict(result.stats),
+        "idealized": list(result.ideal.active()) if result.ideal else [],
+    }

@@ -1,0 +1,37 @@
+"""The dependence-graph model of a microexecution (Section 3 of the paper).
+
+Five nodes per dynamic instruction (D, R, E, P, C) and twelve edge
+kinds (Table 3) capture both architectural dependences and
+microarchitectural resource constraints.  Costs and interaction costs
+are computed by idealizing edges and re-measuring the critical path --
+the efficient alternative to the 2^n idealized simulations.
+"""
+
+from repro.graph.model import NodeKind, EdgeKind, DependenceGraph
+from repro.graph.builder import GraphBuilder, build_graph
+from repro.graph.critical_path import longest_path, critical_path_edges, edge_kind_profile
+from repro.graph.cost import GraphCostAnalyzer
+from repro.graph.slack import (
+    edge_slacks,
+    instruction_cost,
+    instruction_icost,
+    instruction_slack,
+    top_critical_instructions,
+)
+
+__all__ = [
+    "NodeKind",
+    "EdgeKind",
+    "DependenceGraph",
+    "GraphBuilder",
+    "build_graph",
+    "longest_path",
+    "critical_path_edges",
+    "edge_kind_profile",
+    "GraphCostAnalyzer",
+    "edge_slacks",
+    "instruction_cost",
+    "instruction_icost",
+    "instruction_slack",
+    "top_critical_instructions",
+]

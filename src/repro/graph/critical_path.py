@@ -1,0 +1,93 @@
+"""Longest-path computation and critical-path extraction.
+
+Node-index order is topological (see :mod:`repro.graph.model`), so the
+longest path is a single forward DP sweep.  ``critical_path_edges``
+backtracks one critical path for inspection; ``edge_kind_profile``
+attributes its length to edge kinds, the classic criticality view the
+paper builds on (Fields et al. [11, 12], Tune et al. [37]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.model import DependenceGraph, Edge, EdgeKind
+
+
+def longest_path(graph: DependenceGraph,
+                 lat: Optional[Sequence[int]] = None,
+                 seed: Optional[int] = None) -> List[int]:
+    """Earliest time of every node under max-plus semantics.
+
+    *lat* optionally overrides per-edge latencies (an idealized view);
+    entries below a large negative threshold mark removed edges.
+    Nodes with no (surviving) incoming edges start at time zero, except
+    node 0, which starts at *seed* (the graph's recorded seed when not
+    given) -- instruction 0's cold-start fetch delay.
+    """
+    latencies = graph.edge_lat if lat is None else lat
+    src = graph.edge_src
+    start = graph.csr_start
+    dist = [0] * graph.num_nodes
+    if graph.num_nodes:
+        dist[0] = graph.seed_lat if seed is None else seed
+    for v in range(1, graph.num_nodes):
+        best = 0
+        for e in range(start[v], start[v + 1]):
+            d = dist[src[e]] + latencies[e]
+            if d > best:
+                best = d
+        dist[v] = best
+    return dist
+
+
+def critical_path_length(graph: DependenceGraph,
+                         lat: Optional[Sequence[int]] = None) -> int:
+    """Length of the longest path (the critical path) in cycles."""
+    if graph.num_nodes == 0:
+        return 0
+    dist = longest_path(graph, lat)
+    return max(dist)
+
+
+def critical_path_edges(graph: DependenceGraph,
+                        lat: Optional[Sequence[int]] = None) -> List[Edge]:
+    """One critical path, as a source-to-sink list of edges.
+
+    Ties are broken toward the lowest edge index, making the result
+    deterministic.
+    """
+    if graph.num_nodes == 0:
+        return []
+    latencies = graph.edge_lat if lat is None else lat
+    dist = longest_path(graph, latencies)
+    src = graph.edge_src
+    start = graph.csr_start
+    # walk back from the sink with the maximal time
+    v = max(range(graph.num_nodes), key=lambda node: dist[node])
+    path: List[Edge] = []
+    while dist[v] > 0:
+        chosen = None
+        for e in range(start[v], start[v + 1]):
+            if dist[src[e]] + latencies[e] == dist[v]:
+                chosen = e
+                break
+        if chosen is None:  # node started at 0 with no binding edge
+            break
+        path.append(next(
+            edge for i, edge in enumerate(graph.in_edges(v)) if
+            start[v] + i == chosen
+        ))
+        v = src[chosen]
+    path.reverse()
+    return path
+
+
+def edge_kind_profile(graph: DependenceGraph,
+                      lat: Optional[Sequence[int]] = None) -> Dict[EdgeKind, int]:
+    """Cycles of one critical path attributed to each edge kind."""
+    profile: Dict[EdgeKind, int] = {}
+    latencies = graph.edge_lat if lat is None else lat
+    for edge in critical_path_edges(graph, latencies):
+        profile[edge.kind] = profile.get(edge.kind, 0) + edge.latency
+    return profile

@@ -1,0 +1,122 @@
+"""Edge-latency transforms implementing Table 1 idealizations on the graph.
+
+An idealization never re-runs the simulator: it rewrites edge latencies
+(subtracting the latency component tagged with the idealized category)
+and removes the three structural edge kinds whose constraint disappears
+outright -- CD under an infinite window, PD under perfect prediction,
+PP under a perfect data cache.  Removed edges are marked with a large
+negative latency, which the max-plus longest-path sweep can never
+select.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+import numpy as np
+
+from repro.core.categories import Category, EventSelection
+from repro.graph.model import DependenceGraph, EdgeKind, NODES_PER_INST
+
+#: Latency marking a removed edge; dwarfs any real path length.
+REMOVED = -(1 << 40)
+
+#: Categories whose idealization removes edge kinds entirely: the
+#: window removes CD, perfect prediction removes PD, a perfect data
+#: cache removes PP, and infinite bandwidth removes the FBW/CBW
+#: bandwidth edges (their one-cycle latency is structural, so zeroing
+#: a component is not enough -- the constraint itself disappears).
+_REMOVAL_KINDS = {
+    Category.WIN: (int(EdgeKind.CD),),
+    Category.BMISP: (int(EdgeKind.PD),),
+    Category.DMISS: (int(EdgeKind.PP),),
+    Category.BW: (int(EdgeKind.FBW), int(EdgeKind.CBW)),
+}
+
+#: Categories that have no per-instruction meaning.
+_WHOLE_MACHINE_ONLY = (Category.WIN, Category.BW)
+
+
+class GraphIdealizer:
+    """Vectorised latency rewriting for one graph.
+
+    The per-edge arrays are materialised once; each call to
+    :meth:`latencies` produces a fresh latency list for the requested
+    target set, suitable for :func:`repro.graph.critical_path.longest_path`.
+    """
+
+    def __init__(self, graph: DependenceGraph) -> None:
+        self.graph = graph
+        self._lat = np.asarray(graph.edge_lat, dtype=np.int64)
+        self._kind = np.asarray(graph.edge_kind, dtype=np.int16)
+        self._cat1 = np.asarray(graph.edge_cat1, dtype=np.int16)
+        self._val1 = np.asarray(graph.edge_val1, dtype=np.int64)
+        self._cat2 = np.asarray(graph.edge_cat2, dtype=np.int16)
+        self._val2 = np.asarray(graph.edge_val2, dtype=np.int64)
+        # owning instruction of each edge, by destination and by source
+        dst_owner = np.empty(graph.num_edges, dtype=np.int64)
+        for v in range(graph.num_nodes):
+            lo, hi = graph.csr_start[v], graph.csr_start[v + 1]
+            if lo < hi:
+                dst_owner[lo:hi] = v // NODES_PER_INST
+        self._dst_owner = dst_owner
+        self._src_owner = np.asarray(graph.edge_src, dtype=np.int64) // NODES_PER_INST
+
+    # ------------------------------------------------------------------
+
+    def latencies(self, targets: Iterable[Union[Category, EventSelection]]
+                  ) -> List[int]:
+        """Edge latencies with every target in *targets* idealized."""
+        lat = self._lat.copy()
+        removed = np.zeros(len(lat), dtype=bool)
+        for target in targets:
+            if isinstance(target, Category):
+                self._apply_category(target, lat, removed)
+            elif isinstance(target, EventSelection):
+                self._apply_selection(target, lat, removed)
+            else:
+                raise TypeError(f"not an idealization target: {target!r}")
+        lat[removed] = REMOVED
+        return lat.tolist()
+
+    def seed(self, targets: Iterable[Union[Category, EventSelection]]) -> int:
+        """Node-0 seed latency with *targets* idealized."""
+        graph = self.graph
+        value = graph.seed_lat
+        for target in targets:
+            if isinstance(target, Category):
+                if target.index == graph.seed_cat:
+                    value -= graph.seed_val
+            elif isinstance(target, EventSelection):
+                if target.category.index == graph.seed_cat and 0 in target.seqs:
+                    value -= graph.seed_val
+        return max(0, value)
+
+    # ------------------------------------------------------------------
+
+    def _apply_category(self, cat: Category, lat, removed) -> None:
+        ci = cat.index
+        lat -= self._val1 * (self._cat1 == ci)
+        lat -= self._val2 * (self._cat2 == ci)
+        for kind in _REMOVAL_KINDS.get(cat, ()):
+            removed |= self._kind == kind
+
+    def _apply_selection(self, sel: EventSelection, lat, removed) -> None:
+        cat = sel.category
+        if cat in _WHOLE_MACHINE_ONLY:
+            raise ValueError(
+                f"{cat} is a whole-machine constraint; per-instruction "
+                f"selections are not meaningful for it"
+            )
+        ci = cat.index
+        seqs = np.fromiter(sel.seqs, dtype=np.int64, count=len(sel.seqs))
+        in_dst = np.isin(self._dst_owner, seqs)
+        lat -= self._val1 * ((self._cat1 == ci) & in_dst)
+        lat -= self._val2 * ((self._cat2 == ci) & in_dst)
+        if cat is Category.DMISS:
+            # the sharer's PP wait disappears when its miss is idealized
+            removed |= (self._kind == int(EdgeKind.PP)) & in_dst
+        elif cat is Category.BMISP:
+            # recovery edges hang off the *branch* (the edge source)
+            in_src = np.isin(self._src_owner, seqs)
+            removed |= (self._kind == int(EdgeKind.PD)) & in_src

@@ -1,0 +1,135 @@
+"""Slack and per-instruction costs: the criticality toolkit.
+
+The paper builds on the criticality/slack line of work (Fields et al.
+[11, 12], Tune et al. [37]) and positions icost as the answer to
+"which *nearly*-critical dependences should I optimize along with the
+critical ones?".  This module supplies that surrounding toolkit:
+
+- **edge slack** -- how many cycles an edge's latency can grow before
+  the critical path lengthens (zero on critical edges); computed from
+  the forward and backward longest-path sweeps;
+- **per-instruction cost** -- the cycles saved by idealizing every
+  event of one dynamic instruction (its execution latency, misses and
+  mispredict), i.e. the Tune-et-al. instruction criticality measure
+  expressed through the same EventSelection machinery the icost engine
+  uses -- so instruction costs and icosts compose.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.categories import Category, EventSelection
+from repro.graph.cost import GraphCostAnalyzer
+from repro.graph.critical_path import longest_path
+from repro.graph.model import DependenceGraph, NODES_PER_INST
+
+#: The per-instruction event categories (WIN and BW are whole-machine
+#: constraints with no per-instruction meaning).
+INSTRUCTION_CATEGORIES = (
+    Category.DL1, Category.DMISS, Category.SHALU, Category.LGALU,
+    Category.BMISP, Category.IMISS,
+)
+
+
+def backward_longest_path(graph: DependenceGraph,
+                          lat: Optional[Sequence[int]] = None) -> List[int]:
+    """Longest path from each node to the sink, under max-plus semantics."""
+    latencies = graph.edge_lat if lat is None else lat
+    src = graph.edge_src
+    start = graph.csr_start
+    back = [0] * graph.num_nodes
+    for v in range(graph.num_nodes - 1, -1, -1):
+        bv = back[v]
+        for e in range(start[v], start[v + 1]):
+            candidate = bv + latencies[e]
+            s = src[e]
+            if candidate > back[s]:
+                back[s] = candidate
+    return back
+
+
+def edge_slacks(graph: DependenceGraph,
+                lat: Optional[Sequence[int]] = None) -> List[int]:
+    """Per-edge slack: extra latency each edge tolerates for free.
+
+    ``slack(e) = CP - (dist[src] + latency + back[dst])``; critical
+    edges have slack zero.  This is the *local* slack of Fields et al.
+    [11] computed post-mortem.
+    """
+    latencies = graph.edge_lat if lat is None else lat
+    dist = longest_path(graph, latencies)
+    back = backward_longest_path(graph, latencies)
+    cp = max(dist) if dist else 0
+    slacks = []
+    edge_index = 0
+    for dst in range(graph.num_nodes):
+        for e in range(graph.csr_start[dst], graph.csr_start[dst + 1]):
+            slacks.append(cp - (dist[graph.edge_src[e]] + latencies[e]
+                                + back[dst]))
+            edge_index += 1
+    return slacks
+
+
+def critical_edge_fraction(graph: DependenceGraph) -> float:
+    """Fraction of edges with zero slack (on *some* critical path)."""
+    slacks = edge_slacks(graph)
+    if not slacks:
+        return 0.0
+    return sum(1 for s in slacks if s == 0) / len(slacks)
+
+
+def instruction_slack(graph: DependenceGraph, seq: int) -> int:
+    """Minimum slack over an instruction's incoming edges.
+
+    Zero means the instruction lies on a critical path; large values
+    mark instructions whose latency could grow without any performance
+    effect -- the paper's 'targets for de-optimization'.
+    """
+    slacks = edge_slacks(graph)
+    best = None
+    lo = seq * NODES_PER_INST
+    hi = lo + NODES_PER_INST
+    edge_index = 0
+    for dst in range(graph.num_nodes):
+        for __ in range(graph.csr_start[dst], graph.csr_start[dst + 1]):
+            if lo <= dst < hi:
+                if best is None or slacks[edge_index] < best:
+                    best = slacks[edge_index]
+            edge_index += 1
+    return 0 if best is None else best
+
+
+def instruction_events(seq: int) -> List[EventSelection]:
+    """The per-instruction event selections covering instruction *seq*."""
+    chosen = frozenset((seq,))
+    return [EventSelection(cat, chosen, name=f"{cat.value}@{seq}")
+            for cat in INSTRUCTION_CATEGORIES]
+
+
+def instruction_cost(analyzer: GraphCostAnalyzer, seq: int) -> float:
+    """Cost of one dynamic instruction: idealize all of its events.
+
+    Equals zero for instructions off the critical path -- including one
+    of two parallel cache misses, which is exactly the blind spot
+    icost exists to illuminate (pass two instructions' selections to
+    ``analyzer.cost`` jointly to see their interaction).
+    """
+    return analyzer.cost(instruction_events(seq))
+
+
+def instruction_icost(analyzer: GraphCostAnalyzer, seq_a: int,
+                      seq_b: int) -> float:
+    """Interaction cost between two dynamic instructions' event sets."""
+    a = frozenset(instruction_events(seq_a))
+    b = frozenset(instruction_events(seq_b))
+    return (analyzer.cost(a | b) - analyzer.cost(a) - analyzer.cost(b))
+
+
+def top_critical_instructions(analyzer: GraphCostAnalyzer,
+                              candidates: Iterable[int],
+                              top: int = 10) -> List[tuple]:
+    """(seq, cost) of the most costly instructions among *candidates*."""
+    costs = [(seq, instruction_cost(analyzer, seq)) for seq in candidates]
+    costs.sort(key=lambda pair: -pair[1])
+    return costs[:top]

@@ -1,0 +1,249 @@
+"""Instruction definitions for the TinyRISC ISA.
+
+The ISA is deliberately small but complete enough to express the
+workload behaviours the paper's evaluation depends on: integer and
+floating-point arithmetic of several latencies, loads and stores with
+register+immediate addressing, direct conditional branches, direct
+calls, returns, and computed (indirect) jumps.
+
+Instructions are 4 bytes wide, so ``next_pc = pc + 4`` for straight-line
+code -- the same convention the paper's graph-construction algorithm
+assumes (Figure 5a, step 2d1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Number of architectural integer registers.  ``r0`` is hardwired to zero.
+INT_REG_COUNT = 32
+#: Number of architectural floating-point registers.
+FP_REG_COUNT = 16
+#: Total register-name space.  FP registers are mapped to indices
+#: ``INT_REG_COUNT .. INT_REG_COUNT + FP_REG_COUNT - 1`` so that producer
+#: tracking can use a single flat namespace.
+TOTAL_REG_COUNT = INT_REG_COUNT + FP_REG_COUNT
+
+#: The zero register: reads as 0, writes are discarded.
+REG_ZERO = 0
+#: Link register written by CALL and read by RET.
+REG_LINK = 31
+
+#: Instruction width in bytes; PCs advance by this for non-branches.
+INST_BYTES = 4
+
+
+def fp_reg(n: int) -> int:
+    """Map floating-point register number *n* into the flat register space."""
+    if not 0 <= n < FP_REG_COUNT:
+        raise ValueError(f"fp register f{n} out of range")
+    return INT_REG_COUNT + n
+
+
+class OpClass(enum.Enum):
+    """Execution classes; each maps to a functional-unit pool and latency.
+
+    These classes are also the granularity at which the paper's
+    breakdown categories partition events: ``IALU`` is the 'shalu'
+    (one-cycle integer) category, while ``IMUL``/``FALU``/``FMUL``/
+    ``FDIV`` fall into 'lgalu' (multi-cycle integer and floating point).
+    """
+
+    IALU = "ialu"      # one-cycle integer ALU
+    IMUL = "imul"      # multi-cycle integer multiply
+    FALU = "falu"      # floating-point add/sub
+    FMUL = "fmul"      # floating-point multiply
+    FDIV = "fdiv"      # floating-point divide
+    LOAD = "load"      # memory load through a load/store port
+    STORE = "store"    # memory store through a load/store port
+    BRANCH = "branch"  # control transfer (direct or indirect)
+
+    @property
+    def is_mem(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_short_alu(self) -> bool:
+        """True for the paper's 'shalu' (one-cycle integer) category."""
+        return self is OpClass.IALU
+
+    @property
+    def is_long_alu(self) -> bool:
+        """True for the paper's 'lgalu' category."""
+        return self in (OpClass.IMUL, OpClass.FALU, OpClass.FMUL, OpClass.FDIV)
+
+
+class Opcode(enum.Enum):
+    """Concrete opcodes.  The value tuple is ``(mnemonic, OpClass)``."""
+
+    # one-cycle integer ops
+    ADD = ("add", OpClass.IALU)
+    ADDI = ("addi", OpClass.IALU)
+    SUB = ("sub", OpClass.IALU)
+    AND = ("and", OpClass.IALU)
+    OR = ("or", OpClass.IALU)
+    XOR = ("xor", OpClass.IALU)
+    SLL = ("sll", OpClass.IALU)
+    SRL = ("srl", OpClass.IALU)
+    SLT = ("slt", OpClass.IALU)
+    SLTI = ("slti", OpClass.IALU)
+    LUI = ("lui", OpClass.IALU)
+    # multi-cycle integer
+    MUL = ("mul", OpClass.IMUL)
+    # floating point
+    FADD = ("fadd", OpClass.FALU)
+    FSUB = ("fsub", OpClass.FALU)
+    FMUL = ("fmul", OpClass.FMUL)
+    FDIV = ("fdiv", OpClass.FDIV)
+    FCVT = ("fcvt", OpClass.FALU)   # int -> fp convert
+    # memory
+    LD = ("ld", OpClass.LOAD)
+    ST = ("st", OpClass.STORE)
+    #: software prefetch: warms the cache, binds no register, never
+    #: stalls consumers (the feedback-directed optimization of the
+    #: paper's conclusion)
+    PREFETCH = ("prefetch", OpClass.LOAD)
+    # control
+    BEQ = ("beq", OpClass.BRANCH)
+    BNE = ("bne", OpClass.BRANCH)
+    BLT = ("blt", OpClass.BRANCH)
+    BGE = ("bge", OpClass.BRANCH)
+    J = ("j", OpClass.BRANCH)
+    CALL = ("call", OpClass.BRANCH)
+    RET = ("ret", OpClass.BRANCH)
+    JR = ("jr", OpClass.BRANCH)
+    HALT = ("halt", OpClass.IALU)
+
+    def __init__(self, mnemonic: str, opclass: OpClass) -> None:
+        self.mnemonic = mnemonic
+        self.opclass = opclass
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is OpClass.BRANCH
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE)
+
+    @property
+    def is_direct_branch(self) -> bool:
+        """Direct branches have a statically known target."""
+        return self in (
+            Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.J, Opcode.CALL,
+        )
+
+    @property
+    def is_indirect_branch(self) -> bool:
+        """Indirect branches take their target from a register."""
+        return self in (Opcode.RET, Opcode.JR)
+
+    @property
+    def is_call(self) -> bool:
+        return self is Opcode.CALL
+
+    @property
+    def is_return(self) -> bool:
+        return self is Opcode.RET
+
+
+@dataclass(frozen=True)
+class StaticInst:
+    """One instruction of the program binary.
+
+    ``dst`` is ``None`` for instructions that write no register; ``srcs``
+    lists the registers read, in operand order.  ``imm`` is the
+    immediate (also the displacement of loads/stores) and ``target`` the
+    statically encoded branch target PC for direct branches.
+
+    The shotgun profiler's reconstruction algorithm reads exactly the
+    information held here: instruction type, register operands, and
+    direct-branch targets (Figure 5b's 'static' column).
+    """
+
+    pc: int
+    opcode: Opcode
+    dst: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: int = 0
+    target: Optional[int] = None
+    label: Optional[str] = None
+
+    @property
+    def opclass(self) -> OpClass:
+        return self.opcode.opclass
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opcode.opclass.is_mem
+
+    def __str__(self) -> str:
+        parts = [f"{self.pc:#06x}: {self.opcode.mnemonic}"]
+        if self.dst is not None:
+            parts.append(f"r{self.dst}")
+        parts.extend(f"r{s}" for s in self.srcs)
+        if self.imm:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(f"-> {self.target:#06x}")
+        return " ".join(parts)
+
+
+@dataclass
+class DynInst:
+    """One dynamic (committed-path) instruction, produced by the executor.
+
+    Dynamic instructions carry everything the timing model needs and
+    nothing it must re-derive: the effective address of memory
+    operations, branch outcome and resolved target, and the dynamic
+    sequence numbers of the producers of each source register and of the
+    most recent conflicting store (for the graph's PR edges).
+
+    ``src_producers`` holds, aligned with ``static.srcs``, the sequence
+    number of the dynamic instruction that produced each operand, or
+    ``-1`` when the value predates the trace.  ``mem_producer`` is the
+    sequence number of the most recent earlier store to the same
+    address (-1 if none) and is only meaningful for loads.
+    """
+
+    seq: int
+    static: StaticInst
+    next_pc: int
+    taken: bool = False
+    mem_addr: Optional[int] = None
+    src_producers: Tuple[int, ...] = ()
+    mem_producer: int = -1
+
+    @property
+    def pc(self) -> int:
+        return self.static.pc
+
+    @property
+    def opcode(self) -> Opcode:
+        return self.static.opcode
+
+    @property
+    def opclass(self) -> OpClass:
+        return self.static.opcode.opclass
+
+    @property
+    def is_branch(self) -> bool:
+        return self.static.opcode.is_branch
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+    def __str__(self) -> str:
+        s = f"[{self.seq}] {self.static}"
+        if self.mem_addr is not None:
+            s += f" @{self.mem_addr:#x}"
+        if self.is_branch:
+            s += " taken" if self.taken else " not-taken"
+        return s

@@ -1,0 +1,285 @@
+"""Program binaries and the assembler-style builder.
+
+A :class:`Program` is the "binary" every other subsystem shares: the
+executor interprets it, the timing model fetches from its PCs, and the
+shotgun profiler walks it to reconstruct control flow from signature
+bits (Figure 5a of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import (
+    INST_BYTES,
+    REG_LINK,
+    TOTAL_REG_COUNT,
+    Opcode,
+    StaticInst,
+)
+
+#: PC of the first instruction of every program.
+BASE_PC = 0x1000
+
+
+class Program:
+    """An immutable sequence of static instructions with label metadata.
+
+    Instructions occupy consecutive PCs starting at :data:`BASE_PC`,
+    ``INST_BYTES`` apart.
+    """
+
+    def __init__(self, insts: List[StaticInst], labels: Dict[str, int],
+                 name: str = "program") -> None:
+        self._insts = list(insts)
+        self._labels = dict(labels)
+        self.name = name
+        self._by_pc: Dict[int, StaticInst] = {inst.pc: inst for inst in self._insts}
+        if len(self._by_pc) != len(self._insts):
+            raise ValueError("duplicate PCs in program")
+
+    def __len__(self) -> int:
+        return len(self._insts)
+
+    def __iter__(self):
+        return iter(self._insts)
+
+    def __getitem__(self, idx: int) -> StaticInst:
+        return self._insts[idx]
+
+    @property
+    def start_pc(self) -> int:
+        return self._insts[0].pc if self._insts else BASE_PC
+
+    @property
+    def end_pc(self) -> int:
+        """One past the PC of the last instruction."""
+        return self.start_pc + len(self._insts) * INST_BYTES
+
+    def at(self, pc: int) -> Optional[StaticInst]:
+        """The instruction at *pc*, or ``None`` when *pc* is out of range."""
+        return self._by_pc.get(pc)
+
+    def fetch(self, pc: int) -> StaticInst:
+        """The instruction at *pc*; raises ``KeyError`` when absent."""
+        inst = self._by_pc.get(pc)
+        if inst is None:
+            raise KeyError(f"no instruction at pc {pc:#x}")
+        return inst
+
+    def label_pc(self, label: str) -> int:
+        """PC that *label* resolves to."""
+        return self._labels[label]
+
+    @property
+    def labels(self) -> Dict[str, int]:
+        return dict(self._labels)
+
+    def index_of(self, pc: int) -> int:
+        """Index of the instruction at *pc* within the program."""
+        return (pc - self.start_pc) // INST_BYTES
+
+    def listing(self) -> str:
+        """A human-readable disassembly, one instruction per line."""
+        pc_to_label = {pc: name for name, pc in self._labels.items()}
+        lines = []
+        for inst in self._insts:
+            if inst.pc in pc_to_label:
+                lines.append(f"{pc_to_label[inst.pc]}:")
+            lines.append(f"    {inst}")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Assembler-style construction of :class:`Program` objects.
+
+    Forward references to labels are resolved when :meth:`build` is
+    called.  Register operands are plain integers in the flat register
+    space (use :func:`repro.isa.fp_reg` for floating-point registers).
+
+    Example::
+
+        b = ProgramBuilder("loop")
+        b.addi(1, 0, 10)          # r1 = 10
+        b.label("top")
+        b.addi(1, 1, -1)          # r1 -= 1
+        b.bne(1, 0, "top")        # loop while r1 != 0
+        b.halt()
+        program = b.build()
+    """
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._pending: List[Tuple] = []   # (opcode, dst, srcs, imm, target_label)
+        self._labels: Dict[str, int] = {}  # label -> instruction index
+
+    # ------------------------------------------------------------------
+    # core emission
+
+    def label(self, name: str) -> "ProgramBuilder":
+        """Attach *name* to the next emitted instruction's PC."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._pending)
+        return self
+
+    def _emit(self, opcode: Opcode, dst=None, srcs=(), imm=0, target=None) -> "ProgramBuilder":
+        for reg in tuple(srcs) + ((dst,) if dst is not None else ()):
+            if not 0 <= reg < TOTAL_REG_COUNT:
+                raise ValueError(f"register {reg} out of range")
+        self._pending.append((opcode, dst, tuple(srcs), imm, target))
+        return self
+
+    # ------------------------------------------------------------------
+    # integer arithmetic
+
+    def add(self, rd, rs, rt):
+        """Emit ``add rd, rs, rt`` (rd = rs + rt)."""
+        return self._emit(Opcode.ADD, rd, (rs, rt))
+
+    def addi(self, rd, rs, imm):
+        """Emit ``addi rd, rs, imm`` (rd = rs + imm)."""
+        return self._emit(Opcode.ADDI, rd, (rs,), imm)
+
+    def sub(self, rd, rs, rt):
+        """Emit ``sub rd, rs, rt``."""
+        return self._emit(Opcode.SUB, rd, (rs, rt))
+
+    def and_(self, rd, rs, rt):
+        """Emit bitwise ``and rd, rs, rt``."""
+        return self._emit(Opcode.AND, rd, (rs, rt))
+
+    def or_(self, rd, rs, rt):
+        """Emit bitwise ``or rd, rs, rt``."""
+        return self._emit(Opcode.OR, rd, (rs, rt))
+
+    def xor(self, rd, rs, rt):
+        """Emit bitwise ``xor rd, rs, rt``."""
+        return self._emit(Opcode.XOR, rd, (rs, rt))
+
+    def sll(self, rd, rs, imm):
+        """Emit ``sll rd, rs, imm`` (shift left logical)."""
+        return self._emit(Opcode.SLL, rd, (rs,), imm)
+
+    def srl(self, rd, rs, imm):
+        """Emit ``srl rd, rs, imm`` (shift right logical)."""
+        return self._emit(Opcode.SRL, rd, (rs,), imm)
+
+    def slt(self, rd, rs, rt):
+        """Emit ``slt rd, rs, rt`` (rd = rs < rt)."""
+        return self._emit(Opcode.SLT, rd, (rs, rt))
+
+    def slti(self, rd, rs, imm):
+        """Emit ``slti rd, rs, imm`` (rd = rs < imm)."""
+        return self._emit(Opcode.SLTI, rd, (rs,), imm)
+
+    def lui(self, rd, imm):
+        """Emit ``lui rd, imm`` (rd = imm << 16)."""
+        return self._emit(Opcode.LUI, rd, (), imm)
+
+    def mul(self, rd, rs, rt):
+        """Emit ``mul rd, rs, rt`` (multi-cycle integer multiply)."""
+        return self._emit(Opcode.MUL, rd, (rs, rt))
+
+    # ------------------------------------------------------------------
+    # floating point (registers already mapped via fp_reg)
+
+    def fadd(self, fd, fs, ft):
+        """Emit ``fadd fd, fs, ft`` (FP add; registers via fp_reg)."""
+        return self._emit(Opcode.FADD, fd, (fs, ft))
+
+    def fsub(self, fd, fs, ft):
+        """Emit ``fsub fd, fs, ft``."""
+        return self._emit(Opcode.FSUB, fd, (fs, ft))
+
+    def fmul(self, fd, fs, ft):
+        """Emit ``fmul fd, fs, ft``."""
+        return self._emit(Opcode.FMUL, fd, (fs, ft))
+
+    def fdiv(self, fd, fs, ft):
+        """Emit ``fdiv fd, fs, ft`` (12-cycle divide)."""
+        return self._emit(Opcode.FDIV, fd, (fs, ft))
+
+    def fcvt(self, fd, rs):
+        """Emit ``fcvt fd, rs`` (integer-to-float convert)."""
+        return self._emit(Opcode.FCVT, fd, (rs,))
+
+    # ------------------------------------------------------------------
+    # memory
+
+    def ld(self, rd, rs, imm=0):
+        """Emit ``ld rd, [rs + imm]``."""
+        return self._emit(Opcode.LD, rd, (rs,), imm)
+
+    def st(self, rt, rs, imm=0):
+        """Store the value of *rt* to ``mem[rs + imm]``."""
+        return self._emit(Opcode.ST, None, (rs, rt), imm)
+
+    def prefetch(self, rs, imm=0):
+        """Warm the cache line at ``mem[rs + imm]`` without binding."""
+        return self._emit(Opcode.PREFETCH, None, (rs,), imm)
+
+    # ------------------------------------------------------------------
+    # control
+
+    def beq(self, rs, rt, label):
+        """Emit ``beq rs, rt, label`` (branch if equal)."""
+        return self._emit(Opcode.BEQ, None, (rs, rt), target=label)
+
+    def bne(self, rs, rt, label):
+        """Emit ``bne rs, rt, label`` (branch if not equal)."""
+        return self._emit(Opcode.BNE, None, (rs, rt), target=label)
+
+    def blt(self, rs, rt, label):
+        """Emit ``blt rs, rt, label`` (branch if less than)."""
+        return self._emit(Opcode.BLT, None, (rs, rt), target=label)
+
+    def bge(self, rs, rt, label):
+        """Emit ``bge rs, rt, label`` (branch if greater/equal)."""
+        return self._emit(Opcode.BGE, None, (rs, rt), target=label)
+
+    def j(self, label):
+        """Emit an unconditional direct jump to *label*."""
+        return self._emit(Opcode.J, None, (), target=label)
+
+    def call(self, label):
+        """Direct call: writes the return PC to the link register."""
+        return self._emit(Opcode.CALL, REG_LINK, (), target=label)
+
+    def ret(self):
+        """Emit ``ret`` (indirect jump to the link register)."""
+        return self._emit(Opcode.RET, None, (REG_LINK,))
+
+    def jr(self, rs):
+        """Indirect jump to the PC held in *rs*."""
+        return self._emit(Opcode.JR, None, (rs,))
+
+    def halt(self):
+        """Emit ``halt``, ending execution."""
+        return self._emit(Opcode.HALT)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def build(self, base_pc: int = BASE_PC) -> Program:
+        """Resolve labels and produce the immutable :class:`Program`."""
+        label_pcs = {
+            name: base_pc + idx * INST_BYTES for name, idx in self._labels.items()
+        }
+        insts: List[StaticInst] = []
+        for idx, (opcode, dst, srcs, imm, target) in enumerate(self._pending):
+            pc = base_pc + idx * INST_BYTES
+            target_pc = None
+            if target is not None:
+                if target not in label_pcs:
+                    raise ValueError(f"undefined label {target!r}")
+                target_pc = label_pcs[target]
+            insts.append(
+                StaticInst(pc=pc, opcode=opcode, dst=dst, srcs=srcs,
+                           imm=imm, target=target_pc)
+            )
+        if not insts:
+            raise ValueError("cannot build an empty program")
+        return Program(insts, label_pcs, name=self.name)

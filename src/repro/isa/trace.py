@@ -1,0 +1,94 @@
+"""Dynamic traces: the committed-path instruction stream plus statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.isa.instructions import DynInst, OpClass
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Instruction-mix summary of a trace."""
+
+    total: int
+    loads: int
+    stores: int
+    branches: int
+    taken_branches: int
+    short_alu: int
+    long_alu: int
+
+    @property
+    def load_frac(self) -> float:
+        return self.loads / self.total if self.total else 0.0
+
+    @property
+    def branch_frac(self) -> float:
+        return self.branches / self.total if self.total else 0.0
+
+
+class Trace:
+    """A committed dynamic instruction stream tied to its program binary.
+
+    ``warm_l1_ranges`` / ``warm_l2_ranges`` carry the workload's
+    steady-state-residency declarations (byte ranges) that the
+    simulator pre-installs before timing; see
+    :class:`repro.workloads.kernels.MemoryImage` for the rationale.
+    """
+
+    def __init__(self, program: Program, insts: List[DynInst],
+                 warm_l1_ranges: Tuple = (), warm_l2_ranges: Tuple = ()) -> None:
+        self.program = program
+        self.insts = insts
+        self.warm_l1_ranges = tuple(warm_l1_ranges)
+        self.warm_l2_ranges = tuple(warm_l2_ranges)
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def __iter__(self) -> Iterator[DynInst]:
+        return iter(self.insts)
+
+    def __getitem__(self, idx: int) -> DynInst:
+        return self.insts[idx]
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def stats(self) -> TraceStats:
+        """Instruction-mix counts over the whole trace."""
+        loads = stores = branches = taken = short_alu = long_alu = 0
+        for inst in self.insts:
+            cls = inst.opclass
+            if cls is OpClass.LOAD:
+                loads += 1
+            elif cls is OpClass.STORE:
+                stores += 1
+            elif cls is OpClass.BRANCH:
+                branches += 1
+                if inst.taken:
+                    taken += 1
+            elif cls.is_short_alu:
+                short_alu += 1
+            elif cls.is_long_alu:
+                long_alu += 1
+        return TraceStats(
+            total=len(self.insts),
+            loads=loads,
+            stores=stores,
+            branches=branches,
+            taken_branches=taken,
+            short_alu=short_alu,
+            long_alu=long_alu,
+        )
+
+    def pc_histogram(self) -> Dict[int, int]:
+        """Execution count of every static PC (hot-path inspection)."""
+        hist: Dict[int, int] = {}
+        for inst in self.insts:
+            hist[inst.pc] = hist.get(inst.pc, 0) + 1
+        return hist

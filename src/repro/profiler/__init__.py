@@ -1,0 +1,38 @@
+"""The shotgun profiler (Section 5 of the paper).
+
+Hardware performance monitors collect two kinds of samples -- long,
+narrow *signature samples* (two bits per instruction for 1000
+instructions plus a start PC) and short, wide *detailed samples*
+(latencies and dependences of a single instruction, with ten signature
+bits of context on each side).  Post-mortem software stitches detailed
+samples onto a signature skeleton, inferring PCs from the program
+binary, to build dependence-graph fragments that are analysed exactly
+as if the simulator had built them -- hence interaction costs on real
+hardware, with ProfileMe-class monitoring cost.
+"""
+
+from repro.profiler.signature import signature_bits, signature_stream
+from repro.profiler.samples import SignatureSample, DetailedSample, ProfileData
+from repro.profiler.monitor import HardwareMonitor, MonitorConfig
+from repro.profiler.reconstruct import (
+    FragmentReconstructor,
+    ReconstructionStats,
+)
+from repro.profiler.shotgun import ShotgunCostProvider, profile_trace
+from repro.profiler.overhead import OverheadEstimate, estimate_overhead
+
+__all__ = [
+    "signature_bits",
+    "signature_stream",
+    "SignatureSample",
+    "DetailedSample",
+    "ProfileData",
+    "HardwareMonitor",
+    "MonitorConfig",
+    "FragmentReconstructor",
+    "ReconstructionStats",
+    "ShotgunCostProvider",
+    "profile_trace",
+    "OverheadEstimate",
+    "estimate_overhead",
+]

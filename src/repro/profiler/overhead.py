@@ -1,0 +1,99 @@
+"""Hardware-cost model for the shotgun profiler (Section 5.1's
+complexity discussion).
+
+The paper argues the monitor is "of the order of ProfileMe" complexity:
+two signature bits per retired instruction, one detailed sample in
+flight at a time, a small on-chip buffer drained to memory by an
+interrupt when full.  This module turns a :class:`MonitorConfig` and an
+observed run into the concrete bill -- storage produced, buffer
+interrupts taken and an estimated runtime overhead -- so sampling-rate
+decisions can be made quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.profiler.monitor import CONTEXT, MonitorConfig
+from repro.profiler.samples import ProfileData
+from repro.uarch.events import SimResult
+
+#: On-chip sample buffer capacity, in bytes (a few cache lines).
+DEFAULT_BUFFER_BYTES = 512
+#: Cycles to take the buffer-full interrupt and drain it to memory.
+DEFAULT_DRAIN_CYCLES = 400
+
+
+@dataclass(frozen=True)
+class OverheadEstimate:
+    """The monitoring bill for one profiled run."""
+
+    instructions: int
+    cycles: int
+    signature_bytes: int
+    detailed_bytes: int
+    buffer_fills: int
+    drain_cycles: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.signature_bytes + self.detailed_bytes
+
+    @property
+    def bytes_per_kilo_instruction(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.total_bytes / self.instructions
+
+    @property
+    def runtime_overhead(self) -> float:
+        """Estimated slowdown fraction from buffer-drain interrupts."""
+        if not self.cycles:
+            return 0.0
+        return self.drain_cycles / self.cycles
+
+    def summary(self) -> str:
+        """One-line human-readable bill."""
+        return (f"{self.total_bytes} sample bytes "
+                f"({self.bytes_per_kilo_instruction:.0f} B/kinst), "
+                f"{self.buffer_fills} buffer drains, "
+                f"~{self.runtime_overhead:.1%} runtime overhead")
+
+
+def detailed_sample_bytes() -> int:
+    """Storage of one detailed sample, from its field inventory.
+
+    PC (4 B), four latencies (2 B each), two distances (2 B each), an
+    optional indirect target (4 B), flags (2 B) and 2x CONTEXT
+    signature-bit pairs packed 4/byte.
+    """
+    context_bytes = (2 * CONTEXT * 2 + 7) // 8
+    return 4 + 4 * 2 + 2 * 2 + 4 + 2 + context_bytes
+
+
+def signature_sample_bytes(length: int) -> int:
+    """Storage of one signature sample: start PC + 2 bits/instruction."""
+    return 4 + (2 * length + 7) // 8
+
+
+def estimate_overhead(data: ProfileData, result: SimResult,
+                      monitor: Optional[MonitorConfig] = None,
+                      buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+                      drain_cycles: int = DEFAULT_DRAIN_CYCLES
+                      ) -> OverheadEstimate:
+    """Cost out the samples actually collected in *data*."""
+    cfg = monitor or MonitorConfig()
+    sig_bytes = sum(signature_sample_bytes(len(s))
+                    for s in data.signature_samples)
+    det_bytes = data.detailed_count * detailed_sample_bytes()
+    total = sig_bytes + det_bytes
+    fills = total // max(1, buffer_bytes)
+    return OverheadEstimate(
+        instructions=data.instructions_observed,
+        cycles=result.cycles,
+        signature_bytes=sig_bytes,
+        detailed_bytes=det_bytes,
+        buffer_fills=fills,
+        drain_cycles=fills * drain_cycles,
+    )

@@ -1,0 +1,92 @@
+"""Sample records emitted by the hardware performance monitors.
+
+``DetailedSample`` carries exactly the per-instruction information
+Figure 5b marks *dynamic* (measured in hardware); everything marked
+*static* -- register dependences, direct-branch targets, pipeline
+constants -- is re-derived from the program binary and machine
+description at reconstruction time, which is what keeps the hardware
+cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.profiler.signature import Bits
+
+
+@dataclass(frozen=True)
+class SignatureSample:
+    """A long, narrow sample: start PC + two bits per instruction.
+
+    ``start_seq`` is ground truth kept only for validation tests; the
+    reconstruction algorithm never reads it.
+    """
+
+    start_pc: int
+    bits: Tuple[Bits, ...]
+    start_seq: int = -1
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+
+@dataclass(frozen=True)
+class DetailedSample:
+    """A short, wide sample: one instruction's dynamic facts + context.
+
+    Distances are in dynamic instructions, looking backwards:
+    ``mem_dep_dist = 3`` means the conflicting store retired three
+    instructions earlier.  ``-1`` means none / out of range.
+    """
+
+    pc: int
+    # signature context: up to 10 entries before and after
+    context_before: Tuple[Bits, ...]
+    context_after: Tuple[Bits, ...]
+    own_bits: Bits
+    # dynamic latencies (Figure 5b's 'D' rows)
+    icache_delay: int = 0          # DD edge
+    mispredicted: bool = False     # PD edge exists
+    fu_contention: int = 0         # RE edge
+    exec_latency: int = 0          # EP edge (total)
+    dl1_component: int = 0         # EP decomposition
+    miss_component: int = 0
+    store_bw_delay: int = 0        # CC edge
+    # dynamic dependences
+    mem_dep_dist: int = -1         # PR (memory) edge
+    pp_dist: int = -1              # PP cache-line-sharing edge
+    # dynamic control facts
+    taken: bool = False
+    indirect_target: Optional[int] = None
+    # event flags (categorisation + signature checking)
+    l1d_miss: bool = False
+    l2d_miss: bool = False
+    dtlb_miss: bool = False
+    l1i_miss: bool = False
+    l2i_miss: bool = False
+    itlb_miss: bool = False
+
+
+@dataclass
+class ProfileData:
+    """Everything the monitors captured during one profiled run."""
+
+    signature_samples: List[SignatureSample] = field(default_factory=list)
+    detailed_by_pc: Dict[int, List[DetailedSample]] = field(default_factory=dict)
+    instructions_observed: int = 0
+
+    def add_detailed(self, sample: DetailedSample) -> None:
+        """File *sample* under its PC."""
+        self.detailed_by_pc.setdefault(sample.pc, []).append(sample)
+
+    @property
+    def detailed_count(self) -> int:
+        return sum(len(v) for v in self.detailed_by_pc.values())
+
+    def coverage(self) -> float:
+        """Fraction of observed instructions with a detailed sample."""
+        if not self.instructions_observed:
+            return 0.0
+        return self.detailed_count / self.instructions_observed

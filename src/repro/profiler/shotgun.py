@@ -1,0 +1,98 @@
+"""End-to-end shotgun profiling: collect, reconstruct, analyse.
+
+``profile_trace`` plays the role of the whole Section 5 pipeline on a
+simulated machine: the monitor hardware observes one run, the software
+algorithm assembles graph fragments, and the resulting
+:class:`ShotgunCostProvider` answers the same cost queries as the
+full-graph and multisim providers -- so a Table 4 breakdown can be
+computed from profile samples alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.core.categories import EventSelection, normalize_targets
+from repro.core.icost import Target
+from repro.graph.builder import GraphBuilder
+from repro.graph.cost import GraphCostAnalyzer
+from repro.isa.trace import Trace
+from repro.profiler.monitor import HardwareMonitor, MonitorConfig
+from repro.profiler.reconstruct import Fragment, FragmentReconstructor, ReconstructionStats
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import simulate
+
+
+class ShotgunCostProvider:
+    """Aggregated cost provider over reconstructed graph fragments.
+
+    Each fragment is analysed independently (its own critical path and
+    idealizations); costs and the execution-time denominator are the
+    sums over fragments.  Randomly selected skeletons give hot
+    microexecution paths proportionally more fragments, which is the
+    statistical weighting the paper relies on.
+
+    Per-instruction :class:`EventSelection` targets are rejected:
+    fragment instruction numbering has no correspondence to trace
+    sequence numbers (real hardware has no such numbering at all).
+    """
+
+    def __init__(self, fragments: List[Fragment],
+                 stats: ReconstructionStats) -> None:
+        if not fragments:
+            raise ValueError("no fragments were reconstructed")
+        self.stats = stats
+        builder = GraphBuilder()
+        self._analyzers = [
+            GraphCostAnalyzer(builder.build(fragment)) for fragment in fragments
+        ]
+        self.fragments = fragments
+
+    def cost(self, targets: Iterable[Target]) -> float:
+        """Summed idealization savings across all fragments."""
+        key = normalize_targets(targets)
+        for t in key:
+            if isinstance(t, EventSelection):
+                raise TypeError(
+                    "the shotgun profiler aggregates statistical fragments; "
+                    "per-instruction selections are not addressable"
+                )
+        return float(sum(a.cost(key) for a in self._analyzers))
+
+    @property
+    def total(self) -> float:
+        return float(sum(a.base_length for a in self._analyzers))
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self._analyzers)
+
+
+def profile_trace(trace: Trace, config: Optional[MachineConfig] = None,
+                  monitor: Optional[MonitorConfig] = None,
+                  fragments: int = 12, seed: int = 0) -> ShotgunCostProvider:
+    """Run the full shotgun pipeline on *trace*.
+
+    Simulates once (the 'real machine' the monitors watch), collects
+    samples, then reconstructs *fragments* skeletons chosen at random
+    with replacement -- aborted reconstructions are redrawn, up to a
+    bounded number of attempts.
+    """
+    cfg = config or MachineConfig()
+    result = simulate(trace, config=cfg)
+    data = HardwareMonitor(monitor).collect(result)
+    if not data.signature_samples:
+        raise ValueError("trace too short for a signature sample")
+    reconstructor = FragmentReconstructor(trace.program, data, cfg)
+    rng = random.Random(seed)
+    built: List[Fragment] = []
+    attempts = 0
+    max_attempts = fragments * 8
+    while len(built) < fragments and attempts < max_attempts:
+        attempts += 1
+        sample = rng.choice(data.signature_samples)
+        fragment = reconstructor.reconstruct(sample)
+        if fragment is not None and len(fragment) > 0:
+            built.append(fragment)
+    return ShotgunCostProvider(built, reconstructor.stats)

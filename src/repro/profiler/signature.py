@@ -1,0 +1,50 @@
+"""Signature bits (Table 5 of the paper).
+
+Two bits per retired instruction identify a microexecution path:
+
+- **Bit 1** is set for taken branches and for loads/stores, and reset
+  when the access misses in the L2 data cache.  For direct conditional
+  branches it therefore encodes the branch direction, which is how the
+  reconstruction algorithm follows control flow without recording PCs.
+- **Bit 2** is set on any L1/L2 instruction- or data-cache miss or TLB
+  miss -- the events that distinguish microexecution paths sharing the
+  same control flow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.isa.instructions import DynInst
+from repro.uarch.events import InstEvents
+
+#: A signature entry: (bit1, bit2).
+Bits = Tuple[int, int]
+
+
+def signature_bits(inst: DynInst, ev: InstEvents) -> Bits:
+    """The Table 5 signature bits of one retired instruction."""
+    bit1 = int((inst.is_branch and inst.taken) or inst.is_load or inst.is_store)
+    if ev.l2d_miss:
+        bit1 = 0
+    bit2 = int(ev.l1i_miss or ev.l2i_miss or ev.l1d_miss or ev.l2d_miss
+               or ev.itlb_miss or ev.dtlb_miss)
+    return bit1, bit2
+
+
+def signature_stream(insts, events) -> List[Bits]:
+    """Signature bits for a whole (trace, events) run, in retire order."""
+    return [signature_bits(inst, ev) for inst, ev in zip(insts, events)]
+
+
+def match_score(a: List[Bits], b: List[Bits]) -> int:
+    """Number of identical bits between two equal-length snippets.
+
+    The reconstruction algorithm judges the closeness of a detailed
+    sample's context to the signature skeleton by this count
+    (Figure 5a, step 2b).
+    """
+    score = 0
+    for (a1, a2), (b1, b2) in zip(a, b):
+        score += int(a1 == b1) + int(a2 == b2)
+    return score

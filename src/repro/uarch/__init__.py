@@ -1,0 +1,31 @@
+"""The out-of-order processor substrate (Table 6 of the paper).
+
+This package is the reproduction's stand-in for the authors'
+SimpleScalar-based simulator: a cycle-stepped out-of-order core with a
+finite instruction window, fetch/issue/commit bandwidth limits,
+functional-unit pools, a combining branch predictor with BTB and return
+address stack, a two-level cache hierarchy, and TLBs.
+
+Every Table 1 idealization ("turn misses into hits", "zero-cycle ALU",
+"infinite bandwidth", "perfect prediction", "infinite window") is a
+switch on :class:`repro.uarch.config.IdealConfig`, so that the paper's
+*multiple-simulations* cost baseline is genuine re-simulation rather
+than graph manipulation.
+"""
+
+from repro.uarch.config import MachineConfig, IdealConfig, FUKind
+from repro.uarch.events import InstEvents, SimResult
+from repro.uarch.core import OutOfOrderCore, simulate
+from repro.uarch.persist import load_result, save_result
+
+__all__ = [
+    "MachineConfig",
+    "IdealConfig",
+    "FUKind",
+    "InstEvents",
+    "SimResult",
+    "OutOfOrderCore",
+    "simulate",
+    "load_result",
+    "save_result",
+]

@@ -1,0 +1,169 @@
+"""Branch prediction: combined bimodal/gshare + meta, BTB and RAS (Table 6).
+
+The predictor is consulted by the simulator's fetch engine so that
+mispredictions arise organically from workload behaviour rather than
+being injected from a random stream -- required for the shotgun
+profiler's "locality of microexecutions" assumption to hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.instructions import DynInst, Opcode
+
+
+class TwoBitCounters:
+    """A table of saturating two-bit counters, initialised weakly taken."""
+
+    def __init__(self, entries: int) -> None:
+        if entries & (entries - 1):
+            raise ValueError("counter table size must be a power of two")
+        self.entries = entries
+        self._table: List[int] = [2] * entries
+
+    def predict(self, index: int) -> bool:
+        """Taken/not-taken prediction of the counter at *index*."""
+        return self._table[index & (self.entries - 1)] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        """Train the counter at *index* with the actual outcome."""
+        i = index & (self.entries - 1)
+        value = self._table[i]
+        if taken:
+            self._table[i] = min(3, value + 1)
+        else:
+            self._table[i] = max(0, value - 1)
+
+
+class BTB:
+    """A set-associative branch target buffer (LRU within a set)."""
+
+    def __init__(self, sets: int, ways: int) -> None:
+        if sets & (sets - 1):
+            raise ValueError("BTB set count must be a power of two")
+        self.sets = sets
+        self.ways = ways
+        self._entries: List[List] = [[] for _ in range(sets)]  # [tag, target]
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Predicted target for *pc*, or None on a BTB miss."""
+        index = (pc >> 2) & (self.sets - 1)
+        tag = pc >> 2
+        ways = self._entries[index]
+        for i, (etag, target) in enumerate(ways):
+            if etag == tag:
+                ways.append(ways.pop(i))
+                return target
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target for *pc* (LRU within the set)."""
+        index = (pc >> 2) & (self.sets - 1)
+        tag = pc >> 2
+        ways = self._entries[index]
+        for i, entry in enumerate(ways):
+            if entry[0] == tag:
+                entry[1] = target
+                ways.append(ways.pop(i))
+                return
+        if len(ways) >= self.ways:
+            ways.pop(0)
+        ways.append([tag, target])
+
+
+@dataclass
+class Prediction:
+    """Outcome of predicting one branch at fetch."""
+
+    taken: bool
+    target: Optional[int]
+    correct: bool
+
+
+class BranchPredictor:
+    """The Table 6 combining predictor with BTB and return-address stack.
+
+    ``predict_and_update`` is trace-driven: it receives the dynamic
+    branch (whose actual outcome is known), returns what the front end
+    would have predicted, and trains all structures.  A misprediction is
+    any difference between predicted and actual (direction *or* target).
+    """
+
+    def __init__(self, config) -> None:
+        self.bimodal = TwoBitCounters(config.bimodal_entries)
+        self.gshare = TwoBitCounters(config.gshare_entries)
+        self.meta = TwoBitCounters(config.meta_entries)
+        self.btb = BTB(config.btb_sets, config.btb_ways)
+        self.ras: List[int] = []
+        self.ras_entries = config.ras_entries
+        self.ghr = 0
+        self.ghr_mask = (1 << config.ghr_bits) - 1
+        self.lookups = 0
+        self.mispredicts = 0
+
+    # ------------------------------------------------------------------
+
+    def _predict_direction(self, pc: int) -> bool:
+        bi_index = pc >> 2
+        gs_index = (pc >> 2) ^ self.ghr
+        use_gshare = self.meta.predict(bi_index)
+        if use_gshare:
+            return self.gshare.predict(gs_index)
+        return self.bimodal.predict(bi_index)
+
+    def _update_direction(self, pc: int, taken: bool) -> None:
+        bi_index = pc >> 2
+        gs_index = (pc >> 2) ^ self.ghr
+        bi_correct = self.bimodal.predict(bi_index) == taken
+        gs_correct = self.gshare.predict(gs_index) == taken
+        if bi_correct != gs_correct:
+            self.meta.update(bi_index, gs_correct)
+        self.bimodal.update(bi_index, taken)
+        self.gshare.update(gs_index, taken)
+        self.ghr = ((self.ghr << 1) | int(taken)) & self.ghr_mask
+
+    def _ras_push(self, return_pc: int) -> None:
+        if len(self.ras) >= self.ras_entries:
+            self.ras.pop(0)
+        self.ras.append(return_pc)
+
+    def _ras_pop(self) -> Optional[int]:
+        return self.ras.pop() if self.ras else None
+
+    # ------------------------------------------------------------------
+
+    def predict_and_update(self, inst: DynInst) -> Prediction:
+        """Predict branch *inst* as fetch would, then train the tables."""
+        self.lookups += 1
+        op = inst.opcode
+        pc = inst.pc
+
+        if op.is_cond_branch:
+            predicted_taken = self._predict_direction(pc)
+            self._update_direction(pc, inst.taken)
+            target = inst.static.target if predicted_taken else None
+            correct = predicted_taken == inst.taken
+        elif op is Opcode.J:
+            predicted_taken, target, correct = True, inst.static.target, True
+        elif op is Opcode.CALL:
+            self._ras_push(pc + 4)
+            predicted_taken, target, correct = True, inst.static.target, True
+        elif op is Opcode.RET:
+            target = self._ras_pop()
+            predicted_taken = True
+            correct = target == inst.next_pc
+        else:  # JR: indirect through the BTB
+            target = self.btb.lookup(pc)
+            predicted_taken = True
+            correct = target == inst.next_pc
+            self.btb.update(pc, inst.next_pc)
+
+        if not correct:
+            self.mispredicts += 1
+        return Prediction(taken=predicted_taken, target=target, correct=correct)
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.lookups if self.lookups else 0.0

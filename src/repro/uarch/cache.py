@@ -1,0 +1,306 @@
+"""Set-associative caches and the two-level hierarchy of Table 6.
+
+The hierarchy implements MSHR-style *cache-block sharing*: a load that
+accesses a line already being fetched by an earlier in-flight miss
+becomes a partial miss, completing when the original fill completes.
+This is the behaviour the paper's Table 2 adds PP edges for, so the
+simulator records the initiating load of every shared fill.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class SetAssocCache:
+    """A set-associative LRU cache tracking tags only (no data).
+
+    ``lookup`` probes without side effects; ``touch`` updates LRU order;
+    ``install`` fills a line, evicting the LRU way if the set is full.
+    """
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int) -> None:
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("cache size must be a multiple of ways*line")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * line_bytes)
+        # each set is an OrderedDict of tag -> None, LRU first
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def lookup(self, addr: int) -> bool:
+        """Probe for *addr* without updating LRU or stats."""
+        idx, tag = self._index(addr)
+        return tag in self._sets[idx]
+
+    def touch(self, addr: int) -> None:
+        """Refresh *addr*'s LRU position if present."""
+        idx, tag = self._index(addr)
+        s = self._sets[idx]
+        if tag in s:
+            s.move_to_end(tag)
+
+    def access(self, addr: int) -> bool:
+        """Probe and update LRU; install on miss.  Returns hit/miss."""
+        idx, tag = self._index(addr)
+        s = self._sets[idx]
+        if tag in s:
+            s.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(s) >= self.ways:
+            s.popitem(last=False)
+        s[tag] = None
+        return False
+
+    def install(self, addr: int) -> None:
+        """Fill *addr*'s line unconditionally (no stats update)."""
+        idx, tag = self._index(addr)
+        s = self._sets[idx]
+        if tag in s:
+            s.move_to_end(tag)
+            return
+        if len(s) >= self.ways:
+            s.popitem(last=False)
+        s[tag] = None
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (e.g. after warm-up)."""
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class DataAccess:
+    """Timing outcome of one data-cache access.
+
+    ``latency`` is the total execution latency of the access including
+    the dl1 component; the decomposed fields let the dependence graph
+    idealize the dl1 loop and cache misses independently:
+
+    - ``dl1_component``: the level-one access-loop cycles.
+    - ``miss_component``: extra cycles beyond the dl1 loop due to an L1
+      miss (L2 and/or memory) or a DTLB walk.
+    - ``pp_partner``: sequence number of the in-flight load this access
+      shares a fill with (-1 when none); the sharer's completion is the
+      max of its own hit-latency path and the partner's fill.
+    """
+
+    latency: int
+    dl1_component: int
+    miss_component: int
+    l1_miss: bool = False
+    l2_miss: bool = False
+    tlb_miss: bool = False
+    pp_partner: int = -1
+
+
+@dataclass
+class FetchAccess:
+    """Timing outcome of one instruction-fetch line access."""
+
+    delay: int            # extra cycles beyond the pipelined L1I access
+    l1_miss: bool = False
+    l2_miss: bool = False
+    tlb_miss: bool = False
+
+
+class MemoryHierarchy:
+    """L1I + L1D + shared L2 + TLBs with miss timing and fill sharing.
+
+    Idealization flags (from :class:`repro.uarch.config.IdealConfig`)
+    are applied here so both the timing simulator and the multisim cost
+    baseline share one definition of "perfect cache" / "zero-cycle dl1".
+    """
+
+    def __init__(self, config, *, perfect_l1d: bool = False,
+                 perfect_l1i: bool = False, zero_dl1: bool = False) -> None:
+        self.config = config
+        self.perfect_l1d = perfect_l1d
+        self.perfect_l1i = perfect_l1i
+        self.zero_dl1 = zero_dl1
+        self.l1i = SetAssocCache(config.l1i_bytes, config.l1i_ways, config.line_bytes)
+        self.l1d = SetAssocCache(config.l1d_bytes, config.l1d_ways, config.line_bytes)
+        self.l2 = SetAssocCache(config.l2_bytes, config.l2_ways, config.line_bytes)
+        from repro.uarch.tlb import TLB  # local import to avoid cycle
+
+        self.itlb = TLB(config.itlb_entries, config.page_bytes)
+        self.dtlb = TLB(config.dtlb_entries, config.page_bytes)
+        #: line -> (fill completion cycle, initiator seq, nonbinding?)
+        self._inflight: Dict[int, Tuple[int, int, bool]] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dl1_latency(self) -> int:
+        return 0 if self.zero_dl1 else self.config.dl1_latency
+
+    def _line(self, addr: int) -> int:
+        return addr // self.config.line_bytes
+
+    def data_access(self, addr: int, cycle: int, seq: int,
+                    is_store: bool, is_prefetch: bool = False) -> DataAccess:
+        """Access the data side at *cycle*; returns the timing outcome.
+
+        Stores probe and fill the cache but never stall on misses
+        (write-buffer semantics); only loads incur miss latency, so the
+        'dmiss' breakdown category consists of load misses and DTLB
+        walks, as documented in DESIGN.md.
+
+        A *prefetch* starts the fill like a load but reports only the
+        request-issue latency: the caller retires it immediately while
+        the fill proceeds in the background (tracked in the in-flight
+        table with ``nonbinding=True``, so later touches pay whatever
+        fill time remains as their own miss component rather than a
+        PP-edge wait on an instruction that has already retired).
+        """
+        cfg = self.config
+        dl1_lat = self.dl1_latency
+        if self.perfect_l1d:
+            return DataAccess(latency=dl1_lat, dl1_component=dl1_lat,
+                              miss_component=0)
+        tlb_miss = not self.dtlb.access(addr)
+        tlb_pen = cfg.tlb_miss_latency if (tlb_miss and not is_store) else 0
+        line = self._line(addr)
+        hit = self.l1d.access(addr)
+        if is_store:
+            # keep L2 inclusive of store-allocated lines
+            if not hit:
+                self.l2.access(addr)
+            return DataAccess(latency=dl1_lat, dl1_component=dl1_lat,
+                              miss_component=0, l1_miss=not hit,
+                              tlb_miss=tlb_miss)
+        if hit:
+            inflight = self._inflight.get(line)
+            if inflight is not None and inflight[0] > cycle:
+                fill_cycle, initiator, nonbinding = inflight
+                wait = max(dl1_lat, fill_cycle - cycle)
+                if is_prefetch:
+                    # a prefetch of an already-in-flight line is a no-op
+                    return DataAccess(latency=dl1_lat,
+                                      dl1_component=dl1_lat,
+                                      miss_component=0, l1_miss=True,
+                                      tlb_miss=tlb_miss)
+                if nonbinding:
+                    # The initiator (a prefetch) has already retired, so
+                    # the residual fill wait is this access's own miss
+                    # component -- a shortened miss, not a PP edge.
+                    return DataAccess(latency=wait + tlb_pen,
+                                      dl1_component=dl1_lat,
+                                      miss_component=wait - dl1_lat + tlb_pen,
+                                      l1_miss=True, tlb_miss=tlb_miss)
+                # Partial miss: completes when the outstanding fill does.
+                # The wait for the fill belongs to the PP edge (the
+                # initiating load's completion), so the decomposed miss
+                # component holds only this access's own TLB penalty.
+                return DataAccess(latency=wait + tlb_pen,
+                                  dl1_component=dl1_lat,
+                                  miss_component=tlb_pen,
+                                  l1_miss=True, tlb_miss=tlb_miss,
+                                  pp_partner=initiator)
+            return DataAccess(latency=dl1_lat + tlb_pen,
+                              dl1_component=dl1_lat, miss_component=tlb_pen,
+                              l1_miss=False, tlb_miss=tlb_miss)
+        l2_hit = self.l2.access(addr)
+        miss_pen = cfg.l2_latency + (0 if l2_hit else cfg.memory_latency)
+        mshr_wait = self._mshr_wait(cycle)
+        latency = mshr_wait + dl1_lat + miss_pen + tlb_pen
+        self._inflight[line] = (cycle + latency, seq, is_prefetch)
+        if is_prefetch:
+            # request issued; the fill continues in the background
+            return DataAccess(latency=dl1_lat, dl1_component=dl1_lat,
+                              miss_component=0, l1_miss=True,
+                              l2_miss=not l2_hit, tlb_miss=tlb_miss)
+        return DataAccess(latency=latency, dl1_component=dl1_lat,
+                          miss_component=mshr_wait + miss_pen + tlb_pen,
+                          l1_miss=True,
+                          l2_miss=not l2_hit, tlb_miss=tlb_miss)
+
+    def _mshr_wait(self, cycle: int) -> int:
+        """Cycles until an MSHR frees (0 when unlimited or available).
+
+        Also the natural place to expire completed fills from the
+        in-flight table, which otherwise only shrinks opportunistically.
+        """
+        limit = self.config.mshr_entries
+        self._inflight = {line: entry for line, entry in
+                          self._inflight.items() if entry[0] > cycle}
+        if not limit or len(self._inflight) < limit:
+            return 0
+        earliest = min(entry[0] for entry in self._inflight.values())
+        return max(0, earliest - cycle)
+
+    def fetch_access(self, pc: int, cycle: int) -> FetchAccess:
+        """Access the instruction side for the fetch group starting at *pc*."""
+        cfg = self.config
+        if self.perfect_l1i:
+            return FetchAccess(delay=0)
+        tlb_miss = not self.itlb.access(pc)
+        delay = cfg.tlb_miss_latency if tlb_miss else 0
+        if self.l1i.access(pc):
+            return FetchAccess(delay=delay, tlb_miss=tlb_miss)
+        l2_hit = self.l2.access(pc)
+        delay += cfg.l2_latency + (0 if l2_hit else cfg.memory_latency)
+        return FetchAccess(delay=delay, l1_miss=True, l2_miss=not l2_hit,
+                           tlb_miss=tlb_miss)
+
+    def warm_instruction_side(self, pcs) -> None:
+        """Pre-touch L1I, ITLB and L2 for every code line in *pcs*.
+
+        Replays the fetch stream once, in order, so the LRU state
+        approximates the steady state of a long-running process (the
+        paper's 8-billion-instruction warm-up).  Capacity behaviour is
+        preserved: a footprint larger than the L1I still misses on
+        rotation after warming.
+        """
+        last_line = -1
+        for pc in pcs:
+            line = self._line(pc)
+            if line == last_line:
+                continue
+            last_line = line
+            self.itlb.access(pc)
+            if not self.l1i.access(pc):
+                self.l2.access(pc)
+        self.l1i.reset_stats()
+        self.l2.reset_stats()
+        self.itlb.reset_stats()
+
+    def warm_data_side(self, l1_ranges, l2_ranges) -> None:
+        """Establish the workload's declared steady-state data residency.
+
+        *l1_ranges* lines are installed in L1D, L2 and the DTLB;
+        *l2_ranges* lines in L2 and the DTLB only, so their accesses
+        become steady-state L1 misses that hit in L2.  Ranges are
+        (start, end) byte intervals.
+        """
+        line = self.config.line_bytes
+        page = self.config.page_bytes
+        for start, end in tuple(l2_ranges) + tuple(l1_ranges):
+            for addr in range(start - start % page, end, page):
+                self.dtlb.access(addr)
+            for addr in range(start - start % line, end, line):
+                self.l2.access(addr)
+        for start, end in l1_ranges:
+            for addr in range(start - start % line, end, line):
+                self.l1d.access(addr)
+        self.l1d.reset_stats()
+        self.l2.reset_stats()
+        self.dtlb.reset_stats()
+
+    def expire_inflight(self, cycle: int) -> None:
+        """Drop bookkeeping for fills that completed before *cycle*."""
+        if len(self._inflight) > 64:
+            self._inflight = {
+                line: entry for line, entry in self._inflight.items()
+                if entry[0] > cycle
+            }

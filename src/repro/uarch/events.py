@@ -1,0 +1,104 @@
+"""Per-instruction timing events recorded by the simulator.
+
+``InstEvents`` is the contract between the simulator and everything
+downstream: the dependence-graph builder reads node times and measured
+edge latencies from it (Figure 5b's 'dynamic' column), the multisim
+cost provider reads total cycles, and the shotgun profiler's detailed
+samples are projections of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.isa.trace import Trace
+
+
+@dataclass
+class InstEvents:
+    """Timing record of one dynamic instruction.
+
+    Node times correspond to the graph model's five nodes per
+    instruction (Table 3): ``d`` dispatch into the window, ``r`` all
+    operands ready, ``e`` execution start, ``p`` execution complete,
+    ``c`` commit.  ``f`` is the fetch cycle (folded into D in the graph
+    model, kept here for inspection).
+    """
+
+    seq: int
+    pc: int
+    # node times
+    f: int = 0
+    d: int = 0
+    r: int = 0
+    e: int = 0
+    p: int = 0
+    c: int = 0
+    # fetch-side events (attributed to the delayed instruction)
+    icache_delay: int = 0
+    l1i_miss: bool = False
+    l2i_miss: bool = False
+    itlb_miss: bool = False
+    # execution-side events
+    exec_latency: int = 0
+    dl1_component: int = 0
+    miss_component: int = 0
+    l1d_miss: bool = False
+    l2d_miss: bool = False
+    dtlb_miss: bool = False
+    #: sequence number of the load whose in-flight fill this load shares
+    pp_partner: int = -1
+    #: cycles spent waiting for an issue slot or functional unit (E - R)
+    fu_contention: int = 0
+    # control events
+    mispredicted: bool = False
+    #: extra commit delay charged to store-commit bandwidth
+    store_bw_delay: int = 0
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run produced.
+
+    ``cycles`` is total execution time; ``events`` is parallel to
+    ``trace.insts``.  ``stats`` carries predictor/cache counters for
+    workload characterisation.
+    """
+
+    trace: Trace
+    config: object
+    ideal: object
+    events: List[InstEvents]
+    cycles: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def ipc(self) -> float:
+        return len(self.events) / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / len(self.events) if self.events else 0.0
+
+    def event_counts(self) -> Dict[str, int]:
+        """Counts of the stall-causing events, for characterisation."""
+        counts = {
+            "l1d_misses": 0,
+            "l2d_misses": 0,
+            "dtlb_misses": 0,
+            "l1i_misses": 0,
+            "mispredicts": 0,
+            "partial_misses": 0,
+        }
+        for ev in self.events:
+            counts["l1d_misses"] += ev.l1d_miss
+            counts["l2d_misses"] += ev.l2d_miss
+            counts["dtlb_misses"] += ev.dtlb_miss
+            counts["l1i_misses"] += ev.l1i_miss
+            counts["mispredicts"] += ev.mispredicted
+            counts["partial_misses"] += ev.pp_partner >= 0
+        return counts

@@ -1,0 +1,54 @@
+"""Functional-unit pools and per-cycle issue-slot arbitration.
+
+Units are fully pipelined: a pool of *n* units accepts at most *n* new
+operations per cycle regardless of operation latency.  Contention
+therefore shows up as issue-cycle delay, which the dependence-graph
+model carries as measured latency on RE edges (Figure 5b's dynamic
+'functional unit contention').
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.isa.instructions import OpClass
+from repro.uarch.config import FUKind, OPCLASS_TO_FU
+
+
+class FUSlots:
+    """Per-cycle issue slots for every functional-unit pool."""
+
+    def __init__(self, config, *, infinite: bool = False) -> None:
+        self._capacity: Dict[FUKind, int] = config.fu_counts()
+        self._infinite = infinite
+        self._used: Dict[FUKind, int] = {kind: 0 for kind in FUKind}
+
+    def new_cycle(self) -> None:
+        """Reset slot usage at the start of a cycle."""
+        for kind in self._used:
+            self._used[kind] = 0
+
+    def try_claim(self, opclass: OpClass) -> bool:
+        """Claim a slot for *opclass* this cycle; False when pool is full."""
+        if self._infinite:
+            return True
+        kind = OPCLASS_TO_FU[opclass]
+        if self._used[kind] >= self._capacity[kind]:
+            return False
+        self._used[kind] += 1
+        return True
+
+    def saturated(self, opclass: OpClass) -> bool:
+        """True when *opclass*'s pool has no slot left this cycle."""
+        if self._infinite:
+            return False
+        kind = OPCLASS_TO_FU[opclass]
+        return self._used[kind] >= self._capacity[kind]
+
+    def all_saturated(self) -> bool:
+        """True when no pool can accept another operation this cycle."""
+        if self._infinite:
+            return False
+        return all(
+            self._used[kind] >= self._capacity[kind] for kind in self._capacity
+        )

@@ -1,0 +1,128 @@
+"""Persisting simulation results for later (or remote) analysis.
+
+Real profiling flows separate the measurement machine from the analysis
+machine; this module gives the simulator the same property: a
+``SimResult`` round-trips through a compact JSON document, and the
+reloaded result drives graph construction, breakdowns and icosts
+exactly like a fresh run.
+
+The trace's architectural facts (opcode, producers, branch outcomes)
+are stored per instruction alongside the timing events; the program
+binary is rebuilt from its static instruction list, so the saved file
+is self-contained.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import fields
+from typing import List
+
+from repro.isa.instructions import DynInst, Opcode, StaticInst
+from repro.isa.program import Program
+from repro.isa.trace import Trace
+from repro.uarch.config import IdealConfig, MachineConfig
+from repro.uarch.events import InstEvents, SimResult
+
+#: File-format version; readers reject unknown majors.
+FORMAT_VERSION = 1
+
+_EVENT_FIELDS = [f.name for f in fields(InstEvents)]
+
+
+def _static_to_dict(inst: StaticInst) -> dict:
+    return {
+        "pc": inst.pc,
+        "op": inst.opcode.name,
+        "dst": inst.dst,
+        "srcs": list(inst.srcs),
+        "imm": inst.imm,
+        "target": inst.target,
+    }
+
+
+def _static_from_dict(data: dict) -> StaticInst:
+    return StaticInst(pc=data["pc"], opcode=Opcode[data["op"]],
+                      dst=data["dst"], srcs=tuple(data["srcs"]),
+                      imm=data["imm"], target=data["target"])
+
+
+def result_to_dict(result: SimResult) -> dict:
+    """A JSON-ready dictionary for one simulation result."""
+    program = result.trace.program
+    return {
+        "version": FORMAT_VERSION,
+        "name": result.trace.name,
+        "cycles": result.cycles,
+        "stats": dict(result.stats),
+        "config": {f.name: getattr(result.config, f.name)
+                   for f in fields(MachineConfig)},
+        "ideal": list(result.ideal.active()) if result.ideal else [],
+        "program": [_static_to_dict(inst) for inst in program],
+        "labels": program.labels,
+        "insts": [
+            {
+                "i": program.index_of(dyn.pc),
+                "next_pc": dyn.next_pc,
+                "taken": int(dyn.taken),
+                "addr": dyn.mem_addr,
+                "prod": list(dyn.src_producers),
+                "mem_prod": dyn.mem_producer,
+            }
+            for dyn in result.trace.insts
+        ],
+        "events": [
+            [getattr(ev, name) for name in _EVENT_FIELDS]
+            for ev in result.events
+        ],
+        "event_fields": _EVENT_FIELDS,
+    }
+
+
+def result_from_dict(data: dict) -> SimResult:
+    """Inverse of :func:`result_to_dict`."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported result-file version {version!r}")
+    statics = [_static_from_dict(d) for d in data["program"]]
+    program = Program(statics, data["labels"], name=data["name"])
+    insts: List[DynInst] = []
+    for seq, d in enumerate(data["insts"]):
+        insts.append(DynInst(
+            seq=seq,
+            static=statics[d["i"]],
+            next_pc=d["next_pc"],
+            taken=bool(d["taken"]),
+            mem_addr=d["addr"],
+            src_producers=tuple(d["prod"]),
+            mem_producer=d["mem_prod"],
+        ))
+    trace = Trace(program, insts)
+    saved_fields = data["event_fields"]
+    events = []
+    for row in data["events"]:
+        ev = InstEvents(seq=0, pc=0)
+        for name, value in zip(saved_fields, row):
+            setattr(ev, name, value)
+        events.append(ev)
+    config = MachineConfig(**data["config"])
+    ideal = IdealConfig.for_categories(data["ideal"]) if data["ideal"] \
+        else IdealConfig()
+    return SimResult(trace=trace, config=config, ideal=ideal,
+                     events=events, cycles=data["cycles"],
+                     stats=dict(data["stats"]))
+
+
+def save_result(result: SimResult, path) -> None:
+    """Write *result* to *path* (gzip-compressed JSON)."""
+    payload = json.dumps(result_to_dict(result),
+                         separators=(",", ":")).encode()
+    with gzip.open(path, "wb") as handle:
+        handle.write(payload)
+
+
+def load_result(path) -> SimResult:
+    """Read a result written by :func:`save_result`."""
+    with gzip.open(path, "rb") as handle:
+        return result_from_dict(json.loads(handle.read().decode()))

@@ -1,0 +1,42 @@
+"""Fully-associative LRU translation lookaside buffers."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class TLB:
+    """A fully-associative, LRU-replacement TLB tracking page numbers."""
+
+    def __init__(self, entries: int, page_bytes: int) -> None:
+        if entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        if page_bytes & (page_bytes - 1):
+            raise ValueError("page size must be a power of two")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Translate *addr*; install the page on a miss.  Returns hit."""
+        page = addr // self.page_bytes
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._pages) >= self.entries:
+            self._pages.popitem(last=False)
+        self._pages[page] = None
+        return False
+
+    def lookup(self, addr: int) -> bool:
+        """Probe without side effects."""
+        return addr // self.page_bytes in self._pages
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (e.g. after warm-up)."""
+        self.hits = 0
+        self.misses = 0

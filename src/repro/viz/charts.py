@@ -1,0 +1,170 @@
+"""Chart renderers: Figure 1b, Figure 3 and the interaction heat map."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.breakdown import Breakdown
+from repro.viz.svg import SvgDocument, color_for, diverging_color
+
+MARGIN = 56
+
+
+def stacked_bar_svg(breakdowns: Dict[str, Breakdown],
+                    width: int = 760, height: int = 420) -> SvgDocument:
+    """The Figure 1b visualization: one stacked bar per workload.
+
+    Positive categories stack upward from the axis (beyond 100% when
+    parallel interactions add cycles), negative (serial) interactions
+    stack below it.
+    """
+    if not breakdowns:
+        raise ValueError("no breakdowns to draw")
+    names = list(breakdowns)
+    displayable = lambda e: e.kind in ("base", "interaction", "other")
+    pos_max = max(
+        sum(e.percent for e in bd.entries if displayable(e) and e.percent > 0)
+        for bd in breakdowns.values())
+    neg_min = min(0.0, min(
+        sum(e.percent for e in bd.entries if displayable(e) and e.percent < 0)
+        for bd in breakdowns.values()))
+
+    doc = SvgDocument(width, height)
+    plot_h = height - 2 * MARGIN
+    span = pos_max - neg_min or 1.0
+    scale = plot_h / span
+    axis_y = MARGIN + pos_max * scale
+    bar_w = (width - 2 * MARGIN) / max(1, len(names)) * 0.6
+    gap = (width - 2 * MARGIN) / max(1, len(names))
+
+    # axis and the 100% guide
+    doc.line(MARGIN, axis_y, width - MARGIN, axis_y, stroke="#444444")
+    guide_y = axis_y - 100.0 * scale
+    doc.line(MARGIN, guide_y, width - MARGIN, guide_y,
+             stroke="#888888", dash="4,3")
+    doc.text(width - MARGIN + 4, guide_y + 4, "100%", size=10)
+    doc.text(width - MARGIN + 4, axis_y + 4, "0%", size=10)
+
+    legend_labels: List[str] = []
+    for column, name in enumerate(names):
+        bd = breakdowns[name]
+        x = MARGIN + column * gap + (gap - bar_w) / 2
+        y_up = axis_y
+        y_down = axis_y
+        for entry in bd.entries:
+            if not displayable(entry) or entry.percent == 0:
+                continue
+            if entry.label not in legend_labels:
+                legend_labels.append(entry.label)
+            color = color_for(legend_labels.index(entry.label))
+            h = abs(entry.percent) * scale
+            title = f"{name}: {entry.label} {entry.percent:+.1f}%"
+            if entry.percent > 0:
+                y_up -= h
+                doc.rect(x, y_up, bar_w, h, fill=color, stroke="#ffffff",
+                         title=title)
+            else:
+                doc.rect(x, y_down, bar_w, h, fill=color, stroke="#ffffff",
+                         opacity=0.75, title=title)
+                y_down += h
+        doc.text(x + bar_w / 2, height - MARGIN + 16, name, anchor="middle")
+
+    for i, label in enumerate(legend_labels):
+        lx = MARGIN + (i % 4) * 170
+        ly = 14 + (i // 4) * 14
+        doc.rect(lx, ly - 9, 10, 10, fill=color_for(i))
+        doc.text(lx + 14, ly, label, size=10)
+    return doc
+
+
+def sensitivity_curves_svg(curves: Dict[int, List[Tuple[int, float]]],
+                           width: int = 640, height: int = 420,
+                           title: str = "speedup vs window size"
+                           ) -> SvgDocument:
+    """The Figure 3 visualization: one speedup curve per dl1 latency."""
+    if not curves:
+        raise ValueError("no curves to draw")
+    xs = sorted({x for curve in curves.values() for x, __ in curve})
+    ys = [y for curve in curves.values() for __, y in curve]
+    y_max = max(max(ys), 1.0)
+    x_min, x_max = min(xs), max(xs)
+
+    doc = SvgDocument(width, height)
+    plot_w = width - 2 * MARGIN
+    plot_h = height - 2 * MARGIN
+
+    def px(x):
+        return MARGIN + (x - x_min) / max(1, (x_max - x_min)) * plot_w
+
+    def py(y):
+        return height - MARGIN - y / y_max * plot_h
+
+    doc.text(width / 2, 20, title, anchor="middle", size=13)
+    doc.line(MARGIN, height - MARGIN, width - MARGIN, height - MARGIN,
+             stroke="#444444")
+    doc.line(MARGIN, MARGIN, MARGIN, height - MARGIN, stroke="#444444")
+    for x in xs:
+        doc.text(px(x), height - MARGIN + 16, str(x), anchor="middle", size=10)
+        doc.line(px(x), height - MARGIN, px(x), MARGIN,
+                 stroke="#eeeeee")
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        y = y_max * frac
+        doc.line(MARGIN, py(y), width - MARGIN, py(y), stroke="#eeeeee")
+        doc.text(MARGIN - 6, py(y) + 4, f"{y:.0f}%", anchor="end", size=10)
+
+    for i, (latency, curve) in enumerate(sorted(curves.items())):
+        color = color_for(i)
+        points = [(px(x), py(y)) for x, y in curve]
+        doc.polyline(points, stroke=color, width=2)
+        for x, y in points:
+            doc.circle(x, y, 3, fill=color)
+        lx, ly = points[-1]
+        doc.text(lx + 6, ly + 4, f"dl1={latency}", size=10, fill=color)
+    doc.text(width / 2, height - 14, "window size", anchor="middle", size=11)
+    return doc
+
+
+def matrix_heatmap_svg(matrix, width: int = 560,
+                       height: int = 560) -> SvgDocument:
+    """Heat map of an :class:`~repro.analysis.matrix.InteractionMatrix`.
+
+    Blue cells are serial interactions, red cells parallel, the
+    diagonal shows base costs in greys.
+    """
+    cats = matrix.categories
+    n = len(cats)
+    cell = min((width - 2 * MARGIN) / n, (height - 2 * MARGIN) / n)
+    limit = max(1.0, max(abs(v) for v in matrix.pairs.values()))
+    cost_limit = max(1.0, max(matrix.costs.values()))
+
+    doc = SvgDocument(width, height)
+    doc.text(width / 2, 24, f"{matrix.workload}: pairwise interaction costs",
+             anchor="middle", size=13)
+    for i, row_cat in enumerate(cats):
+        y = MARGIN + i * cell
+        doc.text(MARGIN - 6, y + cell / 2 + 4, row_cat.value,
+                 anchor="end", size=10)
+        doc.text(MARGIN + i * cell + cell / 2, MARGIN - 8, row_cat.value,
+                 anchor="middle", size=10, rotate=-45)
+        for j, col_cat in enumerate(cats):
+            x = MARGIN + j * cell
+            if j > i:
+                continue
+            if i == j:
+                shade = round(235 - 155 * matrix.costs[row_cat] / cost_limit)
+                fill = f"#{shade:02x}{shade:02x}{shade:02x}"
+                value = matrix.costs[row_cat]
+                label = f"cost({row_cat.value}) = {value:.1f}%"
+            else:
+                value = matrix.icost(col_cat, row_cat)
+                fill = diverging_color(value, limit)
+                label = (f"icost({col_cat.value}, {row_cat.value}) "
+                         f"= {value:+.1f}%")
+            doc.rect(x, y, cell, cell, fill=fill, stroke="#ffffff",
+                     title=label)
+            doc.text(x + cell / 2, y + cell / 2 + 4, f"{value:.0f}",
+                     anchor="middle", size=9)
+    doc.text(width / 2, height - 16,
+             "blue = serial, red = parallel, diagonal = base cost",
+             anchor="middle", size=10)
+    return doc

@@ -1,0 +1,121 @@
+"""A minimal SVG document builder.
+
+Only the handful of primitives the charts need: rectangles, lines,
+polylines, text and groups, with XML-escaped attributes and a
+deterministic output (element order = call order), so rendered figures
+diff cleanly across runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape, quoteattr
+
+
+class SvgDocument:
+    """An SVG file under construction."""
+
+    def __init__(self, width: int, height: int,
+                 background: Optional[str] = "#ffffff") -> None:
+        self.width = width
+        self.height = height
+        self._parts: List[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background)
+
+    # ------------------------------------------------------------------
+
+    def _attrs(self, mapping) -> str:
+        return "".join(
+            f" {name.replace('_', '-')}={quoteattr(str(value))}"
+            for name, value in mapping.items() if value is not None
+        )
+
+    def rect(self, x, y, w, h, fill="#000000", stroke=None,
+             opacity=None, title: Optional[str] = None) -> None:
+        """Add a rectangle (optional hover *title*)."""
+        attrs = self._attrs(dict(x=round(x, 2), y=round(y, 2),
+                                 width=round(w, 2), height=round(h, 2),
+                                 fill=fill, stroke=stroke, opacity=opacity))
+        if title:
+            self._parts.append(
+                f"<rect{attrs}><title>{escape(title)}</title></rect>")
+        else:
+            self._parts.append(f"<rect{attrs}/>")
+
+    def line(self, x1, y1, x2, y2, stroke="#000000", width=1.0,
+             dash: Optional[str] = None) -> None:
+        """Add a straight line."""
+        attrs = self._attrs(dict(x1=round(x1, 2), y1=round(y1, 2),
+                                 x2=round(x2, 2), y2=round(y2, 2),
+                                 stroke=stroke, stroke_width=width,
+                                 stroke_dasharray=dash))
+        self._parts.append(f"<line{attrs}/>")
+
+    def polyline(self, points: Sequence[Tuple[float, float]],
+                 stroke="#000000", width=1.5) -> None:
+        """Add an unfilled polyline through *points*."""
+        path = " ".join(f"{round(x, 2)},{round(y, 2)}" for x, y in points)
+        attrs = self._attrs(dict(points=path, fill="none", stroke=stroke,
+                                 stroke_width=width))
+        self._parts.append(f"<polyline{attrs}/>")
+
+    def text(self, x, y, content: str, size=11, anchor="start",
+             fill="#222222", rotate: Optional[float] = None) -> None:
+        """Add a text label (monospace, XML-escaped)."""
+        transform = (f"rotate({rotate} {round(x, 2)} {round(y, 2)})"
+                     if rotate is not None else None)
+        attrs = self._attrs(dict(x=round(x, 2), y=round(y, 2),
+                                 font_size=size, text_anchor=anchor,
+                                 fill=fill, transform=transform,
+                                 font_family="monospace"))
+        self._parts.append(f"<text{attrs}>{escape(content)}</text>")
+
+    def circle(self, cx, cy, r, fill="#000000") -> None:
+        """Add a filled circle."""
+        attrs = self._attrs(dict(cx=round(cx, 2), cy=round(cy, 2),
+                                 r=round(r, 2), fill=fill))
+        self._parts.append(f"<circle{attrs}/>")
+
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """The complete SVG document as a string."""
+        body = "\n  ".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n  {body}\n</svg>\n'
+        )
+
+    def save(self, path) -> None:
+        """Write :meth:`render` output to *path*."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+
+
+#: A colour-blind-friendly categorical palette (Okabe-Ito).
+PALETTE = (
+    "#0072B2", "#E69F00", "#009E73", "#D55E00",
+    "#CC79A7", "#56B4E9", "#F0E442", "#999999",
+)
+
+
+def color_for(index: int) -> str:
+    """The *index*-th categorical palette colour (wraps)."""
+    return PALETTE[index % len(PALETTE)]
+
+
+def diverging_color(value: float, limit: float) -> str:
+    """Blue (serial, negative) to white (zero) to red (parallel).
+
+    *limit* is the magnitude mapped to full saturation.
+    """
+    if limit <= 0:
+        return "#ffffff"
+    t = max(-1.0, min(1.0, value / limit))
+    if t >= 0:
+        other = round(255 * (1 - t))
+        return f"#ff{other:02x}{other:02x}"
+    other = round(255 * (1 + t))
+    return f"#{other:02x}{other:02x}ff"

@@ -1,0 +1,80 @@
+"""Pipeline-timeline rendering: the microexecution as a Gantt chart.
+
+One row per dynamic instruction, one span per pipeline interval
+(dispatch->ready->execute->complete->commit), the classic way to *see*
+the structures the dependence graph encodes: window stalls show up as
+dispatch plateaus, serial dl1 chains as execute staircases, mispredicts
+as fetch gaps.
+"""
+
+from __future__ import annotations
+
+
+from repro.uarch.events import SimResult
+from repro.viz.svg import SvgDocument
+
+#: interval label -> (from-field, to-field, colour)
+_STAGES = (
+    ("in window", "d", "r", "#cfe3f5"),
+    ("waiting", "r", "e", "#f5d9a8"),
+    ("executing", "e", "p", "#0072B2"),
+    ("to commit", "p", "c", "#bbe3c9"),
+)
+
+
+def pipeline_timeline_svg(result: SimResult, start: int = 0,
+                          count: int = 48, width: int = 900,
+                          row_height: int = 13) -> SvgDocument:
+    """Render instructions ``start .. start+count`` as a timeline."""
+    events = result.events[start:start + count]
+    if not events:
+        raise ValueError("no instructions in the requested window")
+    insts = result.trace.insts[start:start + count]
+    t0 = min(ev.d for ev in events)
+    t1 = max(ev.c for ev in events) + 1
+    label_w = 210
+    margin = 24
+    plot_w = width - label_w - 2 * margin
+    height = 2 * margin + 28 + row_height * len(events) + 30
+    scale = plot_w / max(1, (t1 - t0))
+
+    doc = SvgDocument(width, height)
+    doc.text(width / 2, 16,
+             f"{result.trace.name}: cycles {t0}..{t1} "
+             f"(instructions {start}..{start + len(events) - 1})",
+             anchor="middle", size=12)
+
+    def px(t):
+        return label_w + margin + (t - t0) * scale
+
+    # cycle gridlines every power-of-ten-ish step
+    step = max(1, (t1 - t0) // 12)
+    for t in range(t0, t1 + 1, step):
+        doc.line(px(t), margin + 16, px(t), height - margin - 14,
+                 stroke="#eeeeee")
+        doc.text(px(t), height - margin, str(t), anchor="middle", size=9)
+
+    for row, (inst, ev) in enumerate(zip(insts, events)):
+        y = margin + 24 + row * row_height
+        label = str(inst.static)
+        if len(label) > 30:
+            label = label[:29] + "…"
+        doc.text(label_w - 4, y + row_height - 4, label, anchor="end", size=9)
+        if ev.mispredicted:
+            doc.text(label_w + 2, y + row_height - 4, "!", size=10,
+                     fill="#D55E00")
+        for name, lo, hi, color in _STAGES:
+            a = getattr(ev, lo)
+            b = getattr(ev, hi)
+            if b <= a:
+                continue
+            doc.rect(px(a), y + 2, max(1.0, (b - a) * scale),
+                     row_height - 4, fill=color,
+                     title=f"[{inst.seq}] {name}: {a}..{b}")
+
+    legend_x = label_w + margin
+    for i, (name, __, __, color) in enumerate(_STAGES):
+        lx = legend_x + i * 150
+        doc.rect(lx, margin + 2, 10, 10, fill=color)
+        doc.text(lx + 14, margin + 11, name, size=10)
+    return doc

@@ -1,0 +1,29 @@
+"""The synthetic workload suite.
+
+Twelve programs named after the SPECint2000 suite the paper evaluates,
+each engineered to echo its namesake's dominant bottleneck mix (e.g.
+``mcf`` is a pointer chase over a multi-megabyte heap whose branches
+depend on missing loads; ``vortex`` is window-limited with almost no
+mispredicts).  Real Alpha binaries are unavailable offline, and the
+shotgun profiler needs genuine binaries with reconstructable control
+flow, so each workload is an actual TinyRISC program executed to a
+committed-path trace -- not a statistical event stream.
+"""
+
+from repro.workloads.registry import (
+    WORKLOAD_NAMES,
+    TABLE4BC_NAMES,
+    get_workload,
+    get_program,
+    workload_description,
+)
+from repro.workloads.synthetic import random_program
+
+__all__ = [
+    "WORKLOAD_NAMES",
+    "TABLE4BC_NAMES",
+    "get_workload",
+    "get_program",
+    "workload_description",
+    "random_program",
+]

@@ -1,0 +1,76 @@
+"""A two-phase workload for dynamic-reconfiguration experiments.
+
+Phase A is a strictly serial pointer chase: the window and the wide
+front end buy nothing (their costs are ~zero), so an adaptive machine
+can power them down.  Phase B switches to wide independent miss
+streams: suddenly the window is the whole game and must come back.
+A controller that reads per-segment cost measurements (the paper's
+"dynamic optimizers could save power by intelligently reconfiguring
+hardware structures") gets both calls right; a static machine pays for
+the big structures in phase A or the small ones in phase B.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.program import ProgramBuilder
+from repro.workloads import kernels as K
+from repro.workloads.kernels import WORD, MemoryImage
+from repro.workloads.spec import Workload, _load_address
+
+
+def make_phased_workload(phase_a_iters: int = 60, phase_b_iters: int = 60,
+                         seed: int = 0) -> Workload:
+    """Serial-chase phase followed by a parallel-stream phase.
+
+    The returned workload carries ``phase_boundary``: the dynamic
+    instruction index where phase B begins (for tests and plots).
+    """
+    rng = random.Random(seed ^ 0x706861)
+    mem = MemoryImage()
+    chain = K.build_permutation_chain(mem, 512, rng)
+    words = 10 * K.WORDS_PER_LINE * (phase_b_iters + 1)
+    stream = K.build_random_words(mem, words, rng, warmth="l2")
+
+    b = ProgramBuilder("phased")
+    _load_address(b, 21, chain)
+    _load_address(b, 25, stream)
+    b.addi(13, 0, 0)
+
+    # ---- phase A: one long serial chase per iteration ----
+    b.addi(20, 0, phase_a_iters)
+    b.label("phase_a")
+    for __ in range(10):
+        b.add(3, 21, 13)
+        b.ld(13, 3, 0)
+    b.addi(20, 20, -1)
+    b.bne(20, 0, "phase_a")
+
+    # ---- phase B: ten independent line-striding misses per iteration ----
+    b.addi(20, 0, phase_b_iters)
+    b.label("phase_b")
+    for i in range(10):
+        b.ld(1, 25, i * K.WORDS_PER_LINE * WORD)
+        b.add(17, 17, 1)
+    b.addi(25, 25, 10 * K.WORDS_PER_LINE * WORD)
+    b.addi(20, 20, -1)
+    b.bne(20, 0, "phase_b")
+    b.halt()
+
+    program = b.build()
+    workload = Workload("phased", "serial chase then parallel streams",
+                        program, mem.data,
+                        mem.ranges("l1"), mem.ranges("l2"))
+    # consumers locate the dynamic boundary as the first instruction
+    # fetched from this PC
+    workload.phase_b_pc = program.label_pc("phase_b")
+    return workload
+
+
+def phase_boundary(workload: Workload, trace) -> int:
+    """Dynamic index of the first phase-B instruction in *trace*."""
+    for inst in trace:
+        if inst.pc == workload.phase_b_pc:
+            return inst.seq
+    raise ValueError("trace never reached phase B")

@@ -1,0 +1,128 @@
+"""A workload built to be prefetched -- the paper's opening scenario.
+
+Each iteration performs three gather loads into cold memory:
+
+- slots ``a`` and ``b``: two *independent* gathers issued back to back.
+  They miss in parallel, so each one's individual cost is ~zero -- the
+  other covers it -- yet together they bound the iteration.  This is
+  exactly the Section 1/2.2 example of a parallel interaction that
+  individual-cost rankings cannot see.
+- slot ``c``: a lone gather whose value feeds a dependent chain; it is
+  partially exposed, so its *individual* cost is visibly nonzero.
+
+The factory can software-pipeline any subset of the slots: the index
+arrays are sequential and L1-resident, so the address of iteration
+``i + distance`` is computable early and a PREFETCH issued for it.
+``repro.analysis.prefetch`` chooses the subset; this module just
+builds the program either way.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable
+
+from repro.isa.program import ProgramBuilder
+from repro.workloads import kernels as K
+from repro.workloads.kernels import WORD, MemoryImage
+from repro.workloads.spec import Workload, _load_address
+
+#: The prefetchable load slots, in program order.
+SLOTS = ("a", "b", "c")
+
+#: (index-array register, region register) per slot.
+_SLOT_REGS = {"a": (22, 23), "b": (24, 25), "c": (26, 27)}
+
+
+def make_prefetch_workload(plan: Iterable[str] = (), distance: int = 6,
+                           iters: int = 160, seed: int = 0) -> Workload:
+    """Build the workload with the slots in *plan* prefetched.
+
+    *distance* is the software-pipelining depth in iterations; the
+    returned workload carries ``slot_pcs`` mapping each slot name to
+    the PC of its demand load, for per-static-load icost analysis.
+    """
+    plan = frozenset(plan)
+    unknown = plan - set(SLOTS)
+    if unknown:
+        raise ValueError(f"unknown prefetch slots: {sorted(unknown)}")
+    rng = random.Random(seed ^ 0x707265)
+    mem = MemoryImage()
+    region_words = 4 * 1024 * 1024 // WORD
+    slots_data = {}
+    for slot in SLOTS:
+        # a and b gather from cold memory (the expensive parallel pair);
+        # c's region is L2-resident, so its miss is short and mostly
+        # hidden behind the pair -- the 'secondary' load an individual
+        # ranking nevertheless scores highest
+        warmth = "l2" if slot == "c" else "cold"
+        region = K.build_random_words(mem, region_words, rng, lo=0, hi=100,
+                                      warmth=warmth)
+        idx = K.build_index_array(mem, iters + distance + 2, region_words,
+                                  rng, warmth="l1")
+        slots_data[slot] = (idx, region)
+
+    b = ProgramBuilder("prefetchable")
+    for slot, (idx_reg, region_reg) in _SLOT_REGS.items():
+        idx, region = slots_data[slot]
+        _load_address(b, idx_reg, idx)
+        _load_address(b, region_reg, region)
+    b.addi(20, 0, iters)
+    b.label("outer")
+
+    # software prefetches for iteration i+distance
+    for slot in SLOTS:
+        if slot not in plan:
+            continue
+        idx_reg, region_reg = _SLOT_REGS[slot]
+        b.ld(2, idx_reg, distance * WORD)
+        b.add(2, 2, region_reg)
+        b.prefetch(2, 0)
+
+    # slot a and b: back-to-back independent gathers (parallel misses)
+    for slot in ("a", "b"):
+        idx_reg, region_reg = _SLOT_REGS[slot]
+        b.ld(4, idx_reg, 0)
+        b.add(4, 4, region_reg)
+        b.ld(5 if slot == "a" else 6, 4, 0)
+    b.add(17, 5, 6)            # join the pair
+
+    # integer work in parallel with slot c's miss
+    b.addi(18, 0, 1)
+    K.emit_alu_chain(b, reg=18, length=30)
+
+    # slot c: a lone gather feeding a dependent chain
+    idx_reg, region_reg = _SLOT_REGS["c"]
+    b.ld(7, idx_reg, 0)
+    b.add(7, 7, region_reg)
+    b.ld(8, 7, 0)
+    for __ in range(6):
+        b.addi(8, 8, 1)        # dependent tail: exposes part of the miss
+    b.add(17, 17, 8)
+
+    for idx_reg, __ in _SLOT_REGS.values():
+        b.addi(idx_reg, idx_reg, WORD)
+    b.addi(20, 20, -1)
+    b.bne(20, 0, "outer")
+    b.halt()
+
+    program = b.build()
+    workload = Workload("prefetchable",
+                        "three-slot gather loop for prefetch feedback",
+                        program, mem.data,
+                        mem.ranges("l1"), mem.ranges("l2"))
+    workload.slot_pcs = _find_slot_pcs(program)
+    return workload
+
+
+def _find_slot_pcs(program) -> Dict[str, int]:
+    """PCs of the three demand loads, identified by their dst registers."""
+    from repro.isa.instructions import Opcode
+
+    pcs: Dict[str, int] = {}
+    by_dst = {5: "a", 6: "b", 8: "c"}
+    for inst in program:
+        if inst.opcode is Opcode.LD and inst.dst in by_dst:
+            pcs[by_dst[inst.dst]] = inst.pc
+    assert set(pcs) == set(SLOTS)
+    return pcs

@@ -1,0 +1,64 @@
+"""Name-based access to the workload suite, with trace caching."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, Tuple
+
+from repro.isa.program import Program
+from repro.isa.trace import Trace
+from repro.workloads import spec
+from repro.workloads.spec import Workload
+
+_FACTORIES: Dict[str, Callable[..., Workload]] = {
+    "bzip": spec.make_bzip,
+    "crafty": spec.make_crafty,
+    "eon": spec.make_eon,
+    "gap": spec.make_gap,
+    "gcc": spec.make_gcc,
+    "gzip": spec.make_gzip,
+    "mcf": spec.make_mcf,
+    "parser": spec.make_parser,
+    "perl": spec.make_perl,
+    "twolf": spec.make_twolf,
+    "vortex": spec.make_vortex,
+    "vpr": spec.make_vpr,
+}
+
+#: The full suite, in Table 4a's column order.
+WORKLOAD_NAMES: Tuple[str, ...] = tuple(sorted(_FACTORIES))
+
+#: The subset the paper shows for Tables 4b and 4c.
+TABLE4BC_NAMES: Tuple[str, ...] = ("gap", "gcc", "gzip", "mcf", "parser")
+
+
+def get_workload_object(name: str, scale: float = 1.0,
+                        seed: int = 0) -> Workload:
+    """The :class:`Workload` (program + memory image) for *name*."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+        ) from None
+    return factory(scale=scale, seed=seed)
+
+
+@lru_cache(maxsize=64)
+def get_workload(name: str, scale: float = 1.0, seed: int = 0) -> Trace:
+    """The committed-path dynamic trace of workload *name*.
+
+    Traces are deterministic in (name, scale, seed) and cached, since
+    benchmark tables re-simulate the same trace many times.
+    """
+    return get_workload_object(name, scale, seed).trace()
+
+
+def get_program(name: str, scale: float = 1.0, seed: int = 0) -> Program:
+    """The program binary of workload *name* (for profiler PC inference)."""
+    return get_workload_object(name, scale, seed).program
+
+
+def workload_description(name: str) -> str:
+    """One-line behavioural description of workload *name*."""
+    return get_workload_object(name, scale=0.01).description

@@ -1,0 +1,110 @@
+"""Shared fixtures: small deterministic programs, traces and analyses.
+
+Fixtures are session-scoped where the underlying objects are immutable
+and expensive (simulations, graphs), so the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.graphsim import GraphCostProvider
+from repro.graph import GraphCostAnalyzer, build_graph
+from repro.isa import Executor, ProgramBuilder
+from repro.uarch import IdealConfig, MachineConfig, simulate
+from repro.workloads.registry import get_workload
+
+
+def build_loop_program(iterations: int = 50, *, loads: bool = True,
+                       stride: int = 8, muls: bool = False,
+                       name: str = "fixture-loop"):
+    """A simple store/load/ALU loop over a small buffer."""
+    b = ProgramBuilder(name)
+    b.addi(1, 0, 0x2000)
+    b.addi(2, 0, iterations)
+    b.label("top")
+    if loads:
+        b.ld(3, 1, 0)
+        b.addi(3, 3, 1)
+        b.st(3, 1, 0)
+    if muls:
+        b.mul(4, 3, 3)
+    b.addi(1, 1, stride)
+    b.addi(2, 2, -1)
+    b.bne(2, 0, "top")
+    b.halt()
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def loop_trace():
+    return Executor(build_loop_program()).run()
+
+
+@pytest.fixture(scope="session")
+def miss_trace():
+    """A loop whose loads stride a full cache line: every load misses."""
+    return Executor(build_loop_program(iterations=120, stride=64,
+                                       muls=True, name="miss-loop")).run()
+
+
+@pytest.fixture(scope="session")
+def base_config():
+    return MachineConfig()
+
+
+@pytest.fixture(scope="session")
+def miss_result(miss_trace, base_config):
+    return simulate(miss_trace, base_config)
+
+
+@pytest.fixture(scope="session")
+def miss_graph(miss_result):
+    return build_graph(miss_result)
+
+
+@pytest.fixture(scope="session")
+def miss_analyzer(miss_graph):
+    return GraphCostAnalyzer(miss_graph)
+
+
+@pytest.fixture(scope="session")
+def miss_provider(miss_result):
+    return GraphCostProvider(miss_result)
+
+
+@pytest.fixture(scope="session")
+def small_gzip_trace():
+    """A scaled-down suite workload for integration-level tests."""
+    return get_workload("gzip", scale=0.3, seed=7)
+
+
+class DictCostProvider:
+    """A cost provider defined by an explicit table, for algebra tests.
+
+    Costs of unlisted sets default to the max of listed subsets, which
+    keeps hand-written tables small.
+    """
+
+    def __init__(self, table, total):
+        self._table = {frozenset(k): v for k, v in table.items()}
+        self._total = total
+
+    def cost(self, targets):
+        key = frozenset(targets)
+        if key in self._table:
+            return self._table[key]
+        best = 0.0
+        for sub, value in self._table.items():
+            if sub <= key:
+                best = max(best, value)
+        return best
+
+    @property
+    def total(self):
+        return self._total
+
+
+@pytest.fixture
+def dict_provider_factory():
+    return DictCostProvider

@@ -1,0 +1,110 @@
+"""The icost-driven dynamic-reconfiguration controller."""
+
+import pytest
+
+from repro.analysis.adaptive import (
+    AdaptiveController,
+    run_adaptive,
+    slice_trace,
+)
+from repro.workloads import get_workload
+from repro.workloads.phased import make_phased_workload, phase_boundary
+
+
+@pytest.fixture(scope="module")
+def phased():
+    workload = make_phased_workload(phase_a_iters=50, phase_b_iters=50)
+    trace = workload.trace()
+    return workload, trace, run_adaptive(trace, segment_length=300)
+
+
+class TestSliceTrace:
+    def test_reindexing(self):
+        trace = get_workload("gzip", scale=0.2)
+        segment = slice_trace(trace, 100, 50)
+        assert len(segment.insts) == 50
+        for i, inst in enumerate(segment.insts):
+            assert inst.seq == i
+            for p in inst.src_producers:
+                assert -1 <= p < i
+        assert segment.warm_l1_ranges == trace.warm_l1_ranges
+
+    def test_tail_clamped(self):
+        trace = get_workload("gzip", scale=0.2)
+        segment = slice_trace(trace, len(trace.insts) - 10, 50)
+        assert len(segment.insts) == 10
+
+
+class TestController:
+    def test_shrinks_when_cost_is_zero(self):
+        controller = AdaptiveController()
+        window, width = controller.decide(0.0, 0.0, 64, 6)
+        assert window == 32 and width == 3
+
+    def test_restores_when_cost_returns(self):
+        controller = AdaptiveController()
+        window, width = controller.decide(20.0, 20.0, 16, 2)
+        assert window == 64 and width == 6
+
+    def test_hysteresis_band_holds(self):
+        controller = AdaptiveController(shrink_below=3, restore_above=8)
+        assert controller.decide(5.0, 5.0, 32, 3) == (32, 3)
+
+    def test_floors(self):
+        controller = AdaptiveController(min_window=16, min_width=2)
+        assert controller.decide(0.0, 0.0, 16, 2) == (16, 2)
+
+
+class TestPhasedRun:
+    def test_powers_down_in_serial_phase(self, phased):
+        __, __, result = phased
+        serial_segments = result.segments[:3]
+        assert serial_segments[-1].window_size < 64
+        assert serial_segments[-1].width < 6
+
+    def test_restores_window_after_phase_change(self, phased):
+        __, __, result = phased
+        restored = [s for s in result.segments if s.next_window == 64
+                    and s.window_size < 64]
+        assert restored, "controller never detected the phase change"
+
+    def test_power_saved_for_modest_slowdown(self, phased):
+        __, __, result = phased
+        assert result.power_saving_pct > 15
+        assert result.slowdown_pct < 15
+
+    def test_phase_boundary_helper(self, phased):
+        workload, trace, __ = phased
+        boundary = phase_boundary(workload, trace)
+        assert 0 < boundary < len(trace.insts)
+        assert trace.insts[boundary].pc == workload.phase_b_pc
+
+    def test_static_small_machine_is_the_wrong_tradeoff(self, phased):
+        """A fixed small machine saves similar power but pays a much
+        bigger slowdown on phase B -- the case for *dynamic* control."""
+        from repro.uarch import MachineConfig, simulate
+
+        workload, trace, result = phased
+        small = simulate(trace, MachineConfig(window_size=16, issue_width=2,
+                                              fetch_width=2, commit_width=2))
+        big = simulate(trace, MachineConfig())
+        static_slowdown = 100.0 * (small.cycles - big.cycles) / big.cycles
+        assert static_slowdown > result.slowdown_pct
+
+
+class TestProfilerDrivenControl:
+    def test_profiler_measure_reaches_similar_decisions(self):
+        """The deployable loop: the controller reads only shotgun
+        samples, yet still powers down in the serial phase and saves
+        real power for modest slowdown."""
+        workload = make_phased_workload(phase_a_iters=50, phase_b_iters=50)
+        trace = workload.trace()
+        result = run_adaptive(trace, segment_length=300, measure="profiler")
+        assert result.segments[2].window_size < 64
+        assert result.power_saving_pct > 10
+        assert result.slowdown_pct < 20
+
+    def test_unknown_measure_rejected(self):
+        trace = get_workload("gzip", scale=0.2)
+        with pytest.raises(KeyError):
+            run_adaptive(trace, measure="oracle")

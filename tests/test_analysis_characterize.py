@@ -1,0 +1,52 @@
+"""Workload characterization."""
+
+import pytest
+
+from repro.analysis.characterize import (
+    characterize_suite,
+    characterize_trace,
+    render_suite_table,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def mcf_char():
+    return characterize_trace(get_workload("mcf", scale=0.5))
+
+
+class TestCharacterizeTrace:
+    def test_dominant_is_largest_cost(self, mcf_char):
+        assert mcf_char.dominant == "dmiss"
+        assert mcf_char.costs["dmiss"] == max(mcf_char.costs.values())
+
+    def test_partner_extremes(self, mcf_char):
+        serial_cat, serial_val = mcf_char.serial_partner
+        parallel_cat, parallel_val = mcf_char.parallel_partner
+        assert serial_val <= parallel_val
+        assert serial_cat != "dmiss" and parallel_cat != "dmiss"
+
+    def test_advice_mentions_dominant(self, mcf_char):
+        assert "dmiss" in mcf_char.advice()
+        assert "mcf" in mcf_char.advice()
+
+    def test_costs_cover_all_base_categories(self, mcf_char):
+        assert set(mcf_char.costs) == {
+            "dl1", "win", "bw", "bmisp", "dmiss", "shalu", "lgalu", "imiss"}
+
+
+class TestSuite:
+    def test_suite_subset(self):
+        chars = characterize_suite(names=("gzip", "vortex"), scale=0.4)
+        by_name = {c.workload: c for c in chars}
+        vortex = by_name["vortex"]
+        # vortex is the window/miss-bound member with a strong serial tie
+        assert vortex.dominant in ("win", "dmiss")
+        assert vortex.serial_partner[1] < -10
+        assert by_name["gzip"].dominant in ("bmisp", "dl1")
+
+    def test_render_table(self):
+        chars = characterize_suite(names=("gzip",), scale=0.3)
+        table = render_suite_table(chars)
+        assert "workload" in table and "gzip" in table
+        assert "dominant" in table

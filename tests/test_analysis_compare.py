@@ -1,0 +1,58 @@
+"""Cross-configuration breakdown comparison."""
+
+import pytest
+
+from repro.analysis.compare import compare_configs, diff_breakdowns
+from repro.core import Category
+from repro.uarch import MachineConfig
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def window_growth_delta():
+    trace = get_workload("vortex", scale=0.6)
+    return compare_configs(
+        trace,
+        before=MachineConfig(dl1_latency=4),
+        after=MachineConfig(dl1_latency=4, window_size=128),
+        focus=Category.DL1,
+    )
+
+
+class TestCompareConfigs:
+    def test_window_growth_speeds_vortex_up(self, window_growth_delta):
+        assert window_growth_delta.speedup_percent > 10
+
+    def test_win_cycles_leave(self, window_growth_delta):
+        """Growing the window must drain the win category itself."""
+        assert window_growth_delta.delta("win") < 0
+
+    def test_movers_sorted_by_magnitude(self, window_growth_delta):
+        movers = window_growth_delta.movers(top=4)
+        magnitudes = [abs(d) for __, d in movers]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+        assert len(movers) == 4
+
+    def test_render(self, window_growth_delta):
+        text = window_growth_delta.render()
+        assert "before" in text and "delta" in text
+        assert "vortex" in text
+
+    def test_noop_change_is_flat(self):
+        trace = get_workload("gzip", scale=0.3)
+        delta = compare_configs(trace, MachineConfig(), MachineConfig())
+        assert delta.speedup_percent == 0.0
+        for label in delta.rows:
+            assert delta.delta(label) == 0.0
+
+
+class TestDiffBreakdowns:
+    def test_missing_labels_skipped(self, miss_provider):
+        from repro.core import interaction_breakdown
+
+        with_focus = interaction_breakdown(miss_provider, focus=Category.DL1,
+                                           workload="w")
+        without = interaction_breakdown(miss_provider, workload="w")
+        delta = diff_breakdowns(with_focus, without)
+        assert "dl1+win" not in delta.rows
+        assert "dl1" in delta.rows

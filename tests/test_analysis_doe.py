@@ -1,0 +1,87 @@
+"""The design-of-experiments comparison (Section 7)."""
+
+import pytest
+
+from repro.analysis.doe import (
+    DL1_FACTOR,
+    RECOVERY_FACTOR,
+    WINDOW_FACTOR,
+    Factor,
+    full_factorial,
+    plackett_burman_fraction,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def vortex_doe():
+    trace = get_workload("vortex", scale=0.5)
+    return full_factorial(trace, (DL1_FACTOR, WINDOW_FACTOR))
+
+
+class TestFullFactorial:
+    def test_run_count(self, vortex_doe):
+        assert vortex_doe.simulations() == 4
+
+    def test_worse_levels_cost_cycles(self, vortex_doe):
+        """High = slower by convention, so main effects are positive."""
+        assert vortex_doe.main_effects["dl1"] > 0
+        assert vortex_doe.main_effects["win"] > 0
+
+    def test_serial_icost_means_positive_interaction(self, vortex_doe):
+        """vortex's dl1+win icost is strongly serial (negative): the
+        window matters more when dl1 is slow, i.e. the factorial
+        slowdowns are super-additive -- a positive interaction effect."""
+        assert vortex_doe.interaction_effects[("dl1", "win")] > 0
+
+    def test_variance_components_lose_the_sign(self, vortex_doe):
+        """The paper's ANOVA complaint: components are squares, so the
+        serial/parallel distinction is gone."""
+        components = vortex_doe.variance_components
+        assert all(v >= 0 for v in components.values())
+        assert sum(components.values()) == pytest.approx(1.0)
+
+    def test_empty_factors_rejected(self):
+        with pytest.raises(ValueError):
+            full_factorial(get_workload("vortex", scale=0.2), ())
+
+    def test_three_factor_study(self):
+        trace = get_workload("gzip", scale=0.3)
+        result = full_factorial(trace,
+                                (DL1_FACTOR, WINDOW_FACTOR, RECOVERY_FACTOR))
+        assert result.simulations() == 8
+        assert len(result.interaction_effects) == 3
+
+
+class TestPlackettBurman:
+    def test_half_fraction_runs(self):
+        trace = get_workload("gzip", scale=0.3)
+        effects = plackett_burman_fraction(
+            trace, (DL1_FACTOR, WINDOW_FACTOR, RECOVERY_FACTOR))
+        assert set(effects) == {"dl1", "win", "bmisp"}
+
+    def test_fraction_approximates_main_effects(self):
+        """The fraction's main effects track the full design's (that is
+        its purpose); interactions are the casualty."""
+        trace = get_workload("gzip", scale=0.3)
+        factors = (DL1_FACTOR, WINDOW_FACTOR, RECOVERY_FACTOR)
+        full = full_factorial(trace, factors)
+        frac = plackett_burman_fraction(trace, factors)
+        for name in frac:
+            scale = max(50.0, abs(full.main_effects[name]))
+            assert frac[name] == pytest.approx(full.main_effects[name],
+                                               abs=1.2 * scale)
+
+    def test_requires_three_factors(self):
+        with pytest.raises(ValueError):
+            plackett_burman_fraction(get_workload("gzip", scale=0.2),
+                                     (DL1_FACTOR,))
+
+
+class TestFactor:
+    def test_apply_levels(self):
+        from repro.uarch import MachineConfig
+
+        f = Factor("x", "dl1_latency", low=1, high=4)
+        assert f.apply(MachineConfig(), +1).dl1_latency == 4
+        assert f.apply(MachineConfig(), -1).dl1_latency == 1

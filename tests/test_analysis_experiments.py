@@ -1,0 +1,82 @@
+"""Experiment drivers: Table 4 shapes and the Figure 1 contrast.
+
+Full-scale shape assertions live in the benchmark harness; these tests
+run at reduced scale and check the structural claims that must hold at
+any scale.
+"""
+
+import pytest
+
+from repro.analysis.experiments import figure1, table4a, table4b, table4c
+from repro.core import Category
+
+SCALE = 0.5
+
+
+@pytest.fixture(scope="module")
+def t4a_subset():
+    return table4a(names=("gzip", "vortex", "mcf"), scale=SCALE)
+
+
+class TestTable4a:
+    def test_columns_and_rows(self, t4a_subset):
+        assert set(t4a_subset) == {"gzip", "vortex", "mcf"}
+        for bd in t4a_subset.values():
+            assert "dl1+win" in bd.labels()
+            assert bd.percent("Total") == pytest.approx(100.0)
+
+    def test_dl1_win_serial_for_window_bound(self, t4a_subset):
+        """The headline Table 4a finding: the instruction window
+        serially interacts with the dl1 loop."""
+        assert t4a_subset["vortex"].percent("dl1+win") < -5
+        assert t4a_subset["gzip"].percent("dl1+win") < 0
+
+    def test_mcf_dominated_by_dmiss(self, t4a_subset):
+        bd = t4a_subset["mcf"]
+        others = [bd.percent(c.value) for c in Category if c is not Category.DMISS]
+        assert bd.percent("dmiss") > 2 * max(others)
+
+    def test_vortex_has_no_mispredict_cost(self, t4a_subset):
+        assert t4a_subset["vortex"].percent("bmisp") < 3
+
+
+class TestTable4b:
+    def test_shalu_win_serial(self):
+        """With a two-cycle issue-wakeup loop, window stalls serially
+        interact with one-cycle integer ops (largest for gap)."""
+        out = table4b(names=("gap",), scale=SCALE)
+        bd = out["gap"]
+        assert bd.percent("shalu+win") < -2
+        assert bd.percent("shalu") > 5
+
+    def test_interaction_rows_use_shalu_focus(self):
+        out = table4b(names=("gzip",), scale=SCALE)
+        inter = [e.label for e in out["gzip"].entries if e.kind == "interaction"]
+        assert all("shalu" in label for label in inter)
+
+
+class TestTable4c:
+    def test_bmisp_win_parallel(self):
+        """The negative result of Section 4.2: bmisp+win interacts in
+        parallel (positive icost) -- window growth does not fix the
+        mispredict loop."""
+        out = table4c(names=("gzip", "twolf"), scale=SCALE)
+        values = [bd.percent("bmisp+win") for bd in out.values()]
+        assert max(values) > 0
+
+    def test_bmisp_dmiss_serial_for_mcf(self):
+        """mcf/parser: missing loads feed branch directions, so dmiss
+        serially interacts with the mispredict loop."""
+        out = table4c(names=("mcf",), scale=SCALE)
+        assert out["mcf"].percent("bmisp+dmiss") < 0
+
+
+class TestFigure1:
+    def test_traditional_orders_disagree_icost_accounts(self):
+        forward, backward, icost_bd = figure1(scale=SCALE)
+        diff = max(abs(forward.percent(c.value) - backward.percent(c.value))
+                   for c in Category)
+        assert diff > 1.0
+        displayed = sum(e.percent for e in icost_bd.entries
+                        if e.kind in ("base", "interaction", "other"))
+        assert displayed == pytest.approx(100.0)

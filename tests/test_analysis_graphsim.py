@@ -1,0 +1,59 @@
+"""The graph-backed cost provider."""
+
+import pytest
+
+from repro.analysis.graphsim import GraphCostProvider, analyze_trace
+from repro.core import Category
+from repro.uarch import MachineConfig, simulate
+
+
+class TestGraphCostProvider:
+    def test_total_is_sim_cycles_not_cp(self, miss_trace):
+        provider = analyze_trace(miss_trace)
+        assert provider.total == float(provider.result.cycles)
+
+    def test_config_threads_through(self, miss_trace):
+        fast = analyze_trace(miss_trace, MachineConfig(dl1_latency=1))
+        slow = analyze_trace(miss_trace, MachineConfig(dl1_latency=4))
+        assert slow.total > fast.total
+        assert slow.cost([Category.DL1]) > fast.cost([Category.DL1])
+
+    def test_wraps_existing_result(self, miss_result):
+        provider = GraphCostProvider(miss_result)
+        assert provider.result is miss_result
+        assert provider.analyzer.base_length > 0
+
+    def test_taken_branch_breaks_toggle(self, small_gzip_trace):
+        result = simulate(small_gzip_trace)
+        with_breaks = GraphCostProvider(result, model_taken_branch_breaks=True)
+        without = GraphCostProvider(result, model_taken_branch_breaks=False)
+        assert with_breaks.analyzer.base_length >= without.analyzer.base_length
+
+    def test_graph_accessible(self, miss_trace):
+        provider = analyze_trace(miss_trace)
+        assert provider.graph.num_insts == len(miss_trace)
+
+
+class TestEventsRecord:
+    def test_event_counts_summary(self, miss_result):
+        counts = miss_result.event_counts()
+        assert counts["l1d_misses"] > 0
+        assert counts["l1d_misses"] >= counts["l2d_misses"]
+        assert set(counts) == {
+            "l1d_misses", "l2d_misses", "dtlb_misses", "l1i_misses",
+            "mispredicts", "partial_misses",
+        }
+
+    def test_empty_trace_simulates(self):
+        from repro.isa.program import Program
+        from repro.isa.trace import Trace
+
+        from repro.isa import ProgramBuilder
+
+        b = ProgramBuilder("one")
+        b.halt()
+        program = b.build()
+        empty = Trace(program, [])
+        result = simulate(empty)
+        assert result.cycles == 0
+        assert len(result.events) == 0

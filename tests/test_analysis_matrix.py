@@ -1,0 +1,52 @@
+"""The pairwise interaction-cost matrix."""
+
+import pytest
+
+from repro.analysis.matrix import interaction_matrix
+from repro.core import BASE_CATEGORIES, Category
+
+
+@pytest.fixture(scope="module")
+def matrix(request):
+    provider = request.getfixturevalue("miss_provider")
+    return interaction_matrix(provider, workload="miss-loop")
+
+
+class TestInteractionMatrix:
+    def test_pair_count(self, matrix):
+        assert len(matrix.pairs) == 8 * 7 // 2
+
+    def test_symmetric_access(self, matrix):
+        assert matrix.icost(Category.DL1, Category.WIN) == \
+            matrix.icost(Category.WIN, Category.DL1)
+
+    def test_self_interaction_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            matrix.icost(Category.DL1, Category.DL1)
+
+    def test_diagonal_is_cost(self, matrix, miss_provider):
+        for cat in BASE_CATEGORIES:
+            expected = 100.0 * miss_provider.cost([cat]) / miss_provider.total
+            assert matrix.costs[cat] == pytest.approx(expected)
+
+    def test_extremes(self, matrix):
+        a, b, serial = matrix.strongest_serial()
+        c, d, parallel = matrix.strongest_parallel()
+        assert serial <= parallel
+        assert serial == min(matrix.pairs.values())
+        assert parallel == max(matrix.pairs.values())
+
+    def test_render_lower_triangular(self, matrix):
+        text = matrix.render()
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(BASE_CATEGORIES)
+        for cat in BASE_CATEGORIES:
+            assert cat.value in text
+
+    def test_matches_direct_icost(self, matrix, miss_provider):
+        from repro.core import icost_pair
+
+        direct = 100.0 * icost_pair(
+            miss_provider, Category.DMISS, Category.WIN) / miss_provider.total
+        assert matrix.icost(Category.DMISS, Category.WIN) == \
+            pytest.approx(direct)

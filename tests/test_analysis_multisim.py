@@ -1,0 +1,53 @@
+"""The multiple-simulations cost baseline."""
+
+import pytest
+
+from repro.analysis.multisim import MultiSimCostProvider
+from repro.core import Category, icost_pair
+from repro.core.categories import EventSelection
+
+
+@pytest.fixture(scope="module")
+def multisim(request):
+    return MultiSimCostProvider(request.getfixturevalue("miss_trace"))
+
+
+class TestMultiSim:
+    def test_baseline_equals_plain_simulation(self, multisim, miss_result):
+        assert multisim.base_cycles == miss_result.cycles
+        assert multisim.total == float(miss_result.cycles)
+
+    def test_costs_nonnegative(self, multisim):
+        for cat in Category:
+            assert multisim.cost([cat]) >= 0
+
+    def test_memoised_simulation_count(self, miss_trace):
+        provider = MultiSimCostProvider(miss_trace)
+        assert provider.simulations == 1  # the baseline run
+        provider.cost([Category.DMISS])
+        provider.cost([Category.DMISS])
+        assert provider.simulations == 2
+
+    def test_exponential_count_for_full_powerset(self, miss_trace):
+        """Computing every icost over n categories needs 2^n runs --
+        the cost explosion that motivates graph analysis (Section 3)."""
+        from itertools import combinations
+
+        provider = MultiSimCostProvider(miss_trace)
+        cats = [Category.DL1, Category.WIN, Category.DMISS]
+        for r in range(1, 4):
+            for combo in combinations(cats, r):
+                provider.cost(combo)
+        assert provider.simulations == 2 ** 3  # incl. the empty baseline
+
+    def test_rejects_selections(self, multisim):
+        with pytest.raises(TypeError, match="selections"):
+            multisim.cost([EventSelection(Category.DMISS, frozenset({1}))])
+
+    def test_icost_against_graph_provider(self, multisim, miss_provider):
+        """Multisim and graph providers agree on interaction signs."""
+        ms = icost_pair(multisim, Category.DMISS, Category.WIN)
+        g = icost_pair(miss_provider, Category.DMISS, Category.WIN)
+        if abs(ms) > 15:
+            assert (ms > 0) == (g > 0)
+        assert g == pytest.approx(ms, abs=max(20, 0.1 * multisim.total))

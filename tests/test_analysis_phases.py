@@ -1,0 +1,85 @@
+"""Phase analysis over segmented executions."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.phases import (
+    detect_phase_changes,
+    phase_strip_svg,
+    profile_distance,
+    render_phase_table,
+    segment_profiles,
+)
+from repro.workloads import get_workload
+from repro.workloads.phased import make_phased_workload, phase_boundary
+
+
+@pytest.fixture(scope="module")
+def phased_profiles():
+    workload = make_phased_workload(phase_a_iters=50, phase_b_iters=50)
+    trace = workload.trace()
+    profiles = segment_profiles(trace, segment_length=300)
+    return workload, trace, profiles
+
+
+class TestSegmentProfiles:
+    def test_covers_whole_trace(self, phased_profiles):
+        __, trace, profiles = phased_profiles
+        assert sum(p.length for p in profiles) == len(trace.insts)
+
+    def test_cost_vectors_have_all_categories(self, phased_profiles):
+        __, __, profiles = phased_profiles
+        for p in profiles:
+            assert len(p.costs) == 8
+
+    def test_dominant_flips_between_phases(self, phased_profiles):
+        __, __, profiles = phased_profiles
+        first = profiles[0].dominant()
+        last = profiles[-1].dominant()
+        assert first == "dl1"      # serial chase
+        # phase B's mix is led by its accumulator chain with the misses
+        # close behind -- the point is that the fingerprint flipped
+        assert last != "dl1"
+        assert profiles[-1].costs["dl1"] < 10
+
+    def test_distance_symmetric(self, phased_profiles):
+        __, __, profiles = phased_profiles
+        a, b = profiles[0], profiles[-1]
+        assert profile_distance(a, b) == profile_distance(b, a)
+        assert profile_distance(a, a) == 0.0
+
+
+class TestPhaseDetection:
+    def test_exactly_one_change_near_boundary(self, phased_profiles):
+        workload, trace, profiles = phased_profiles
+        changes = detect_phase_changes(profiles, threshold=40.0)
+        assert len(changes) == 1
+        boundary_segment = phase_boundary(workload, trace) // 300
+        assert abs(changes[0] - boundary_segment) <= 1
+
+    def test_steady_workload_has_no_changes(self):
+        trace = get_workload("gzip", scale=0.5)
+        profiles = segment_profiles(trace, segment_length=400)
+        # segment-level sampling noise on a steady workload stays well
+        # below the phased workload's ~130-point jump
+        assert detect_phase_changes(profiles, threshold=60.0) == []
+
+
+class TestRendering:
+    def test_table(self, phased_profiles):
+        __, __, profiles = phased_profiles
+        table = render_phase_table(profiles)
+        assert "dominant" in table
+        assert len(table.splitlines()) == len(profiles) + 1
+
+    def test_strip_svg_well_formed(self, phased_profiles):
+        __, __, profiles = phased_profiles
+        doc = phase_strip_svg(profiles)
+        root = ET.fromstring(doc.render())
+        assert root.tag.endswith("svg")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            phase_strip_svg([])
+        assert render_phase_table([]) == "(no segments)"

@@ -1,0 +1,92 @@
+"""Sampled in-simulator graph construction."""
+
+import pytest
+
+from repro.analysis.graphsim import analyze_trace
+from repro.analysis.sampled import SampledGraphProvider, analyze_trace_sampled
+from repro.core import Category, interaction_breakdown
+from repro.core.categories import EventSelection
+from repro.uarch import MachineConfig, simulate
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def gzip_run():
+    trace = get_workload("gzip")
+    cfg = MachineConfig(dl1_latency=4)
+    return trace, cfg, simulate(trace, cfg)
+
+
+class TestWindowing:
+    def test_fraction_reflects_windows(self, gzip_run):
+        __, __, result = gzip_run
+        provider = SampledGraphProvider(result, windows=4, window_length=400)
+        assert provider.graphed_instructions <= 4 * 400
+        assert 0 < provider.graphed_fraction <= 1
+
+    def test_single_window_covers_prefix(self, gzip_run):
+        __, __, result = gzip_run
+        provider = SampledGraphProvider(result, windows=1, window_length=300)
+        assert provider.windows[0].start == 0
+        assert len(provider.windows[0]) == 300
+
+    def test_cross_window_producers_clamped(self, gzip_run):
+        __, __, result = gzip_run
+        provider = SampledGraphProvider(result, windows=3, window_length=200)
+        for window in provider.windows:
+            for inst in window.insts:
+                for p in inst.src_producers:
+                    assert -1 <= p < len(window)
+                assert -1 <= inst.mem_producer < len(window)
+
+    def test_rejects_selections(self, gzip_run):
+        __, __, result = gzip_run
+        provider = SampledGraphProvider(result)
+        with pytest.raises(TypeError, match="selections"):
+            provider.cost([EventSelection(Category.DMISS, frozenset({1}))])
+
+    def test_empty_run_rejected(self):
+        from repro.isa import ProgramBuilder
+        from repro.isa.trace import Trace
+
+        b = ProgramBuilder("x")
+        b.halt()
+        empty = Trace(b.build(), [])
+        with pytest.raises(ValueError):
+            SampledGraphProvider(simulate(empty))
+
+
+class TestAccuracy:
+    def test_tracks_full_graph_breakdown(self, gzip_run):
+        trace, cfg, __ = gzip_run
+        full = interaction_breakdown(analyze_trace(trace, cfg),
+                                     focus=Category.DL1)
+        sampled = interaction_breakdown(
+            analyze_trace_sampled(trace, cfg, windows=6, window_length=600),
+            focus=Category.DL1)
+        for entry in full.entries:
+            if entry.kind in ("base", "interaction") and abs(entry.percent) >= 5:
+                assert sampled.percent(entry.label) == pytest.approx(
+                    entry.percent, abs=8.0), entry.label
+
+    def test_more_coverage_less_error(self, gzip_run):
+        trace, cfg, result = gzip_run
+        full = interaction_breakdown(analyze_trace(trace, cfg))
+
+        def err(provider):
+            bd = interaction_breakdown(provider)
+            return sum(
+                abs(bd.percent(e.label) - e.percent)
+                for e in full.entries if e.kind == "base")
+
+        sparse = SampledGraphProvider(result, windows=2, window_length=150)
+        dense = SampledGraphProvider(result, windows=8, window_length=800)
+        assert dense.graphed_fraction > sparse.graphed_fraction
+        assert err(dense) <= err(sparse) + 2.0
+
+    def test_deterministic(self, gzip_run):
+        trace, cfg, __ = gzip_run
+        a = analyze_trace_sampled(trace, cfg, seed=4)
+        b = analyze_trace_sampled(trace, cfg, seed=4)
+        assert a.total == b.total
+        assert a.cost([Category.WIN]) == b.cost([Category.WIN])

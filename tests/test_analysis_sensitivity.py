@@ -1,0 +1,69 @@
+"""Sensitivity studies (Figure 3 and the Section 4.2/4.3 corollaries)."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    mispredict_window_speedups,
+    speedup,
+    wakeup_window_speedups,
+    window_speedup_curves,
+)
+from repro.workloads import get_workload
+
+
+class TestSpeedupHelper:
+    def test_formula(self):
+        assert speedup(120, 100) == pytest.approx(20.0)
+        assert speedup(100, 100) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+
+
+@pytest.fixture(scope="module")
+def gap_trace():
+    return get_workload("gap", scale=0.5)
+
+
+class TestFigure3Shape:
+    def test_window_speedup_grows_with_dl1_latency(self):
+        """The Figure 3 corollary of the dl1+win serial interaction:
+        enlarging the window helps more at higher dl1 latency.  vortex
+        carries the suite's strongest dl1+win serial interaction."""
+        trace = get_workload("vortex", scale=0.5)
+        curves = window_speedup_curves(trace, dl1_latencies=(1, 4),
+                                       window_sizes=(64, 128))
+        low = curves[1][-1][1]
+        high = curves[4][-1][1]
+        assert high > low > 0
+
+    def test_curves_monotone_in_window(self, gap_trace):
+        curves = window_speedup_curves(gap_trace, dl1_latencies=(2,),
+                                       window_sizes=(64, 96, 128))
+        values = [v for __, v in curves[2]]
+        assert values[0] == 0.0
+        assert values == sorted(values)
+
+    def test_first_point_is_baseline(self, gap_trace):
+        curves = window_speedup_curves(gap_trace, dl1_latencies=(2,),
+                                       window_sizes=(64, 128))
+        assert curves[2][0] == (64, 0.0)
+
+
+class TestSection42Corollaries:
+    def test_wakeup_serial_interaction(self, gap_trace):
+        """gap's shalu+win serial interaction: window growth helps more
+        at issue-wakeup 2 than at 1 (paper: 12% vs 18%)."""
+        speedups = wakeup_window_speedups(gap_trace)
+        assert speedups[2] > speedups[1] > 0
+
+    def test_mispredict_parallel_interaction(self):
+        """bmisp+win is parallel: lengthening the mispredict loop must
+        NOT amplify window benefit the way the serial loops do."""
+        trace = get_workload("gzip", scale=0.5)
+        by_recovery = mispredict_window_speedups(trace, recoveries=(7, 15))
+        wakeups = wakeup_window_speedups(trace, wakeup_latencies=(1, 2))
+        recovery_gain = by_recovery[15] - by_recovery[7]
+        wakeup_gain = wakeups[2] - wakeups[1]
+        assert recovery_gain < max(wakeup_gain, 2.0)

@@ -1,0 +1,69 @@
+"""The Table 7 error metrics."""
+
+import pytest
+
+from repro.analysis.validation import (
+    breakdown_error,
+    category_errors,
+    paper_error_profiler_vs_graph,
+    paper_error_profiler_vs_multisim,
+)
+from repro.core.breakdown import Breakdown, BreakdownEntry
+
+
+def breakdown_from(values, workload="w", total=1000.0):
+    entries = [BreakdownEntry(label=k, cycles=v * 10, percent=v, kind="base")
+               for k, v in values.items()]
+    entries.append(BreakdownEntry("Total", total, 100.0, "total"))
+    return Breakdown(workload=workload, total_cycles=total, entries=entries)
+
+
+class TestCategoryErrors:
+    def test_signed_differences(self):
+        ref = breakdown_from({"dl1": 20.0, "win": 10.0})
+        other = breakdown_from({"dl1": 22.0, "win": 7.0})
+        errors = category_errors(other, ref)
+        assert errors == {"dl1": pytest.approx(2.0), "win": pytest.approx(-3.0)}
+
+
+class TestAverageErrors:
+    def test_identical_breakdowns_have_zero_error(self):
+        bd = breakdown_from({"dl1": 20.0, "win": 10.0})
+        assert breakdown_error(bd, bd) == 0.0
+        assert paper_error_profiler_vs_multisim(bd, bd) == 0.0
+
+    def test_small_categories_excluded(self):
+        ref = breakdown_from({"dl1": 20.0, "tiny": 1.0})
+        other = breakdown_from({"dl1": 20.0, "tiny": 3.0})  # 200% off, but tiny
+        assert breakdown_error(other, ref) == 0.0
+
+    def test_vs_multisim_formula(self):
+        ms = breakdown_from({"dl1": 20.0})
+        prof = breakdown_from({"dl1": 24.0})
+        assert paper_error_profiler_vs_multisim(prof, ms) == pytest.approx(0.2)
+
+    def test_vs_graph_formula(self):
+        ms = breakdown_from({"dl1": 20.0})
+        fg = breakdown_from({"dl1": 22.0})
+        prof = breakdown_from({"dl1": 25.0})
+        # abs(25 - 22) / (20 + 22)
+        expected = 3.0 / 42.0
+        assert paper_error_profiler_vs_graph(prof, fg, ms) == pytest.approx(expected)
+
+    def test_no_significant_categories(self):
+        ref = breakdown_from({"a": 1.0})
+        assert breakdown_error(breakdown_from({"a": 4.0}), ref) == 0.0
+
+
+class TestEndToEndTable7:
+    def test_driver_produces_error_figures(self):
+        from repro.analysis.experiments import table7
+
+        out = table7(names=("gzip",), scale=0.4)
+        entry = out["gzip"]
+        assert 0.0 <= entry["avg_err_profiler_vs_graph"] < 0.5
+        assert 0.0 <= entry["avg_err_profiler_vs_multisim"] < 0.8
+        assert set(entry["multisim"]) == set(entry["fullgraph"])
+        # fullgraph tracks multisim tightly (our Table 7 observation)
+        for label, delta in entry["err_graph_vs_multisim"].items():
+            assert abs(delta) < 8.0, label

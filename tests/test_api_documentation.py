@@ -1,0 +1,71 @@
+"""Every public item carries a docstring -- enforced, not aspired to."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+#: Modules whose public surface is checked.
+PACKAGES = ("repro",)
+
+
+def _public_members(module):
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [n for n in vars(module) if not n.startswith("_")]
+    for name in names:
+        obj = vars(module).get(name)
+        if obj is None:
+            continue
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if getattr(obj, "__module__", "").startswith("repro"):
+                yield name, obj
+
+
+def _all_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.walk_packages(package.__path__,
+                                          prefix=package_name + "."):
+            if info.name.endswith("__main__"):
+                continue
+            yield importlib.import_module(info.name)
+
+
+@pytest.mark.parametrize("module", list(_all_modules()),
+                         ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and len(module.__doc__.strip()) > 20, \
+        f"{module.__name__} lacks a real module docstring"
+
+
+def test_public_functions_and_classes_documented():
+    undocumented = []
+    for module in _all_modules():
+        for name, obj in _public_members(module):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(f"{module.__name__}.{name}")
+    assert not undocumented, f"undocumented public items: {undocumented}"
+
+
+def test_public_methods_documented():
+    undocumented = []
+    checked = set()
+    for module in _all_modules():
+        for name, obj in _public_members(module):
+            if not inspect.isclass(obj) or obj in checked:
+                continue
+            checked.add(obj)
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if inspect.isfunction(meth) and not (
+                        meth.__doc__ and meth.__doc__.strip()):
+                    undocumented.append(f"{obj.__module__}.{obj.__name__}"
+                                        f".{meth_name}")
+    assert not undocumented, \
+        f"undocumented public methods: {sorted(set(undocumented))}"

@@ -1,0 +1,138 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def run(capsys):
+    def invoke(*argv):
+        code = main(list(argv))
+        out = capsys.readouterr().out
+        return code, out
+
+    return invoke
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_twelve(self, run):
+        code, out = run("workloads")
+        assert code == 0
+        for name in ("bzip", "mcf", "vortex", "perl"):
+            assert name in out
+
+
+class TestBreakdownCommand:
+    def test_basic(self, run):
+        code, out = run("breakdown", "gzip", "--scale", "0.2")
+        assert code == 0
+        assert "dl1" in out and "Total" in out
+
+    def test_focus_adds_interactions(self, run):
+        code, out = run("breakdown", "gzip", "--scale", "0.2",
+                        "--focus", "dl1")
+        assert code == 0
+        assert "dl1+win" in out
+
+    def test_machine_override(self, run):
+        code, out = run("breakdown", "gzip", "--scale", "0.2",
+                        "--set", "dl1_latency=4", "--focus", "dl1")
+        assert code == 0
+
+    def test_full_power_set(self, run):
+        code, out = run("breakdown", "gzip", "--scale", "0.2",
+                        "--full", "dl1,win,dmiss")
+        assert code == 0
+        assert "dl1+dmiss+win" in out
+
+    def test_bars(self, run):
+        code, out = run("breakdown", "gzip", "--scale", "0.2", "--bars")
+        assert "%" in out and "|" in out
+
+    def test_unknown_workload(self, run):
+        with pytest.raises(SystemExit):
+            run("breakdown", "nonsense")
+
+    def test_bad_machine_override(self, run):
+        with pytest.raises(SystemExit):
+            run("breakdown", "gzip", "--set", "frobnicate=3")
+        with pytest.raises(SystemExit):
+            run("breakdown", "gzip", "--set", "dl1_latency")
+
+
+class TestProfileCommand:
+    def test_runs_and_compares(self, run):
+        code, out = run("profile", "gzip", "--scale", "0.3",
+                        "--fragments", "3", "--focus", "dl1")
+        assert code == 0
+        assert "fullgraph" in out and "profiler" in out
+        assert "fragments=3" in out
+
+
+class TestSensitivityCommand:
+    def test_sweep(self, run):
+        code, out = run("sensitivity", "gzip", "--scale", "0.2",
+                        "--dl1", "1,4", "--windows", "64,128")
+        assert code == 0
+        assert "lat=1" in out and "lat=4" in out
+        assert "128" in out
+
+
+class TestCriticalCommand:
+    def test_top_instructions(self, run):
+        code, out = run("critical", "gzip", "--scale", "0.2", "--top", "3")
+        assert code == 0
+        assert "costliest" in out
+        assert "edge kind" in out
+
+
+class TestCharacterizeCommand:
+    def test_suite_fingerprint(self, run):
+        code, out = run("characterize", "--workloads", "gzip,mcf",
+                        "--scale", "0.3")
+        assert code == 0
+        assert "dominant" in out
+        assert "bottleneck is" in out
+
+
+class TestExportFlags:
+    def test_json(self, run):
+        import json
+
+        code, out = run("breakdown", "gzip", "--scale", "0.2", "--json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["workload"] == "gzip"
+
+    def test_csv(self, run):
+        code, out = run("breakdown", "gzip", "--scale", "0.2", "--csv")
+        assert code == 0
+        assert out.splitlines()[0] == "category,gzip"
+
+
+class TestReportCommand:
+    def test_writes_html(self, run, tmp_path):
+        out = tmp_path / "r.html"
+        code, text = run("report", "gzip", "--scale", "0.3",
+                         "-o", str(out))
+        assert code == 0
+        html = out.read_text()
+        assert "<svg" in html and "Breakdown" in html
+
+
+class TestMatrixCommand:
+    def test_prints_matrix_and_extremes(self, run):
+        code, out = run("matrix", "gzip", "--scale", "0.3")
+        assert code == 0
+        assert "pairwise icosts" in out
+        assert "strongest serial" in out and "strongest parallel" in out
+
+
+class TestPhasesCommand:
+    def test_segments_and_detection(self, run):
+        code, out = run("phases", "gzip", "--scale", "0.3",
+                        "--segment", "300")
+        assert code == 0
+        assert "dominant" in out
+        assert "phase change" in out

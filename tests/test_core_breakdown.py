@@ -1,0 +1,139 @@
+"""Parallelism-aware breakdowns (Section 2.3 / Table 4 semantics)."""
+
+import pytest
+
+from repro.core import (
+    BASE_CATEGORIES,
+    Category,
+    interaction_breakdown,
+    traditional_breakdown,
+)
+
+
+class TestInteractionBreakdown:
+    def test_rows_and_total(self, miss_provider):
+        bd = interaction_breakdown(miss_provider, focus=Category.DL1,
+                                   workload="miss-loop")
+        labels = bd.labels()
+        for cat in BASE_CATEGORIES:
+            assert cat.value in labels
+        # 7 interaction rows: focus paired with every other base category
+        inter = [e for e in bd.entries if e.kind == "interaction"]
+        assert len(inter) == len(BASE_CATEGORIES) - 1
+        assert labels[-1] == "Total"
+        assert bd.percent("Total") == pytest.approx(100.0)
+
+    def test_percentages_account_for_everything(self, miss_provider):
+        bd = interaction_breakdown(miss_provider, focus=Category.DL1)
+        displayed = sum(e.percent for e in bd.entries
+                        if e.kind in ("base", "interaction", "other"))
+        assert displayed == pytest.approx(100.0)
+
+    def test_no_focus_gives_base_rows_only(self, miss_provider):
+        bd = interaction_breakdown(miss_provider)
+        assert not [e for e in bd.entries if e.kind == "interaction"]
+
+    def test_focus_must_be_base_category(self, miss_provider):
+        from repro.core.categories import EventSelection
+
+        with pytest.raises(ValueError, match="focus"):
+            interaction_breakdown(
+                miss_provider,
+                focus=EventSelection(Category.DMISS, frozenset({1})))
+
+    def test_interaction_labels_are_sorted_pairs(self, miss_provider):
+        bd = interaction_breakdown(miss_provider, focus=Category.DL1)
+        inter = [e.label for e in bd.entries if e.kind == "interaction"]
+        assert all("+" in label for label in inter)
+        assert any("dl1" in label for label in inter)
+
+    def test_getitem_and_keyerror(self, miss_provider):
+        bd = interaction_breakdown(miss_provider)
+        assert bd["dl1"].kind == "base"
+        with pytest.raises(KeyError):
+            bd["nonsense"]
+
+    def test_as_dict_roundtrip(self, miss_provider):
+        bd = interaction_breakdown(miss_provider)
+        d = bd.as_dict()
+        assert d["Total"] == pytest.approx(100.0)
+        assert d["dl1"] == bd.percent("dl1")
+
+
+class TestTraditionalBreakdown:
+    def test_sums_to_exactly_100(self, miss_provider):
+        bd = traditional_breakdown(miss_provider)
+        total = sum(e.percent for e in bd.entries
+                    if e.kind in ("base", "other"))
+        assert total == pytest.approx(100.0)
+
+    def test_order_dependence(self, miss_provider):
+        """The Figure 1 motivation: single-blame attribution depends on
+        the arbitrary order categories are charged in."""
+        forward = traditional_breakdown(miss_provider, BASE_CATEGORIES)
+        backward = traditional_breakdown(
+            miss_provider, tuple(reversed(BASE_CATEGORIES)))
+        diffs = [abs(forward.percent(c.value) - backward.percent(c.value))
+                 for c in BASE_CATEGORIES]
+        assert max(diffs) > 1.0
+
+    def test_icost_breakdown_is_order_free(self, miss_provider):
+        a = interaction_breakdown(miss_provider, BASE_CATEGORIES,
+                                  focus=Category.DL1)
+        b = interaction_breakdown(miss_provider,
+                                  tuple(reversed(BASE_CATEGORIES)),
+                                  focus=Category.DL1)
+        for cat in BASE_CATEGORIES:
+            assert a.percent(cat.value) == pytest.approx(b.percent(cat.value))
+
+    def test_nonpositive_total_rejected(self, dict_provider_factory):
+        provider = dict_provider_factory({(): 0.0}, total=0.0)
+        with pytest.raises(ValueError):
+            traditional_breakdown(provider)
+        with pytest.raises(ValueError):
+            interaction_breakdown(provider)
+
+
+class TestFullInteractionBreakdown:
+    def test_power_set_rows(self, miss_provider):
+        from repro.core.breakdown import full_interaction_breakdown
+
+        cats = (Category.DL1, Category.WIN, Category.DMISS)
+        bd = full_interaction_breakdown(miss_provider, cats)
+        rows = [e for e in bd.entries if e.kind in ("base", "interaction")]
+        assert len(rows) == 2 ** 3 - 1
+        labels = {e.label for e in rows}
+        assert "dl1+dmiss+win" in labels
+
+    def test_accounting_identity(self, miss_provider):
+        """Displayed rows sum exactly to the aggregate cost of the
+        union -- 'completely accounting for execution time requires all
+        interaction costs to be considered' (Section 2.2)."""
+        from repro.core.breakdown import full_interaction_breakdown
+
+        cats = (Category.DL1, Category.WIN, Category.DMISS, Category.SHALU)
+        bd = full_interaction_breakdown(miss_provider, cats)
+        displayed = sum(e.cycles for e in bd.entries
+                        if e.kind in ("base", "interaction"))
+        assert displayed == pytest.approx(miss_provider.cost(cats))
+
+    def test_category_cap(self, miss_provider):
+        from repro.core.breakdown import full_interaction_breakdown
+        from repro.core.categories import BASE_CATEGORIES
+
+        with pytest.raises(ValueError, match="rows"):
+            full_interaction_breakdown(miss_provider, BASE_CATEGORIES)
+
+    def test_other_is_residual(self, miss_provider):
+        """With all eight categories (cap raised), Other is the
+        un-idealizable machine floor: positive and below the pairwise
+        breakdown's Other magnitude range."""
+        from repro.core.breakdown import full_interaction_breakdown
+        from repro.core.categories import BASE_CATEGORIES
+
+        bd = full_interaction_breakdown(miss_provider, BASE_CATEGORIES,
+                                        max_categories=8)
+        other = bd["Other"].cycles
+        assert other == pytest.approx(
+            miss_provider.total - miss_provider.cost(BASE_CATEGORIES))
+        assert other >= 0

@@ -1,0 +1,61 @@
+"""Category and event-selection semantics."""
+
+import pytest
+
+from repro.core.categories import (
+    BASE_CATEGORIES,
+    Category,
+    EventSelection,
+    normalize_targets,
+)
+
+
+class TestCategory:
+    def test_eight_base_categories(self):
+        assert len(BASE_CATEGORIES) == 8
+        assert len(set(BASE_CATEGORIES)) == 8
+
+    def test_table4_display_order(self):
+        assert [c.value for c in BASE_CATEGORIES] == [
+            "dl1", "win", "bw", "bmisp", "dmiss", "shalu", "lgalu", "imiss"]
+
+    def test_indices_stable_and_unique(self):
+        indices = [c.index for c in Category]
+        assert sorted(indices) == list(range(len(Category)))
+
+    def test_str(self):
+        assert str(Category.DL1) == "dl1"
+
+    def test_lookup_by_value(self):
+        assert Category("dmiss") is Category.DMISS
+
+
+class TestEventSelection:
+    def test_freezes_seqs(self):
+        sel = EventSelection(Category.DMISS, {3, 1, 2})
+        assert isinstance(sel.seqs, frozenset)
+        assert sel.seqs == {1, 2, 3}
+
+    def test_auto_name(self):
+        sel = EventSelection(Category.DMISS, frozenset({1, 2}))
+        assert "dmiss" in sel.name and "2" in sel.name
+
+    def test_custom_name(self):
+        sel = EventSelection(Category.DMISS, frozenset({1}), name="load@0x40")
+        assert str(sel) == "load@0x40"
+
+    def test_hashable_and_equal(self):
+        a = EventSelection(Category.DMISS, frozenset({1, 2}))
+        b = EventSelection(Category.DMISS, frozenset({2, 1}))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestNormalizeTargets:
+    def test_accepts_mixed(self):
+        sel = EventSelection(Category.DMISS, frozenset({1}))
+        out = normalize_targets([Category.DL1, sel])
+        assert out == frozenset({Category.DL1, sel})
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            normalize_targets(["dl1"])

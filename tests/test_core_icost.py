@@ -1,0 +1,160 @@
+"""The icost algebra, tested against hand-computable providers and the
+paper's own worked examples."""
+
+import pytest
+
+from repro.core import (
+    CachingCostProvider,
+    Category,
+    Interaction,
+    classify_interaction,
+    icost,
+    icost_pair,
+    icost_of_union,
+)
+from repro.core.icost import as_group
+
+DL1, WIN, BW = Category.DL1, Category.WIN, Category.BW
+DMISS, BMISP = Category.DMISS, Category.BMISP
+
+
+class TestPaperExamples:
+    """Section 2.2's canonical scenarios."""
+
+    def test_two_parallel_cache_misses(self, dict_provider_factory):
+        """Two completely parallel misses: each costs zero, both
+        together cost the full latency -- a parallel interaction."""
+        provider = dict_provider_factory({
+            (): 0.0,
+            (DMISS,): 0.0,            # miss 1 alone: hidden by miss 2
+            (BMISP,): 0.0,            # stand-in for miss 2's class
+            (DMISS, BMISP): 100.0,
+        }, total=200.0)
+        value = icost_pair(provider, DMISS, BMISP)
+        assert value == 100.0
+        assert classify_interaction(value) is Interaction.PARALLEL
+
+    def test_two_serial_misses_parallel_to_alu(self, dict_provider_factory):
+        """Two dependent 100-cycle misses in parallel with 100 cycles of
+        ALU work: each alone costs 100, both together also 100 -- a
+        serial interaction (icost = -100)."""
+        provider = dict_provider_factory({
+            (): 0.0,
+            (DMISS,): 100.0,
+            (BMISP,): 100.0,
+            (DMISS, BMISP): 100.0,
+        }, total=200.0)
+        value = icost_pair(provider, DMISS, BMISP)
+        assert value == -100.0
+        assert classify_interaction(value) is Interaction.SERIAL
+
+    def test_independent_events(self, dict_provider_factory):
+        provider = dict_provider_factory({
+            (): 0.0, (DMISS,): 30.0, (BMISP,): 20.0, (DMISS, BMISP): 50.0,
+        }, total=100.0)
+        value = icost_pair(provider, DMISS, BMISP)
+        assert value == 0.0
+        assert classify_interaction(value) is Interaction.INDEPENDENT
+
+
+class TestDefinition:
+    def test_pair_formula(self, dict_provider_factory):
+        provider = dict_provider_factory({
+            (): 0.0, (DL1,): 10.0, (WIN,): 25.0, (DL1, WIN): 30.0,
+        }, total=100.0)
+        assert icost_pair(provider, DL1, WIN) == 30.0 - 10.0 - 25.0
+
+    def test_singleton_is_cost(self, dict_provider_factory):
+        provider = dict_provider_factory({(): 0.0, (DL1,): 10.0}, total=100.0)
+        assert icost(provider, [DL1]) == 10.0
+
+    def test_empty_is_zero(self, dict_provider_factory):
+        provider = dict_provider_factory({(): 0.0}, total=100.0)
+        assert icost(provider, []) == 0.0
+
+    def test_three_way_recursive_definition(self, dict_provider_factory):
+        table = {
+            (): 0.0,
+            (DL1,): 5.0, (WIN,): 7.0, (BW,): 3.0,
+            (DL1, WIN): 20.0, (DL1, BW): 8.0, (WIN, BW): 10.0,
+            (DL1, WIN, BW): 40.0,
+        }
+        provider = dict_provider_factory(table, total=100.0)
+        # icost(U) = cost(U) - sum of icosts of all proper subsets
+        expected = (40.0
+                    - (20.0 - 5.0 - 7.0)      # icost{dl1,win}
+                    - (8.0 - 5.0 - 3.0)       # icost{dl1,bw}
+                    - (10.0 - 7.0 - 3.0)      # icost{win,bw}
+                    - 5.0 - 7.0 - 3.0)
+        assert icost(provider, [DL1, WIN, BW]) == pytest.approx(expected)
+
+    def test_power_set_identity(self, dict_provider_factory):
+        """Sum of icosts over the power set equals the aggregate cost."""
+        table = {
+            (): 0.0,
+            (DL1,): 5.0, (WIN,): 7.0,
+            (DL1, WIN): 20.0,
+        }
+        provider = dict_provider_factory(table, total=100.0)
+        total = (icost(provider, [DL1]) + icost(provider, [WIN])
+                 + icost(provider, [DL1, WIN]))
+        assert total == icost_of_union(provider, [DL1, WIN]) == 20.0
+
+    def test_groups_of_sets(self, dict_provider_factory):
+        """icost of event *sets* replaces single events with groups."""
+        table = {
+            (): 0.0,
+            (DL1, BW): 12.0,          # group 1 idealized together
+            (WIN,): 7.0,
+            (DL1, BW, WIN): 25.0,
+        }
+        provider = dict_provider_factory(table, total=100.0)
+        value = icost(provider, [(DL1, BW), WIN])
+        assert value == 25.0 - 12.0 - 7.0
+
+    def test_overlapping_groups_rejected(self, dict_provider_factory):
+        provider = dict_provider_factory({(): 0.0}, total=100.0)
+        with pytest.raises(ValueError, match="overlap"):
+            icost(provider, [(DL1, WIN), (WIN, BW)])
+
+
+class TestOnRealGraph:
+    def test_icost_matches_direct_formula(self, miss_provider):
+        direct = (miss_provider.cost([DMISS, WIN])
+                  - miss_provider.cost([DMISS])
+                  - miss_provider.cost([WIN]))
+        assert icost_pair(miss_provider, DMISS, WIN) == pytest.approx(direct)
+
+    def test_cost_query_count_for_pair(self, miss_provider):
+        cached = CachingCostProvider(miss_provider)
+        icost_pair(cached, DMISS, WIN)
+        assert cached.calls == 3  # cost(a), cost(b), cost(a,b)
+
+    def test_cost_query_count_for_triple(self, miss_provider):
+        cached = CachingCostProvider(miss_provider)
+        icost(cached, [DMISS, WIN, DL1])
+        assert cached.calls == 7  # 2^3 - 1 measurements
+
+    def test_symmetry(self, miss_provider):
+        assert icost_pair(miss_provider, DMISS, WIN) == \
+            icost_pair(miss_provider, WIN, DMISS)
+
+
+class TestClassification:
+    def test_epsilon_absorbs_noise(self):
+        assert classify_interaction(1e-12) is Interaction.INDEPENDENT
+        assert classify_interaction(-1e-12) is Interaction.INDEPENDENT
+        assert classify_interaction(0.5) is Interaction.PARALLEL
+        assert classify_interaction(-0.5) is Interaction.SERIAL
+
+
+class TestGroupNormalisation:
+    def test_bare_target_becomes_singleton(self):
+        assert as_group(DL1) == frozenset({DL1})
+
+    def test_iterable_frozen(self):
+        assert as_group([DL1, WIN]) == frozenset({DL1, WIN})
+
+    def test_invalid_member_rejected(self):
+        with pytest.raises(TypeError):
+            as_group(["dl1"])

@@ -1,0 +1,74 @@
+"""Rendering: Table 4-style tables and Figure 1b stacked bars."""
+
+import pytest
+
+from repro.core import (
+    Category,
+    interaction_breakdown,
+    render_breakdown_table,
+    render_stacked_bar,
+)
+from repro.core.report import render_comparison
+
+
+@pytest.fixture(scope="module")
+def breakdown(request):
+    provider = request.getfixturevalue("miss_provider")
+    return interaction_breakdown(provider, focus=Category.DL1,
+                                 workload="miss-loop")
+
+
+class TestBreakdownTable:
+    def test_columns_and_rows(self, breakdown):
+        text = render_breakdown_table({"miss-loop": breakdown}, "Title")
+        assert "Title" in text
+        assert "miss-loop" in text
+        for row in ("dl1", "win", "dmiss", "Other", "Total"):
+            assert row in text
+
+    def test_total_row_is_last(self, breakdown):
+        text = render_breakdown_table({"w": breakdown})
+        assert text.strip().splitlines()[-1].startswith("Total")
+
+    def test_multiple_columns(self, breakdown):
+        text = render_breakdown_table({"a": breakdown, "b": breakdown})
+        header = text.splitlines()[0]
+        assert "a" in header and "b" in header
+
+    def test_missing_label_renders_dash(self, breakdown, miss_provider):
+        plain = interaction_breakdown(miss_provider, workload="plain")
+        text = render_breakdown_table({"full": breakdown, "plain": plain})
+        assert "-" in text  # plain has no interaction rows
+
+    def test_empty_input(self):
+        assert render_breakdown_table({}, "t") == "t"
+
+
+class TestStackedBar:
+    def test_contains_all_nonzero_entries(self, breakdown):
+        text = render_stacked_bar(breakdown)
+        for entry in breakdown.entries:
+            if entry.kind in ("base", "interaction") and abs(entry.percent) > 0.5:
+                assert entry.label in text
+
+    def test_negative_section_marked(self, breakdown):
+        negatives = [e for e in breakdown.entries if e.percent < 0]
+        text = render_stacked_bar(breakdown)
+        if negatives:
+            assert "serial interactions" in text
+
+    def test_width_respected(self, breakdown):
+        text = render_stacked_bar(breakdown, width=30)
+        for line in text.splitlines():
+            if "|" in line:
+                bar = line.split("|")[1].split()[0]
+                assert len(bar) <= 31
+
+
+class TestComparisonTable:
+    def test_renders_signed_values(self):
+        rows = {"dl1": {"multisim": 16.1, "profiler": 2.5},
+                "win": {"multisim": 11.7}}
+        text = render_comparison(rows, ["multisim", "profiler"], "Table 7")
+        assert "+16.1" in text and "+2.5" in text
+        assert "-" in text  # missing profiler value for win

@@ -1,0 +1,73 @@
+"""Serialization round-trips."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core import Category, interaction_breakdown
+from repro.core.serialize import (
+    breakdown_from_json,
+    breakdown_to_json,
+    breakdowns_to_csv,
+    simresult_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def breakdown(request):
+    provider = request.getfixturevalue("miss_provider")
+    return interaction_breakdown(provider, focus=Category.DL1,
+                                 workload="miss-loop")
+
+
+class TestJson:
+    def test_roundtrip(self, breakdown):
+        text = breakdown_to_json(breakdown)
+        loaded = breakdown_from_json(text)
+        assert loaded.workload == breakdown.workload
+        assert loaded.total_cycles == breakdown.total_cycles
+        assert loaded.labels() == breakdown.labels()
+        for label in breakdown.labels():
+            assert loaded.percent(label) == breakdown.percent(label)
+            assert loaded[label].kind == breakdown[label].kind
+
+    def test_valid_json(self, breakdown):
+        data = json.loads(breakdown_to_json(breakdown))
+        assert data["workload"] == "miss-loop"
+        assert isinstance(data["entries"], list)
+
+
+class TestCsv:
+    def test_table_shape(self, breakdown):
+        text = breakdowns_to_csv({"a": breakdown, "b": breakdown})
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["category", "a", "b"]
+        labels = [r[0] for r in rows[1:]]
+        assert "dl1" in labels and "Total" in labels
+        for row in rows[1:]:
+            assert len(row) == 3
+            float(row[1])  # parseable
+
+    def test_missing_labels_blank(self, breakdown, miss_provider):
+        plain = interaction_breakdown(miss_provider, workload="p")
+        text = breakdowns_to_csv({"full": breakdown, "plain": plain})
+        rows = {r[0]: r for r in csv.reader(io.StringIO(text))}
+        assert rows["dl1+win"][2] == ""
+
+
+class TestSimResultSummary:
+    def test_summary_fields(self, miss_result):
+        summary = simresult_summary(miss_result)
+        assert summary["cycles"] == miss_result.cycles
+        assert summary["instructions"] == len(miss_result.events)
+        assert summary["idealized"] == []
+        json.dumps(summary)  # JSON-ready
+
+    def test_ideal_flags_recorded(self, miss_trace):
+        from repro.uarch import IdealConfig, simulate
+
+        result = simulate(miss_trace, ideal=IdealConfig(dmiss=True, win=True))
+        summary = simresult_summary(result)
+        assert set(summary["idealized"]) == {"dmiss", "win"}

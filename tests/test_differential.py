@@ -1,0 +1,128 @@
+"""Differential tests: our graph algorithms vs networkx, our simulator
+vs the graph model across random machine configurations.
+
+networkx's DAG longest-path routines are an independent implementation
+of the same mathematics; agreement across randomly generated workloads
+is strong evidence the CSR sweeps (forward, backward, idealized) are
+right.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Category
+from repro.graph import GraphCostAnalyzer, build_graph
+from repro.graph.critical_path import longest_path
+from repro.graph.idealize import REMOVED, GraphIdealizer
+from repro.graph.slack import backward_longest_path, edge_slacks
+from repro.uarch import MachineConfig, simulate
+from repro.workloads.synthetic import random_program
+
+SLOW = settings(max_examples=10, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def to_networkx(graph, lat=None):
+    latencies = graph.edge_lat if lat is None else lat
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_nodes))
+    index = 0
+    for dst in range(graph.num_nodes):
+        for e in range(graph.csr_start[dst], graph.csr_start[dst + 1]):
+            if latencies[index] > REMOVED:
+                g.add_edge(graph.edge_src[e], dst, weight=latencies[index])
+            index += 1
+    return g
+
+
+def small_trace(seed):
+    return random_program(seed=seed, body_insts=25, iterations=8).trace()
+
+
+class TestAgainstNetworkx:
+    @SLOW
+    @given(seed=st.integers(0, 500))
+    def test_longest_path_matches(self, seed):
+        graph = build_graph(simulate(small_trace(seed)))
+        ours = max(longest_path(graph, seed=0))
+        g = to_networkx(graph)
+        theirs = nx.dag_longest_path_length(g, weight="weight")
+        assert ours == theirs
+
+    @SLOW
+    @given(seed=st.integers(0, 500),
+           cat=st.sampled_from([Category.DMISS, Category.WIN, Category.BW]))
+    def test_idealized_longest_path_matches(self, seed, cat):
+        graph = build_graph(simulate(small_trace(seed)))
+        idealizer = GraphIdealizer(graph)
+        lat = idealizer.latencies([cat])
+        ours = max(longest_path(graph, lat, seed=idealizer.seed([cat])))
+        theirs = nx.dag_longest_path_length(to_networkx(graph, lat),
+                                            weight="weight")
+        # node 0's seed is not representable as an nx edge; our seed for
+        # these categories is zero on warm-cache runs
+        assert idealizer.seed([cat]) == 0
+        assert ours == theirs
+
+    @SLOW
+    @given(seed=st.integers(0, 500))
+    def test_backward_sweep_consistent_with_forward(self, seed):
+        graph = build_graph(simulate(small_trace(seed)))
+        dist = longest_path(graph, seed=0)
+        back = backward_longest_path(graph)
+        cp = max(dist)
+        # every zero-slack edge lies on a maximal path
+        slacks = edge_slacks(graph)
+        index = 0
+        for dst in range(graph.num_nodes):
+            for e in range(graph.csr_start[dst], graph.csr_start[dst + 1]):
+                src = graph.edge_src[e]
+                expected = cp - (dist[src] + graph.edge_lat[index] + back[dst])
+                # recompute independently of edge_slacks' own loop
+                assert slacks[index] == expected
+                index += 1
+
+
+class TestRandomConfigurations:
+    """The graph model must track the simulator on machines it has
+    never been tuned for."""
+
+    config_params = st.fixed_dictionaries({
+        "window_size": st.sampled_from([8, 16, 64, 256]),
+        "fetch_width": st.sampled_from([2, 4, 6]),
+        "commit_width": st.sampled_from([2, 6]),
+        "dl1_latency": st.integers(1, 5),
+        "issue_wakeup": st.integers(1, 3),
+        "mispredict_recovery": st.integers(3, 20),
+        "l2_latency": st.sampled_from([6, 12, 24]),
+    })
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 100), params=config_params)
+    def test_graph_cp_tracks_sim(self, seed, params):
+        cfg = MachineConfig(**params)
+        result = simulate(small_trace(seed), cfg)
+        analyzer = GraphCostAnalyzer(build_graph(result))
+        offset = result.events[0].d
+        assert analyzer.base_length + offset == pytest.approx(
+            result.cycles, rel=0.12, abs=8)
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 100), params=config_params)
+    def test_costs_track_resimulation(self, seed, params):
+        from repro.uarch import IdealConfig
+
+        cfg = MachineConfig(**params)
+        trace = small_trace(seed)
+        base = simulate(trace, cfg)
+        analyzer = GraphCostAnalyzer(build_graph(base))
+        for cat in (Category.DMISS, Category.WIN):
+            ideal = IdealConfig.for_categories([cat])
+            sim_cost = base.cycles - simulate(trace, cfg, ideal).cycles
+            graph_cost = analyzer.cost([cat])
+            assert graph_cost == pytest.approx(
+                sim_cost, abs=max(12, 0.12 * base.cycles))

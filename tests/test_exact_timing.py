@@ -1,0 +1,137 @@
+"""Hand-computed cycle-exact timing of tiny programs.
+
+These tests pin the simulator's stage semantics (fetch-to-dispatch
+depth, same-cycle dispatch/ready rules, one-cycle issue-wakeup,
+complete-to-commit depth, in-order commit) against timings worked out
+by hand from the documented model.  Any change to stage ordering shows
+up here as an off-by-one before it can silently re-tune the suite.
+"""
+
+import pytest
+
+from repro.isa import Executor, ProgramBuilder
+from repro.uarch import MachineConfig, simulate
+
+#: All tests use the default machine: fetch_to_dispatch=5,
+#: complete_to_commit=2, issue_wakeup=1, dl1_latency=2, warm caches.
+CFG = MachineConfig()
+
+
+def run(body):
+    b = ProgramBuilder("exact")
+    body(b)
+    b.halt()
+    return simulate(Executor(b.build()).run(), CFG)
+
+
+class TestDependentAluChain:
+    def test_three_chained_addis(self):
+        """i0: addi r1,r0,1; i1: addi r1,r1,1; i2: addi r1,r1,1; halt.
+
+        Hand timing: all four fetch at cycle 0 (one warm line, width 6)
+        and dispatch at cycle 5 (= fetch_to_dispatch).  An instruction
+        dispatched in cycle t is ready no earlier than t+1.  i0 and the
+        (independent) halt issue at 6 and complete at 7; each chained
+        addi issues the cycle its producer completes.  Commit needs
+        complete_to_commit=2 cycles and is in-order.
+        """
+        result = run(lambda b: (b.addi(1, 0, 1), b.addi(1, 1, 1),
+                                b.addi(1, 1, 1)))
+        ev = result.events
+        assert [e.f for e in ev] == [0, 0, 0, 0]
+        assert [e.d for e in ev] == [5, 5, 5, 5]
+        assert ev[0].r == 6 and ev[0].e == 6 and ev[0].p == 7
+        assert ev[1].r == 7 and ev[1].e == 7 and ev[1].p == 8
+        assert ev[2].r == 8 and ev[2].e == 8 and ev[2].p == 9
+        # halt is independent: issues alongside i0
+        assert ev[3].e == 6 and ev[3].p == 7
+        # in-order commit, two cycles after completion, width 6
+        assert [e.c for e in ev] == [9, 10, 11, 11]
+        assert result.cycles == 12
+
+    def test_issue_wakeup_two_adds_a_cycle_per_link(self):
+        result = simulate(
+            Executor(_chain_program()).run(),
+            MachineConfig(issue_wakeup=2))
+        ev = result.events
+        assert ev[0].e == 6 and ev[0].p == 7
+        assert ev[1].e == 8   # producer completed at 7, +1 wakeup
+        assert ev[2].e == 10
+
+
+def _chain_program():
+    b = ProgramBuilder("chain")
+    b.addi(1, 0, 1)
+    b.addi(1, 1, 1)
+    b.addi(1, 1, 1)
+    b.halt()
+    return b.build()
+
+
+class TestLoadUseTiming:
+    def test_warm_load_takes_dl1_latency(self):
+        """A load hitting the (warmed) L1 completes dl1_latency=2 cycles
+        after issue; its user issues the cycle it completes."""
+        def body(b):
+            b.addi(1, 0, 0x2000)
+            b.st(1, 1, 0)       # ensures the line exists architecturally
+            b.ld(2, 1, 0)
+            b.addi(3, 2, 1)
+        result = run(body)
+        ev = result.events
+        ld, use = ev[2], ev[3]
+        # ld waits for the address (i0 completes at 7) and the store's
+        # data (store completes at e+2)
+        assert ld.e == max(ev[0].p, ev[1].p)
+        assert ld.exec_latency >= CFG.dl1_latency
+        assert use.e == ld.p
+
+    def test_cold_load_pays_l2_and_memory(self):
+        def body(b):
+            b.lui(1, 64)        # far from any warmed region
+            b.ld(2, 1, 0)
+        result = run(body)
+        ld = result.events[1]
+        assert ld.l1d_miss and ld.l2d_miss and ld.dtlb_miss
+        assert ld.exec_latency == (CFG.dl1_latency + CFG.l2_latency +
+                                   CFG.memory_latency +
+                                   CFG.tlb_miss_latency)
+
+
+class TestFetchGroupRules:
+    def test_taken_branch_ends_the_fetch_group(self):
+        """j + target addi: the jump is fetched at 0, its target cannot
+        fetch in the same cycle (taken_branches_per_fetch=1)."""
+        def body(b):
+            b.j("t")
+            b.label("t")
+            b.addi(1, 1, 1)
+        result = run(body)
+        ev = result.events
+        assert ev[0].f == 0
+        assert ev[1].f == 1
+        assert ev[1].d == ev[0].d + 1
+
+    def test_fetch_width_limits_group(self):
+        cfg = MachineConfig(fetch_width=2)
+        b = ProgramBuilder("w")
+        for __ in range(5):
+            b.addi(1, 0, 1)
+        b.halt()
+        result = simulate(Executor(b.build()).run(), cfg)
+        assert [e.f for e in result.events] == [0, 0, 1, 1, 2, 2]
+
+
+class TestWindowStall:
+    def test_rob_slot_reuse_is_same_cycle(self):
+        """With a 2-entry window, i2 dispatches exactly when i0 commits
+        (the zero-latency CD edge)."""
+        cfg = MachineConfig(window_size=2)
+        b = ProgramBuilder("win")
+        for __ in range(4):
+            b.addi(1, 0, 1)     # independent ops
+        b.halt()
+        result = simulate(Executor(b.build()).run(), cfg)
+        ev = result.events
+        assert ev[2].d == ev[0].c
+        assert ev[3].d == ev[1].c

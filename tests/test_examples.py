@@ -1,0 +1,46 @@
+"""Every example script runs to completion.
+
+Examples are the public face of the library; this keeps them from
+rotting as the API evolves.  Scripts run in-process via runpy with a
+temporary working directory, and the slow ones are scaled through their
+own CLI arguments where available.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = [
+    ("quickstart.py", ["gzip"]),
+    ("prefetch_guidance.py", []),
+    ("pipeline_tuning.py", []),
+    ("shotgun_profiling.py", []),
+    ("dependence_graph_viz.py", []),
+    ("deoptimization.py", []),
+    ("adaptive_reconfig.py", []),
+    ("render_figures.py", None),  # argv filled with tmp_path at runtime
+]
+
+
+@pytest.mark.parametrize("script,argv", SCRIPTS,
+                         ids=[s for s, __ in SCRIPTS])
+def test_example_runs(script, argv, tmp_path, monkeypatch, capsys):
+    if argv is None:
+        argv = [str(tmp_path / "figures")]
+    monkeypatch.setattr(sys, "argv", [script] + argv)
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 50  # every example narrates what it did
+
+
+def test_dependence_graph_viz_dot_mode(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", ["dependence_graph_viz.py", "--dot"])
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(EXAMPLES / "dependence_graph_viz.py"),
+                   run_name="__main__")
+    assert capsys.readouterr().out.startswith("digraph")

@@ -1,0 +1,56 @@
+"""Golden regression bands for the reproduced headline numbers.
+
+EXPERIMENTS.md publishes specific figures; these tests pin them inside
+generous bands so that a refactor that silently shifts the science --
+a simulator change, a workload drift, a graph-model edit -- fails
+loudly here first.  If a change moves a number on purpose, update the
+band AND the EXPERIMENTS.md entry together.
+"""
+
+import pytest
+
+from repro.analysis.experiments import table4a, table4b, table4c
+from repro.analysis.sensitivity import wakeup_window_speedups
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def t4a():
+    return table4a(names=("mcf", "vortex", "gzip", "eon"))
+
+
+class TestTable4aGolden:
+    def test_mcf_dmiss(self, t4a):
+        assert t4a["mcf"].percent("dmiss") == pytest.approx(80.5, abs=8)
+
+    def test_vortex_dl1_win(self, t4a):
+        assert t4a["vortex"].percent("dl1+win") == pytest.approx(-36.6, abs=10)
+        assert t4a["vortex"].percent("win") == pytest.approx(52.9, abs=10)
+
+    def test_gzip_dl1(self, t4a):
+        assert t4a["gzip"].percent("dl1") == pytest.approx(37.9, abs=8)
+
+    def test_eon_imiss_lgalu(self, t4a):
+        assert t4a["eon"].percent("imiss") == pytest.approx(11.0, abs=6)
+        assert t4a["eon"].percent("lgalu") == pytest.approx(13.0, abs=6)
+
+
+class TestTable4bGolden:
+    def test_gap_shalu_win(self):
+        bd = table4b(names=("gap",))["gap"]
+        assert bd.percent("shalu") == pytest.approx(35.3, abs=8)
+        assert bd.percent("shalu+win") == pytest.approx(-32.9, abs=10)
+
+
+class TestTable4cGolden:
+    def test_mcf_bmisp_dmiss_serial(self):
+        bd = table4c(names=("mcf",))["mcf"]
+        assert bd.percent("bmisp+dmiss") == pytest.approx(-4.9, abs=4)
+
+
+class TestCorollaryGolden:
+    def test_gap_wakeup_speedups(self):
+        speedups = wakeup_window_speedups(get_workload("gap"))
+        assert speedups[1] == pytest.approx(31.4, abs=8)
+        assert speedups[2] == pytest.approx(47.4, abs=10)
+        assert speedups[2] / speedups[1] == pytest.approx(1.51, abs=0.35)

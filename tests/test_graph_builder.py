@@ -1,0 +1,160 @@
+"""Tests for graph construction from simulator events (Tables 2-3)."""
+
+import pytest
+
+from repro.graph import build_graph
+from repro.graph.model import EdgeKind, NodeKind, node_id
+from repro.isa import Executor, ProgramBuilder
+from repro.uarch import MachineConfig, simulate
+
+
+def result_of(body, config=None, **mem):
+    b = ProgramBuilder("t")
+    body(b)
+    b.halt()
+    trace = Executor(b.build(), memory_init=mem or None).run()
+    return simulate(trace, config)
+
+
+class TestEdgeInventory:
+    """Every Table 3 edge kind appears where its constraint is active."""
+
+    def test_intra_instruction_edges_everywhere(self, miss_result, miss_graph):
+        n = len(miss_result.events)
+        for kind in (EdgeKind.DR, EdgeKind.RE, EdgeKind.EP, EdgeKind.PC):
+            assert len(list(miss_graph.edges_of_kind(kind))) == n
+
+    def test_dd_and_cc_chains(self, miss_result, miss_graph):
+        n = len(miss_result.events)
+        assert len(list(miss_graph.edges_of_kind(EdgeKind.DD))) == n - 1
+        assert len(list(miss_graph.edges_of_kind(EdgeKind.CC))) == n - 1
+
+    def test_bandwidth_edges(self, miss_result, miss_graph, base_config):
+        n = len(miss_result.events)
+        fbw = list(miss_graph.edges_of_kind(EdgeKind.FBW))
+        cbw = list(miss_graph.edges_of_kind(EdgeKind.CBW))
+        assert len(fbw) == n - base_config.fetch_width
+        assert len(cbw) == n - base_config.commit_width
+        assert all(e.latency == 1 for e in fbw + cbw)
+
+    def test_window_edges(self, miss_result, miss_graph, base_config):
+        cd = list(miss_graph.edges_of_kind(EdgeKind.CD))
+        n = len(miss_result.events)
+        assert len(cd) == n - base_config.window_size
+        for e in cd:
+            assert e.dst_inst - e.src_inst == base_config.window_size
+            assert e.src_kind is NodeKind.C and e.dst_kind is NodeKind.D
+
+    def test_pd_edges_follow_mispredicts(self, base_config):
+        result = result_of(_mispredicting_loop)
+        graph = build_graph(result)
+        mispredicts = sum(ev.mispredicted for ev in result.events)
+        pd = list(graph.edges_of_kind(EdgeKind.PD))
+        # the last instruction of the trace cannot have a successor edge
+        assert mispredicts - 1 <= len(pd) <= mispredicts
+        assert all(e.latency == base_config.mispredict_recovery for e in pd)
+
+    def test_pr_register_edges(self):
+        def body(b):
+            b.addi(1, 0, 1)   # seq 0
+            b.addi(2, 1, 1)   # seq 1, depends on 0
+        result = result_of(body)
+        graph = build_graph(result)
+        pr = list(graph.edges_of_kind(EdgeKind.PR))
+        assert any(e.src_inst == 0 and e.dst_inst == 1 for e in pr)
+
+    def test_pr_memory_edge(self):
+        def body(b):
+            b.addi(1, 0, 9)
+            b.st(1, 0, 0x2000)
+            b.ld(2, 0, 0x2000)
+        result = result_of(body)
+        graph = build_graph(result)
+        pr = list(graph.edges_of_kind(EdgeKind.PR))
+        assert any(e.src_inst == 1 and e.dst_inst == 2 for e in pr)
+
+    def test_pp_cache_sharing_edge(self):
+        def body(b):
+            b.lui(1, 8)
+            b.ld(2, 1, 0)
+            b.ld(3, 1, 8)     # same line, fill in flight
+        result = result_of(body)
+        graph = build_graph(result)
+        pp = list(graph.edges_of_kind(EdgeKind.PP))
+        assert len(pp) == 1
+        assert pp[0].src_kind is NodeKind.P and pp[0].dst_kind is NodeKind.P
+
+    def test_wakeup_latency_on_pr_edges(self):
+        def body(b):
+            b.addi(1, 0, 1)
+            b.addi(2, 1, 1)
+        result = result_of(body, MachineConfig(issue_wakeup=2))
+        graph = build_graph(result)
+        pr = [e for e in graph.edges_of_kind(EdgeKind.PR)
+              if e.src_inst == 0 and e.dst_inst == 1]
+        assert pr[0].latency == 1  # issue_wakeup - 1
+
+
+def _mispredicting_loop(b):
+    # branch on pseudo-random low bits: mispredicts regularly
+    b.addi(1, 0, 40)
+    b.addi(5, 0, 7)
+    b.label("top")
+    b.mul(5, 5, 5)
+    b.srl(6, 5, 3)
+    b.and_(6, 6, 5)
+    b.slti(6, 6, 2)
+    b.beq(6, 0, "skip")
+    b.addi(7, 7, 1)
+    b.label("skip")
+    b.addi(1, 1, -1)
+    b.bne(1, 0, "top")
+
+
+class TestEPDecomposition:
+    def test_load_ep_components(self, miss_result, miss_graph):
+        from repro.core.categories import Category
+
+        for inst, ev in zip(miss_result.trace.insts, miss_result.events):
+            if not inst.is_load or ev.pp_partner >= 0:
+                continue
+            ep = next(e for e in miss_graph.in_edges(node_id(inst.seq, NodeKind.P))
+                      if e.kind is EdgeKind.EP)
+            assert ep.latency == ev.dl1_component + ev.miss_component
+            assert ep.cat1 == Category.DL1.index
+            assert ep.val1 == ev.dl1_component
+            assert ep.cat2 == Category.DMISS.index
+            assert ep.val2 == ev.miss_component
+
+    def test_taken_branch_break_modeled(self):
+        def body(b):
+            b.addi(1, 0, 5)
+            b.label("top")
+            b.addi(1, 1, -1)
+            b.bne(1, 0, "top")
+        result = result_of(body)
+        graph = build_graph(result, model_taken_branch_breaks=True)
+        dd_after_taken = [
+            e for e in graph.edges_of_kind(EdgeKind.DD)
+            if result.trace.insts[e.src_inst].is_branch
+            and result.trace.insts[e.src_inst].taken
+        ]
+        assert dd_after_taken
+        assert all(e.latency >= 1 for e in dd_after_taken)
+        no_breaks = build_graph(result, model_taken_branch_breaks=False)
+        dd2 = [e for e in no_breaks.edges_of_kind(EdgeKind.DD)
+               if result.trace.insts[e.src_inst].taken]
+        assert all(e.latency == 0 for e in dd2 if not _has_icache(result, e))
+
+
+def _has_icache(result, edge):
+    return result.events[edge.dst_inst].icache_delay > 0
+
+
+class TestSeed:
+    def test_cold_start_fetch_delay_becomes_seed(self):
+        cfg = MachineConfig(warm_caches=False)
+        result = result_of(lambda b: b.addi(1, 0, 1), cfg)
+        graph = build_graph(result)
+        assert graph.seed_lat > 0
+        assert graph.seed_lat == result.events[0].icache_delay

@@ -1,0 +1,99 @@
+"""Graph-based cost measurement: idealizations and sim equivalence.
+
+The central accuracy claims: (1) the unidealized graph's critical path
+matches the simulator's execution time; (2) graph-computed costs track
+re-simulation costs per category (the fullgraph-vs-multisim comparison
+of Table 7, at unit-test granularity).
+"""
+
+import pytest
+
+from repro.core.categories import Category, EventSelection
+from repro.graph import GraphCostAnalyzer, build_graph
+from repro.uarch import IdealConfig, simulate
+
+
+class TestBaseline:
+    def test_cp_matches_sim_cycles(self, miss_result, miss_analyzer):
+        assert miss_analyzer.base_length == pytest.approx(
+            miss_result.cycles, rel=0.03)
+
+    def test_total_property(self, miss_analyzer):
+        assert miss_analyzer.total == float(miss_analyzer.base_length)
+
+    def test_empty_idealization_is_baseline(self, miss_analyzer):
+        assert miss_analyzer.cost([]) == 0.0
+
+
+class TestCostVsResimulation:
+    @pytest.mark.parametrize("cat", list(Category))
+    def test_single_category_tracks_multisim(self, miss_trace, miss_result,
+                                             miss_analyzer, cat):
+        ideal = IdealConfig.for_categories([cat])
+        sim_cost = miss_result.cycles - simulate(miss_trace, ideal=ideal).cycles
+        graph_cost = miss_analyzer.cost([cat])
+        assert graph_cost == pytest.approx(
+            sim_cost, abs=max(10, 0.05 * miss_result.cycles))
+
+    def test_pair_tracks_multisim(self, miss_trace, miss_result, miss_analyzer):
+        pair = (Category.DMISS, Category.WIN)
+        ideal = IdealConfig.for_categories(pair)
+        sim_cost = miss_result.cycles - simulate(miss_trace, ideal=ideal).cycles
+        assert miss_analyzer.cost(pair) == pytest.approx(
+            sim_cost, abs=max(10, 0.05 * miss_result.cycles))
+
+
+class TestCostProperties:
+    def test_costs_nonnegative(self, miss_analyzer):
+        for cat in Category:
+            assert miss_analyzer.cost([cat]) >= 0
+
+    def test_cost_monotone_in_targets(self, miss_analyzer):
+        a = miss_analyzer.cost([Category.DMISS])
+        ab = miss_analyzer.cost([Category.DMISS, Category.DL1])
+        everything = miss_analyzer.cost(list(Category))
+        assert a <= ab <= everything
+
+    def test_cost_bounded_by_total(self, miss_analyzer):
+        assert miss_analyzer.cost(list(Category)) <= miss_analyzer.total
+
+    def test_memoisation(self, miss_graph):
+        analyzer = GraphCostAnalyzer(miss_graph)
+        before = analyzer.measurements
+        analyzer.cost([Category.DMISS])
+        mid = analyzer.measurements
+        analyzer.cost([Category.DMISS])
+        assert analyzer.measurements == mid == before + 1
+
+
+class TestEventSelections:
+    def test_selection_subset_of_category(self, miss_result, miss_analyzer):
+        """Idealizing a subset of loads' misses saves at most as much as
+        idealizing all of them."""
+        load_seqs = [inst.seq for inst in miss_result.trace.insts if inst.is_load]
+        half = EventSelection(Category.DMISS, frozenset(load_seqs[::2]))
+        assert 0 <= miss_analyzer.cost([half]) <= miss_analyzer.cost([Category.DMISS])
+
+    def test_full_selection_equals_category(self, miss_result, miss_analyzer):
+        all_seqs = frozenset(range(len(miss_result.events)))
+        sel = EventSelection(Category.DMISS, all_seqs)
+        assert miss_analyzer.cost([sel]) == miss_analyzer.cost([Category.DMISS])
+
+    def test_empty_selection_costs_nothing(self, miss_analyzer):
+        sel = EventSelection(Category.DMISS, frozenset())
+        assert miss_analyzer.cost([sel]) == 0.0
+
+    def test_whole_machine_selection_rejected(self, miss_analyzer):
+        sel = EventSelection(Category.WIN, frozenset({1, 2}))
+        with pytest.raises(ValueError, match="whole-machine"):
+            miss_analyzer.cost([sel])
+
+    def test_bmisp_selection_keys_on_branch(self, small_gzip_trace):
+        result = simulate(small_gzip_trace)
+        analyzer = GraphCostAnalyzer(build_graph(result))
+        misp_seqs = frozenset(
+            ev.seq for ev in result.events if ev.mispredicted)
+        if not misp_seqs:
+            pytest.skip("no mispredicts in scaled trace")
+        sel = EventSelection(Category.BMISP, misp_seqs)
+        assert analyzer.cost([sel]) == analyzer.cost([Category.BMISP])

@@ -1,0 +1,91 @@
+"""Tests for longest-path computation and critical-path extraction."""
+
+import pytest
+
+from repro.graph.critical_path import (
+    critical_path_edges,
+    critical_path_length,
+    edge_kind_profile,
+    longest_path,
+)
+from repro.graph.model import DependenceGraph, EdgeKind
+
+
+def diamond_graph():
+    """Two parallel paths 0->..->4: a long one (10) and a short one (3)."""
+    g = DependenceGraph(num_insts=1)  # 5 nodes
+    g.add_edge(0, 1, EdgeKind.DR, 10)
+    g.add_edge(0, 2, EdgeKind.DR, 1)
+    g.add_edge(2, 3, EdgeKind.RE, 2)
+    g.add_edge(1, 4, EdgeKind.EP, 0)
+    g.add_edge(3, 4, EdgeKind.EP, 0)
+    g.finalize()
+    return g
+
+
+class TestLongestPath:
+    def test_diamond_picks_long_arm(self):
+        g = diamond_graph()
+        dist = longest_path(g)
+        assert dist[4] == 10
+        assert dist[3] == 3
+
+    def test_length_helper(self):
+        assert critical_path_length(diamond_graph()) == 10
+
+    def test_latency_override(self):
+        g = diamond_graph()
+        lat = list(g.edge_lat)
+        lat[0] = 1  # shrink the long arm
+        assert max(longest_path(g, lat)) == 3
+
+    def test_removed_edges_ignored(self):
+        from repro.graph.idealize import REMOVED
+
+        g = diamond_graph()
+        lat = list(g.edge_lat)
+        lat[0] = REMOVED
+        assert max(longest_path(g, lat)) == 3
+
+    def test_seed_propagates(self):
+        g = diamond_graph()
+        dist = longest_path(g, seed=100)
+        assert dist[4] == 110
+
+    def test_graph_seed_used_by_default(self):
+        g = diamond_graph()
+        g.seed_lat = 5
+        assert max(longest_path(g)) == 15
+
+
+class TestCriticalPathExtraction:
+    def test_path_edges_sum_to_length(self):
+        g = diamond_graph()
+        path = critical_path_edges(g)
+        assert sum(e.latency for e in path) == 10
+
+    def test_path_is_connected(self, miss_graph):
+        path = critical_path_edges(miss_graph)
+        for a, b in zip(path, path[1:]):
+            assert a.dst == b.src
+
+    def test_path_length_matches_cp(self, miss_graph, miss_analyzer):
+        path = critical_path_edges(miss_graph)
+        assert sum(e.latency for e in path) == miss_analyzer.base_length
+
+    def test_deterministic(self, miss_graph):
+        p1 = critical_path_edges(miss_graph)
+        p2 = critical_path_edges(miss_graph)
+        assert [(e.src, e.dst) for e in p1] == [(e.src, e.dst) for e in p2]
+
+
+class TestEdgeKindProfile:
+    def test_profile_sums_to_cp_length(self, miss_graph, miss_analyzer):
+        profile = edge_kind_profile(miss_graph)
+        assert sum(profile.values()) == miss_analyzer.base_length
+
+    def test_miss_loop_dominated_by_ep_or_pr(self, miss_graph):
+        profile = edge_kind_profile(miss_graph)
+        # the miss loop's critical path is execution latency + deps
+        heaviest = max(profile, key=profile.get)
+        assert heaviest in (EdgeKind.EP, EdgeKind.PR, EdgeKind.CD)

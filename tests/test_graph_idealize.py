@@ -1,0 +1,107 @@
+"""Edge-latency idealization transforms (Table 1 on the graph)."""
+
+import pytest
+
+from repro.core.categories import Category, EventSelection
+from repro.graph.idealize import REMOVED, GraphIdealizer
+from repro.graph.model import EdgeKind
+
+
+@pytest.fixture(scope="module")
+def idealizer(request):
+    return GraphIdealizer(request.getfixturevalue("miss_graph"))
+
+
+def kind_indices(graph, kind):
+    want = int(kind)
+    return [i for i, k in enumerate(graph.edge_kind) if k == want]
+
+
+class TestCategoryTransforms:
+    def test_no_targets_is_identity(self, miss_graph, idealizer):
+        assert idealizer.latencies([]) == miss_graph.edge_lat
+
+    def test_win_removes_cd_edges(self, miss_graph, idealizer):
+        lat = idealizer.latencies([Category.WIN])
+        for i in kind_indices(miss_graph, EdgeKind.CD):
+            assert lat[i] == REMOVED
+        # everything else untouched
+        for i in kind_indices(miss_graph, EdgeKind.EP):
+            assert lat[i] == miss_graph.edge_lat[i]
+
+    def test_dmiss_removes_pp_and_miss_component(self, miss_graph, idealizer):
+        lat = idealizer.latencies([Category.DMISS])
+        for i in kind_indices(miss_graph, EdgeKind.PP):
+            assert lat[i] == REMOVED
+        for i in kind_indices(miss_graph, EdgeKind.EP):
+            expected = miss_graph.edge_lat[i]
+            if miss_graph.edge_cat2[i] == Category.DMISS.index:
+                expected -= miss_graph.edge_val2[i]
+            assert lat[i] == expected
+
+    def test_dl1_strips_hit_component(self, miss_graph, idealizer):
+        lat = idealizer.latencies([Category.DL1])
+        for i in kind_indices(miss_graph, EdgeKind.EP):
+            if miss_graph.edge_cat1[i] == Category.DL1.index:
+                assert lat[i] == miss_graph.edge_lat[i] - miss_graph.edge_val1[i]
+
+    def test_bmisp_removes_pd(self, miss_graph, idealizer):
+        lat = idealizer.latencies([Category.BMISP])
+        for i in kind_indices(miss_graph, EdgeKind.PD):
+            assert lat[i] == REMOVED
+
+    def test_bw_zeroes_re_and_cc_contention(self, miss_graph, idealizer):
+        lat = idealizer.latencies([Category.BW])
+        for i in kind_indices(miss_graph, EdgeKind.RE):
+            assert lat[i] == 0
+        for i in kind_indices(miss_graph, EdgeKind.CC):
+            assert lat[i] == 0
+
+    def test_combination_is_superset_of_parts(self, miss_graph, idealizer):
+        both = idealizer.latencies([Category.DL1, Category.DMISS])
+        dl1 = idealizer.latencies([Category.DL1])
+        for i in kind_indices(miss_graph, EdgeKind.EP):
+            assert both[i] <= dl1[i]
+
+    def test_latencies_never_negative_unless_removed(self, miss_graph, idealizer):
+        lat = idealizer.latencies(list(Category))
+        for value in lat:
+            assert value >= 0 or value == REMOVED
+
+    def test_invalid_target_rejected(self, idealizer):
+        with pytest.raises(TypeError):
+            idealizer.latencies(["dl1"])
+
+
+class TestSelectionTransforms:
+    def test_selection_touches_only_chosen_insts(self, miss_result, miss_graph,
+                                                 idealizer):
+        missing = [ev.seq for ev in miss_result.events if ev.l1d_miss]
+        chosen = frozenset(missing[:2])
+        sel = EventSelection(Category.DMISS, chosen)
+        lat = idealizer.latencies([sel])
+        for i in kind_indices(miss_graph, EdgeKind.EP):
+            owner = idealizer._dst_owner[i]
+            if owner in chosen:
+                continue
+            assert lat[i] == miss_graph.edge_lat[i]
+
+    def test_seed_removed_by_imiss(self):
+        from repro.graph import build_graph
+        from repro.uarch import MachineConfig, simulate
+        from repro.isa import Executor, ProgramBuilder
+
+        b = ProgramBuilder("seed")
+        b.addi(1, 0, 1)
+        b.halt()
+        trace = Executor(b.build()).run()
+        result = simulate(trace, MachineConfig(warm_caches=False))
+        graph = build_graph(result)
+        idealizer = GraphIdealizer(graph)
+        assert idealizer.seed([]) == graph.seed_lat > 0
+        assert idealizer.seed([Category.IMISS]) == 0
+        assert idealizer.seed([Category.DMISS]) == graph.seed_lat
+        sel = EventSelection(Category.IMISS, frozenset({0}))
+        assert idealizer.seed([sel]) == 0
+        other = EventSelection(Category.IMISS, frozenset({5}))
+        assert idealizer.seed([other]) == graph.seed_lat

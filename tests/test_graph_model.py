@@ -1,0 +1,110 @@
+"""Unit tests for the dependence-graph storage."""
+
+import pytest
+
+from repro.graph.model import (
+    NODES_PER_INST,
+    NO_CATEGORY,
+    DependenceGraph,
+    Edge,
+    EdgeKind,
+    NodeKind,
+    node_id,
+)
+
+
+class TestNodeScheme:
+    def test_five_nodes_per_instruction(self):
+        assert NODES_PER_INST == 5
+        assert [k.name for k in NodeKind] == ["D", "R", "E", "P", "C"]
+
+    def test_node_id_roundtrip(self):
+        nid = node_id(7, NodeKind.P)
+        assert nid // NODES_PER_INST == 7
+        assert NodeKind(nid % NODES_PER_INST) is NodeKind.P
+
+    def test_twelve_edge_kinds(self):
+        assert len(EdgeKind) == 12
+
+
+class TestGraphConstruction:
+    def make(self):
+        g = DependenceGraph(num_insts=3)
+        g.add_edge(node_id(0, NodeKind.D), node_id(0, NodeKind.R),
+                   EdgeKind.DR, 1)
+        g.add_edge(node_id(0, NodeKind.R), node_id(0, NodeKind.E),
+                   EdgeKind.RE, 0)
+        g.add_edge(node_id(0, NodeKind.E), node_id(0, NodeKind.P),
+                   EdgeKind.EP, 3, cat1=2, val1=3)
+        g.add_edge(node_id(0, NodeKind.D), node_id(1, NodeKind.D),
+                   EdgeKind.DD, 0)
+        g.finalize()
+        return g
+
+    def test_edge_count_and_csr(self):
+        g = self.make()
+        assert g.num_edges == 4
+        assert len(g.csr_start) == g.num_nodes + 1
+        assert g.csr_start[-1] == 4
+
+    def test_in_edges(self):
+        g = self.make()
+        edges = list(g.in_edges(node_id(0, NodeKind.P)))
+        assert len(edges) == 1
+        assert edges[0].kind is EdgeKind.EP
+        assert edges[0].latency == 3
+        assert edges[0].cat1 == 2 and edges[0].val1 == 3
+
+    def test_edges_of_kind(self):
+        g = self.make()
+        assert len(list(g.edges_of_kind(EdgeKind.DD))) == 1
+        assert len(list(g.edges_of_kind(EdgeKind.PP))) == 0
+
+    def test_destination_order_enforced(self):
+        g = DependenceGraph(num_insts=3)
+        g.add_edge(0, 5, EdgeKind.DD, 0)
+        with pytest.raises(ValueError, match="destination order"):
+            g.add_edge(0, 3, EdgeKind.DD, 0)
+
+    def test_forward_edges_only(self):
+        g = DependenceGraph(num_insts=3)
+        with pytest.raises(ValueError, match="forward"):
+            g.add_edge(5, 5, EdgeKind.DD, 0)
+
+    def test_negative_latency_rejected(self):
+        g = DependenceGraph(num_insts=3)
+        with pytest.raises(ValueError, match="negative"):
+            g.add_edge(0, 1, EdgeKind.DR, -1)
+
+    def test_out_of_range_rejected(self):
+        g = DependenceGraph(num_insts=1)
+        with pytest.raises(ValueError, match="range"):
+            g.add_edge(0, 7, EdgeKind.DD, 0)
+
+    def test_no_edges_after_finalize(self):
+        g = self.make()
+        with pytest.raises(RuntimeError):
+            g.add_edge(0, 14, EdgeKind.DD, 0)
+
+    def test_seed(self):
+        g = DependenceGraph(num_insts=1)
+        g.set_seed(10, cat=7, val=10)
+        assert (g.seed_lat, g.seed_cat, g.seed_val) == (10, 7, 10)
+        with pytest.raises(ValueError):
+            g.set_seed(-1)
+
+
+class TestEdgeView:
+    def test_edge_inst_and_kind_accessors(self):
+        edge = Edge(src=node_id(2, NodeKind.P), dst=node_id(4, NodeKind.R),
+                    kind=EdgeKind.PR, latency=0)
+        assert edge.src_inst == 2 and edge.dst_inst == 4
+        assert edge.src_kind is NodeKind.P and edge.dst_kind is NodeKind.R
+
+
+class TestDot:
+    def test_dot_output(self, miss_graph):
+        dot = miss_graph.to_dot(max_insts=4)
+        assert dot.startswith("digraph")
+        assert "D0" in dot and "C3" in dot
+        assert "EP" in dot

@@ -1,0 +1,116 @@
+"""Slack and per-instruction cost analysis (the criticality toolkit)."""
+
+import pytest
+
+from repro.core import Category, EventSelection
+from repro.graph.critical_path import critical_path_edges, longest_path
+from repro.graph.slack import (
+    backward_longest_path,
+    critical_edge_fraction,
+    edge_slacks,
+    instruction_cost,
+    instruction_events,
+    instruction_icost,
+    instruction_slack,
+    top_critical_instructions,
+)
+
+
+class TestBackwardSweep:
+    def test_forward_plus_backward_bounded_by_cp(self, miss_graph):
+        dist = longest_path(miss_graph)
+        back = backward_longest_path(miss_graph)
+        cp = max(dist)
+        for v in range(miss_graph.num_nodes):
+            assert dist[v] + back[v] <= cp
+
+    def test_some_node_achieves_cp(self, miss_graph):
+        dist = longest_path(miss_graph)
+        back = backward_longest_path(miss_graph)
+        cp = max(dist)
+        assert any(dist[v] + back[v] == cp for v in range(miss_graph.num_nodes))
+
+
+class TestEdgeSlack:
+    def test_slacks_nonnegative(self, miss_graph):
+        assert all(s >= 0 for s in edge_slacks(miss_graph))
+
+    def test_critical_path_edges_have_zero_slack(self, miss_graph):
+        slacks = edge_slacks(miss_graph)
+        # map (src, dst, kind) -> minimal slack among matching edges
+        index = {}
+        i = 0
+        for dst in range(miss_graph.num_nodes):
+            for e in range(miss_graph.csr_start[dst],
+                           miss_graph.csr_start[dst + 1]):
+                key = (miss_graph.edge_src[e], dst)
+                index[key] = min(index.get(key, 1 << 30), slacks[i])
+                i += 1
+        for edge in critical_path_edges(miss_graph):
+            assert index[(edge.src, edge.dst)] == 0
+
+    def test_count_matches_edges(self, miss_graph):
+        assert len(edge_slacks(miss_graph)) == miss_graph.num_edges
+
+    def test_critical_fraction_in_unit_interval(self, miss_graph):
+        assert 0 < critical_edge_fraction(miss_graph) <= 1
+
+
+class TestInstructionCost:
+    def test_events_cover_six_categories(self):
+        events = instruction_events(5)
+        assert len(events) == 6
+        assert all(isinstance(e, EventSelection) for e in events)
+        assert all(e.seqs == {5} for e in events)
+        cats = {e.category for e in events}
+        assert Category.WIN not in cats and Category.BW not in cats
+
+    def test_costs_nonnegative_and_bounded(self, miss_analyzer, miss_result):
+        n = len(miss_result.events)
+        for seq in range(0, n, max(1, n // 17)):
+            cost = instruction_cost(miss_analyzer, seq)
+            assert 0 <= cost <= miss_analyzer.total
+
+    def test_zero_slack_instructions_can_have_cost(self, miss_analyzer,
+                                                   miss_graph, miss_result):
+        ranked = top_critical_instructions(
+            miss_analyzer, range(len(miss_result.events)), top=3)
+        top_seq, top_cost = ranked[0]
+        if top_cost > 0:
+            assert instruction_slack(miss_graph, top_seq) == 0
+
+    def test_off_critical_path_instruction_costs_nothing(
+            self, miss_analyzer, miss_graph, miss_result):
+        slacks = [(instruction_slack(miss_graph, seq), seq)
+                  for seq in range(0, len(miss_result.events), 29)]
+        slacks.sort(reverse=True)
+        slackest, seq = slacks[0]
+        if slackest > 50:
+            assert instruction_cost(miss_analyzer, seq) <= slackest
+
+    def test_instruction_icost_of_parallel_misses(self):
+        """The introduction's example, literally: exactly two parallel
+        cache misses.  Each alone costs ~0 (the other covers it); their
+        interaction cost is the whole miss latency."""
+        from repro.analysis.graphsim import analyze_trace
+        from repro.isa import Executor, ProgramBuilder
+
+        b = ProgramBuilder("two-misses")
+        b.lui(1, 16)
+        b.lui(2, 32)
+        b.ld(3, 1, 0)          # miss A
+        b.ld(4, 2, 0)          # miss B, independent and parallel
+        b.add(5, 3, 4)
+        b.halt()
+        provider = analyze_trace(Executor(b.build()).run())
+        analyzer = provider.analyzer
+        result = provider.result
+        a, b_seq = [inst.seq for inst in result.trace.insts if inst.is_load]
+        assert result.events[a].l1d_miss and result.events[b_seq].l1d_miss
+        cost_a = instruction_cost(analyzer, a)
+        cost_b = instruction_cost(analyzer, b_seq)
+        value = instruction_icost(analyzer, a, b_seq)
+        # each alone saves at most the one-cycle issue stagger
+        assert cost_a <= 2 and cost_b <= 2
+        # together they free (nearly) the whole memory latency
+        assert value > 50

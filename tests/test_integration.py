@@ -1,0 +1,163 @@
+"""End-to-end pipelines across subsystem boundaries."""
+
+import pytest
+
+from repro import quick_breakdown
+from repro.analysis.graphsim import analyze_trace
+from repro.analysis.multisim import MultiSimCostProvider
+from repro.core import (
+    Category,
+    EventSelection,
+    classify_interaction,
+    icost_pair,
+    interaction_breakdown,
+    render_breakdown_table,
+    render_stacked_bar,
+)
+from repro.profiler import profile_trace
+from repro.uarch import MachineConfig
+from repro.workloads import get_workload
+
+
+class TestQuickBreakdown:
+    def test_string_focus(self, small_gzip_trace):
+        bd = quick_breakdown(small_gzip_trace, focus="dl1")
+        assert bd.workload == "gzip"
+        assert "dl1+win" in bd.labels()
+
+    def test_no_focus(self, small_gzip_trace):
+        bd = quick_breakdown(small_gzip_trace)
+        assert bd.percent("Total") == pytest.approx(100.0)
+
+
+class TestThreeProvidersAgree:
+    """multisim, fullgraph and profiler must tell one qualitative story."""
+
+    @pytest.fixture(scope="class")
+    def providers(self):
+        trace = get_workload("gzip", scale=0.5)
+        cfg = MachineConfig(dl1_latency=4)
+        return (MultiSimCostProvider(trace, cfg),
+                analyze_trace(trace, cfg),
+                profile_trace(trace, cfg, fragments=8))
+
+    def test_dominant_category_consistent(self, providers):
+        def top(provider):
+            bd = interaction_breakdown(provider)
+            rows = {e.label: e.percent for e in bd.entries if e.kind == "base"}
+            return max(rows, key=rows.get)
+
+        tops = {top(p) for p in providers}
+        assert len(tops) == 1
+
+    def test_serial_interaction_sign_consistent(self, providers):
+        values = [icost_pair(p, Category.DL1, Category.BMISP)
+                  for p in providers]
+        if min(abs(v) for v in values) > 10:
+            signs = {v > 0 for v in values}
+            assert len(signs) == 1
+
+
+class TestPrefetchGuidanceFlow:
+    """The paper's motivating application: per-static-load miss costs
+    drive prefetch decisions via icost."""
+
+    def test_per_load_selection_analysis(self):
+        trace = get_workload("bzip", scale=0.5)
+        provider = analyze_trace(trace)
+        # group dynamic misses by static load PC
+        result = provider.result
+        by_pc = {}
+        for inst, ev in zip(result.trace.insts, result.events):
+            if inst.is_load and ev.l1d_miss:
+                by_pc.setdefault(inst.pc, set()).add(inst.seq)
+        assert by_pc, "bzip must have missing loads"
+        selections = {
+            pc: EventSelection(Category.DMISS, frozenset(seqs),
+                               name=f"load@{pc:#x}")
+            for pc, seqs in by_pc.items()
+        }
+        costs = {pc: provider.cost([sel]) for pc, sel in selections.items()}
+        assert all(c >= 0 for c in costs.values())
+        # interaction between two distinct static loads is well-defined
+        pcs = sorted(selections)
+        if len(pcs) >= 2:
+            value = icost_pair(provider, selections[pcs[0]], selections[pcs[1]])
+            classify_interaction(value)  # no exception; any sign is legal
+
+    def test_two_parallel_misses_from_one_program(self):
+        """Build the paper's Section 2.2 scenario literally: two loads
+        that miss in parallel; each costs ~0, jointly they cost a lot."""
+        from repro.isa import Executor, ProgramBuilder
+
+        b = ProgramBuilder("parallel-misses")
+        b.lui(1, 16)
+        b.lui(2, 32)
+        b.addi(9, 0, 30)
+        b.label("top")
+        b.ld(3, 1, 0)            # miss A
+        b.ld(4, 2, 0)            # miss B, independent
+        b.addi(1, 1, 4096)
+        b.addi(2, 2, 4096)
+        b.addi(9, 9, -1)
+        b.bne(9, 0, "top")
+        b.halt()
+        trace = Executor(b.build()).run()
+        provider = analyze_trace(trace)
+        result = provider.result
+        a_seqs, b_seqs = set(), set()
+        for inst, ev in zip(result.trace.insts, result.events):
+            if inst.is_load and ev.l1d_miss:
+                (a_seqs if inst.static.srcs[0] == 1 else b_seqs).add(inst.seq)
+        sel_a = EventSelection(Category.DMISS, frozenset(a_seqs), name="A")
+        sel_b = EventSelection(Category.DMISS, frozenset(b_seqs), name="B")
+        cost_a = provider.cost([sel_a])
+        cost_b = provider.cost([sel_b])
+        both = provider.cost([sel_a, sel_b])
+        assert both > cost_a + cost_b  # parallel interaction
+        value = icost_pair(provider, sel_a, sel_b)
+        assert classify_interaction(value).value == "parallel"
+
+
+class TestReportingPipeline:
+    def test_full_table_rendering(self):
+        from repro.analysis.experiments import table4a
+
+        bds = table4a(names=("gzip", "mcf"), scale=0.3)
+        text = render_breakdown_table(bds, "Table 4a")
+        assert "gzip" in text and "mcf" in text
+        bar = render_stacked_bar(bds["gzip"])
+        assert "%" in bar
+
+
+class TestFigure2Snippet:
+    """Figure 2: the graph instance of a short code snippet on a
+    4-entry ROB, 2-wide machine."""
+
+    def test_small_machine_graph(self):
+        from repro.graph import build_graph
+        from repro.graph.model import EdgeKind
+        from repro.isa import Executor, ProgramBuilder
+        from repro.uarch import simulate
+
+        b = ProgramBuilder("fig2")
+        b.addi(1, 0, 0x4000)
+        b.ld(2, 1, 0)
+        b.addi(3, 2, 1)
+        b.ld(4, 1, 64)
+        b.add(5, 4, 3)
+        b.st(5, 1, 0)
+        b.addi(6, 0, 7)
+        b.mul(7, 6, 6)
+        b.halt()
+        cfg = MachineConfig(window_size=4, fetch_width=2, commit_width=2,
+                            issue_width=2)
+        result = simulate(Executor(b.build()).run(), cfg)
+        graph = build_graph(result)
+        kinds = {e.kind for e in graph.edges()}
+        # the Figure 2 instance exhibits window, bandwidth, and data edges
+        assert {EdgeKind.CD, EdgeKind.FBW, EdgeKind.CBW, EdgeKind.PR,
+                EdgeKind.DD, EdgeKind.DR, EdgeKind.RE, EdgeKind.EP,
+                EdgeKind.PC, EdgeKind.CC} <= kinds
+        dot = graph.to_dot()
+        assert "CD" in dot

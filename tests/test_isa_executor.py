@@ -1,0 +1,179 @@
+"""Unit tests for the architectural executor."""
+
+import pytest
+
+from repro.isa import Executor, ExecutionLimitExceeded, ProgramBuilder
+from repro.isa.executor import MEM_WORD
+from repro.isa.instructions import Opcode, REG_LINK
+
+
+def run(build_fn, **kwargs):
+    b = ProgramBuilder("t")
+    build_fn(b)
+    b.halt()
+    return Executor(b.build(), **kwargs).run()
+
+
+class TestArithmetic:
+    def test_addi_and_add(self):
+        trace = run(lambda b: (b.addi(1, 0, 7), b.addi(2, 0, 5), b.add(3, 1, 2)))
+        # verify via a store-free dataflow check: producer links
+        assert trace[2].src_producers == (0, 1)
+
+    def test_r0_reads_zero_and_ignores_writes(self):
+        def body(b):
+            b.addi(0, 0, 99)   # write to r0 discarded
+            b.addi(1, 0, 1)    # r1 = 0 + 1
+            b.st(1, 0, 0x2000)
+        trace = run(body)
+        ex = Executor(trace.program)
+        result = ex.run()
+        assert ex.memory[0x2000] == 1
+
+    def test_r0_never_a_producer(self):
+        trace = run(lambda b: (b.addi(0, 0, 5), b.add(1, 0, 0)))
+        assert trace[1].src_producers == (-1, -1)
+
+    def test_mul_and_shifts(self):
+        def body(b):
+            b.addi(1, 0, 6)
+            b.mul(2, 1, 1)      # 36
+            b.sll(3, 2, 2)      # 144
+            b.srl(4, 3, 4)      # 9
+            b.st(4, 0, 0x2000)
+        ex = Executor(_program(body))
+        ex.run()
+        assert ex.memory[0x2000] == 9
+
+    def test_slt_and_logic(self):
+        def body(b):
+            b.addi(1, 0, 3)
+            b.addi(2, 0, 7)
+            b.slt(3, 1, 2)      # 1
+            b.and_(4, 1, 2)     # 3
+            b.or_(5, 1, 2)      # 7
+            b.xor(6, 1, 2)      # 4
+            b.st(3, 0, 0x2000)
+            b.st(4, 0, 0x2008)
+            b.st(5, 0, 0x2010)
+            b.st(6, 0, 0x2018)
+        ex = Executor(_program(body))
+        ex.run()
+        assert [ex.memory[a] for a in (0x2000, 0x2008, 0x2010, 0x2018)] == [1, 3, 7, 4]
+
+
+def _program(body):
+    b = ProgramBuilder("t")
+    body(b)
+    b.halt()
+    return b.build()
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        def body(b):
+            b.addi(1, 0, 42)
+            b.st(1, 0, 0x3000)
+            b.ld(2, 0, 0x3000)
+            b.st(2, 0, 0x3008)
+        ex = Executor(_program(body))
+        ex.run()
+        assert ex.memory[0x3008] == 42
+
+    def test_memory_init(self):
+        def body(b):
+            b.ld(1, 0, 0x4000)
+            b.st(1, 0, 0x5000)
+        ex = Executor(_program(body), memory_init={0x4000: 77})
+        ex.run()
+        assert ex.memory[0x5000] == 77
+
+    def test_memory_init_aligns_addresses(self):
+        ex = Executor(_program(lambda b: b.ld(1, 0, 0x4000)),
+                      memory_init={0x4003: 5})
+        assert ex.memory[0x4000] == 5
+
+    def test_load_tracks_store_producer(self):
+        def body(b):
+            b.addi(1, 0, 9)
+            b.st(1, 0, 0x2000)   # seq 1
+            b.ld(2, 0, 0x2000)   # seq 2
+        trace = Executor(_program(body)).run()
+        assert trace[2].mem_producer == 1
+
+    def test_loads_same_word_share_producer(self):
+        def body(b):
+            b.addi(1, 0, 9)
+            b.st(1, 0, 0x2000)
+            b.ld(2, 0, 0x2004)   # same 8-byte word
+        trace = Executor(_program(body)).run()
+        assert trace[2].mem_producer == 1
+        assert MEM_WORD == 8
+
+    def test_unwritten_memory_reads_zero(self):
+        def body(b):
+            b.ld(1, 0, 0x7000)
+            b.st(1, 0, 0x7008)
+        ex = Executor(_program(body))
+        ex.run()
+        assert ex.memory[0x7008] == 0
+
+
+class TestControlFlow:
+    def test_loop_iteration_count(self):
+        def body(b):
+            b.addi(1, 0, 10)
+            b.label("top")
+            b.addi(1, 1, -1)
+            b.bne(1, 0, "top")
+        trace = Executor(_program(body)).run()
+        branches = [i for i in trace if i.is_branch]
+        assert len(branches) == 10
+        assert sum(i.taken for i in branches) == 9
+
+    def test_call_ret(self):
+        def body(b):
+            b.call("f")
+            b.addi(1, 1, 1)
+            b.j("end")
+            b.label("f")
+            b.addi(2, 2, 1)
+            b.ret()
+            b.label("end")
+        trace = Executor(_program(body)).run()
+        opcodes = [i.opcode for i in trace]
+        assert Opcode.CALL in opcodes and Opcode.RET in opcodes
+        ret = next(i for i in trace if i.opcode is Opcode.RET)
+        call = next(i for i in trace if i.opcode is Opcode.CALL)
+        assert ret.next_pc == call.pc + 4
+
+    def test_jr_jumps_to_register(self):
+        def body(b):
+            b.addi(1, 0, 0)
+            b.lui(2, 0)
+            b.addi(2, 2, 0x1000 + 5 * 4)   # address of the halt
+            b.jr(2)
+            b.addi(3, 3, 1)                # skipped
+        trace = Executor(_program(body)).run()
+        assert all(i.opcode is not Opcode.ADDI or i.seq < 3 for i in trace
+                   if i.static.dst == 3)
+
+    def test_taken_flags(self):
+        def body(b):
+            b.beq(0, 0, "t")     # always taken
+            b.label("t")
+            b.bne(0, 0, "t")     # never taken
+        trace = Executor(_program(body)).run()
+        assert trace[0].taken
+        assert not trace[1].taken
+
+    def test_runaway_raises(self):
+        def body(b):
+            b.label("spin")
+            b.j("spin")
+        with pytest.raises(ExecutionLimitExceeded):
+            Executor(_program(body), max_insts=1000).run()
+
+    def test_trace_ends_with_halt(self):
+        trace = Executor(_program(lambda b: b.addi(1, 0, 1))).run()
+        assert trace[-1].opcode is Opcode.HALT

@@ -1,0 +1,126 @@
+"""Unit tests for instruction definitions and operand classification."""
+
+import pytest
+
+from repro.isa.instructions import (
+    FP_REG_COUNT,
+    INT_REG_COUNT,
+    REG_LINK,
+    REG_ZERO,
+    TOTAL_REG_COUNT,
+    DynInst,
+    OpClass,
+    Opcode,
+    StaticInst,
+    fp_reg,
+)
+
+
+class TestRegisters:
+    def test_flat_register_space(self):
+        assert TOTAL_REG_COUNT == INT_REG_COUNT + FP_REG_COUNT
+
+    def test_fp_reg_mapping(self):
+        assert fp_reg(0) == INT_REG_COUNT
+        assert fp_reg(FP_REG_COUNT - 1) == TOTAL_REG_COUNT - 1
+
+    @pytest.mark.parametrize("bad", [-1, FP_REG_COUNT, 100])
+    def test_fp_reg_range_checked(self, bad):
+        with pytest.raises(ValueError):
+            fp_reg(bad)
+
+    def test_zero_and_link_are_distinct(self):
+        assert REG_ZERO != REG_LINK
+
+
+class TestOpClass:
+    def test_short_alu_is_exactly_ialu(self):
+        shorts = [c for c in OpClass if c.is_short_alu]
+        assert shorts == [OpClass.IALU]
+
+    def test_long_alu_members(self):
+        longs = {c for c in OpClass if c.is_long_alu}
+        assert longs == {OpClass.IMUL, OpClass.FALU, OpClass.FMUL, OpClass.FDIV}
+
+    def test_mem_classes(self):
+        assert OpClass.LOAD.is_mem and OpClass.STORE.is_mem
+        assert not OpClass.IALU.is_mem
+        assert not OpClass.BRANCH.is_mem
+
+    def test_classes_partition(self):
+        """No op class is simultaneously short-ALU, long-ALU and mem."""
+        for cls in OpClass:
+            flags = [cls.is_short_alu, cls.is_long_alu, cls.is_mem]
+            assert sum(flags) <= 1
+
+
+class TestOpcode:
+    def test_every_opcode_has_class(self):
+        for op in Opcode:
+            assert isinstance(op.opclass, OpClass)
+
+    def test_cond_branches_are_direct(self):
+        for op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+            assert op.is_cond_branch
+            assert op.is_direct_branch
+            assert not op.is_indirect_branch
+
+    def test_indirect_branches(self):
+        assert Opcode.RET.is_indirect_branch
+        assert Opcode.JR.is_indirect_branch
+        assert not Opcode.J.is_indirect_branch
+
+    def test_direct_and_indirect_disjoint(self):
+        for op in Opcode:
+            assert not (op.is_direct_branch and op.is_indirect_branch)
+
+    def test_call_and_return(self):
+        assert Opcode.CALL.is_call and not Opcode.CALL.is_return
+        assert Opcode.RET.is_return and not Opcode.RET.is_call
+
+    def test_branch_opcodes_have_branch_class(self):
+        for op in Opcode:
+            if op.is_branch:
+                assert op.opclass is OpClass.BRANCH
+
+    def test_mnemonics_unique(self):
+        mnemonics = [op.mnemonic for op in Opcode]
+        assert len(mnemonics) == len(set(mnemonics))
+
+
+class TestStaticInst:
+    def test_str_contains_mnemonic_and_pc(self):
+        inst = StaticInst(pc=0x1000, opcode=Opcode.ADD, dst=1, srcs=(2, 3))
+        text = str(inst)
+        assert "add" in text and "0x1000" in text
+
+    def test_opclass_forwarding(self):
+        inst = StaticInst(pc=0x1000, opcode=Opcode.LD, dst=1, srcs=(2,))
+        assert inst.opclass is OpClass.LOAD
+        assert inst.is_mem
+
+    def test_frozen(self):
+        inst = StaticInst(pc=0x1000, opcode=Opcode.ADD, dst=1, srcs=(2, 3))
+        with pytest.raises(AttributeError):
+            inst.pc = 0
+
+
+class TestDynInst:
+    def _dyn(self, opcode, **kwargs):
+        static = StaticInst(pc=0x1000, opcode=opcode, dst=1, srcs=(2,))
+        defaults = dict(seq=0, static=static, next_pc=0x1004)
+        defaults.update(kwargs)
+        return DynInst(**defaults)
+
+    def test_load_store_flags(self):
+        assert self._dyn(Opcode.LD).is_load
+        assert not self._dyn(Opcode.LD).is_store
+        assert self._dyn(Opcode.ST).is_store
+
+    def test_branch_flag_and_str(self):
+        dyn = self._dyn(Opcode.BNE, taken=True)
+        assert dyn.is_branch
+        assert "taken" in str(dyn)
+
+    def test_pc_forwards_to_static(self):
+        assert self._dyn(Opcode.ADD).pc == 0x1000

@@ -1,0 +1,112 @@
+"""Unit tests for Program and ProgramBuilder."""
+
+import pytest
+
+from repro.isa.instructions import INST_BYTES, Opcode, StaticInst
+from repro.isa.program import BASE_PC, Program, ProgramBuilder
+
+
+def simple_program():
+    b = ProgramBuilder("p")
+    b.addi(1, 0, 5)
+    b.label("top")
+    b.addi(1, 1, -1)
+    b.bne(1, 0, "top")
+    b.halt()
+    return b.build()
+
+
+class TestProgramBuilder:
+    def test_pcs_are_consecutive(self):
+        p = simple_program()
+        pcs = [inst.pc for inst in p]
+        assert pcs == [BASE_PC + i * INST_BYTES for i in range(len(p))]
+
+    def test_labels_resolve_to_pcs(self):
+        p = simple_program()
+        assert p.label_pc("top") == BASE_PC + INST_BYTES
+        assert p[1].pc == p.label_pc("top")
+
+    def test_forward_reference(self):
+        b = ProgramBuilder("fwd")
+        b.beq(0, 0, "end")
+        b.addi(1, 1, 1)
+        b.label("end")
+        b.halt()
+        p = b.build()
+        assert p[0].target == p.label_pc("end")
+
+    def test_undefined_label_raises(self):
+        b = ProgramBuilder("bad")
+        b.j("nowhere")
+        with pytest.raises(ValueError, match="undefined label"):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder("dup")
+        b.label("x")
+        b.addi(1, 0, 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            b.label("x")
+
+    def test_empty_program_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            ProgramBuilder("e").build()
+
+    def test_register_range_checked(self):
+        b = ProgramBuilder("r")
+        with pytest.raises(ValueError, match="register"):
+            b.add(99, 0, 0)
+
+    def test_store_reads_two_registers(self):
+        b = ProgramBuilder("st")
+        b.st(5, 6, 16)
+        b.halt()
+        p = b.build()
+        assert p[0].srcs == (6, 5)
+        assert p[0].dst is None
+        assert p[0].imm == 16
+
+    def test_call_writes_link_register(self):
+        from repro.isa.instructions import REG_LINK
+
+        b = ProgramBuilder("c")
+        b.call("f")
+        b.label("f")
+        b.halt()
+        p = b.build()
+        assert p[0].dst == REG_LINK
+
+    def test_custom_base_pc(self):
+        b = ProgramBuilder("base")
+        b.halt()
+        p = b.build(base_pc=0x8000)
+        assert p.start_pc == 0x8000
+
+
+class TestProgram:
+    def test_fetch_and_at(self):
+        p = simple_program()
+        assert p.fetch(BASE_PC).opcode is Opcode.ADDI
+        assert p.at(BASE_PC + 1000) is None
+        with pytest.raises(KeyError):
+            p.fetch(BASE_PC + 1000)
+
+    def test_end_pc_and_index(self):
+        p = simple_program()
+        assert p.end_pc == BASE_PC + len(p) * INST_BYTES
+        assert p.index_of(p[2].pc) == 2
+
+    def test_duplicate_pcs_rejected(self):
+        inst = StaticInst(pc=BASE_PC, opcode=Opcode.HALT)
+        with pytest.raises(ValueError, match="duplicate"):
+            Program([inst, inst], {})
+
+    def test_listing_mentions_labels(self):
+        listing = simple_program().listing()
+        assert "top:" in listing
+        assert "halt" in listing
+
+    def test_iteration_matches_indexing(self):
+        p = simple_program()
+        assert list(p) == [p[i] for i in range(len(p))]

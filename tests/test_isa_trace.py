@@ -1,0 +1,60 @@
+"""Unit tests for Trace statistics and metadata."""
+
+from repro.isa import Executor, ProgramBuilder
+
+
+def make_trace():
+    b = ProgramBuilder("stats")
+    b.addi(1, 0, 3)
+    b.label("top")
+    b.ld(2, 0, 0x2000)
+    b.st(2, 0, 0x2008)
+    b.mul(3, 2, 2)
+    b.addi(1, 1, -1)
+    b.bne(1, 0, "top")
+    b.halt()
+    return Executor(b.build()).run()
+
+
+class TestTraceStats:
+    def test_counts(self):
+        stats = make_trace().stats()
+        assert stats.loads == 3
+        assert stats.stores == 3
+        assert stats.branches == 3
+        assert stats.taken_branches == 2
+        assert stats.long_alu == 3
+
+    def test_total_matches_len(self):
+        trace = make_trace()
+        assert trace.stats().total == len(trace)
+
+    def test_fractions(self):
+        stats = make_trace().stats()
+        assert 0 < stats.load_frac < 1
+        assert 0 < stats.branch_frac < 1
+        assert abs(stats.load_frac - stats.loads / stats.total) < 1e-12
+
+    def test_pc_histogram_counts_loop_body(self):
+        trace = make_trace()
+        hist = trace.pc_histogram()
+        ld_pc = trace.program.label_pc("top")
+        assert hist[ld_pc] == 3
+        assert sum(hist.values()) == len(trace)
+
+
+class TestWarmRanges:
+    def test_defaults_empty(self):
+        trace = make_trace()
+        assert trace.warm_l1_ranges == ()
+        assert trace.warm_l2_ranges == ()
+
+    def test_workload_attaches_ranges(self):
+        from repro.workloads.registry import get_workload_object
+
+        wl = get_workload_object("gzip", scale=0.05)
+        trace = wl.trace()
+        assert trace.warm_l1_ranges == wl.warm_l1_ranges
+        assert len(trace.warm_l1_ranges) >= 1
+        for start, end in trace.warm_l1_ranges + trace.warm_l2_ranges:
+            assert start < end

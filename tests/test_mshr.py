@@ -1,0 +1,57 @@
+"""The MSHR (outstanding-miss) limit."""
+
+import pytest
+
+from repro.analysis.graphsim import analyze_trace
+from repro.core import Category, interaction_breakdown
+from repro.uarch import MachineConfig, simulate
+from repro.uarch.cache import MemoryHierarchy
+from repro.workloads import get_workload
+
+
+class TestHierarchyMshr:
+    def test_unlimited_by_default(self):
+        assert MachineConfig().mshr_entries == 0
+        h = MemoryHierarchy(MachineConfig())
+        for i in range(20):
+            acc = h.data_access(0x100000 + i * 4096, cycle=0, seq=i,
+                                is_store=False)
+            assert acc.miss_component < 250  # no MSHR wait stacking
+
+    def test_full_mshrs_serialize_the_miss(self):
+        cfg = MachineConfig(mshr_entries=2)
+        h = MemoryHierarchy(cfg)
+        first = h.data_access(0x100000, 0, 0, is_store=False)
+        second = h.data_access(0x200000, 0, 1, is_store=False)
+        third = h.data_access(0x300000, 0, 2, is_store=False)
+        assert third.latency > max(first.latency, second.latency)
+        # the wait equals the earliest outstanding fill's remaining time
+        assert third.miss_component >= min(first.latency, second.latency)
+
+    def test_wait_shrinks_as_fills_complete(self):
+        cfg = MachineConfig(mshr_entries=1)
+        h = MemoryHierarchy(cfg)
+        first = h.data_access(0x100000, 0, 0, is_store=False)
+        later = h.data_access(0x200000, first.latency - 10, 1, is_store=False)
+        immediate = MemoryHierarchy(cfg).data_access(0x200000, 0, 1,
+                                                     is_store=False)
+        assert later.latency < immediate.latency + first.latency
+
+
+class TestMshrShapesBreakdowns:
+    def test_mlp_bound_moves_cost_from_win_to_dmiss(self):
+        """With few MSHRs, misses can no longer overlap even with a big
+        window: the window's cost collapses into the misses'."""
+        trace = get_workload("gap", scale=0.5)
+        wide = interaction_breakdown(
+            analyze_trace(trace, MachineConfig(mshr_entries=0)))
+        narrow = interaction_breakdown(
+            analyze_trace(trace, MachineConfig(mshr_entries=2)))
+        assert narrow.percent("dmiss") > wide.percent("dmiss") + 5
+        assert narrow.total_cycles > wide.total_cycles
+
+    def test_more_mshrs_never_slower(self):
+        trace = get_workload("vortex", scale=0.4)
+        cycles = [simulate(trace, MachineConfig(mshr_entries=m)).cycles
+                  for m in (1, 4, 0)]
+        assert cycles[0] >= cycles[1] >= cycles[2]

@@ -1,0 +1,148 @@
+"""The feedback-directed prefetching vertical: ISA support, the
+prefetchable workload, and the icost-guided selection policies."""
+
+import pytest
+
+from repro.analysis.graphsim import analyze_trace
+from repro.analysis.prefetch import (
+    best_subset_selection,
+    evaluate_plan,
+    greedy_joint_selection,
+    miss_selections_by_pc,
+    rank_by_individual_cost,
+    speedup_percent,
+)
+from repro.isa import Executor, ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.uarch import MachineConfig, simulate
+from repro.workloads.prefetchable import SLOTS, make_prefetch_workload
+
+ITERS = 100
+
+
+class TestPrefetchInstruction:
+    def test_architecturally_a_noop(self):
+        b = ProgramBuilder("pf")
+        b.addi(1, 0, 0x9000)
+        b.prefetch(1, 0)
+        b.addi(2, 0, 5)
+        b.st(2, 1, 0)
+        b.halt()
+        ex = Executor(b.build())
+        trace = ex.run()
+        pf = trace[1]
+        assert pf.opcode is Opcode.PREFETCH
+        assert pf.static.dst is None
+        assert pf.mem_producer == -1
+        assert ex.memory[0x9000] == 5  # untouched by the prefetch
+
+    def test_retires_without_waiting_for_the_fill(self):
+        b = ProgramBuilder("pf")
+        b.lui(1, 80)
+        b.prefetch(1, 0)      # cold line: fill takes >100 cycles
+        b.halt()
+        result = simulate(Executor(b.build()).run(), MachineConfig())
+        pf = result.events[1]
+        assert pf.l1d_miss
+        assert pf.exec_latency <= MachineConfig().dl1_latency
+
+    def test_covers_a_later_load(self):
+        def program(prefetched, cover):
+            b = ProgramBuilder("pf")
+            b.lui(1, 80)
+            if prefetched:
+                b.prefetch(1, 0)
+            b.addi(5, 0, 0)
+            for __ in range(cover):
+                b.addi(5, 5, 1)
+            b.ld(2, 1, 0)
+            b.halt()
+            return simulate(Executor(b.build()).run(), MachineConfig())
+
+        with_pf = program(True, 160).cycles
+        without = program(False, 160).cycles
+        assert without - with_pf > 50
+
+    def test_residual_wait_when_distance_too_short(self):
+        b = ProgramBuilder("pf")
+        b.lui(1, 80)
+        b.prefetch(1, 0)
+        b.ld(2, 1, 0)         # immediately behind: pays almost the full fill
+        b.halt()
+        result = simulate(Executor(b.build()).run(), MachineConfig())
+        ld = result.events[2]
+        assert ld.miss_component > 50
+        assert ld.pp_partner == -1  # shortened miss, not a PP edge
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    workload = make_prefetch_workload(plan=(), iters=ITERS)
+    trace = workload.trace()
+    provider = analyze_trace(trace)
+    selections = miss_selections_by_pc(provider.result)
+    slot_sels = {pc: selections[pc] for pc in workload.slot_pcs.values()}
+    pc_to_slot = {pc: s for s, pc in workload.slot_pcs.items()}
+    return workload, provider, slot_sels, pc_to_slot
+
+
+class TestSelectionPolicies:
+    def test_parallel_pair_has_tiny_individual_costs(self, analyzed):
+        __, provider, slot_sels, pc_to_slot = analyzed
+        ranked = dict(rank_by_individual_cost(provider, slot_sels))
+        by_slot = {pc_to_slot[pc]: cost for pc, cost in ranked.items()}
+        # each of the pair is covered by the other
+        assert by_slot["a"] < 0.3 * by_slot["c"]
+        assert by_slot["c"] == max(by_slot.values())
+
+    def test_best_subset_finds_the_pair(self, analyzed):
+        __, provider, slot_sels, pc_to_slot = analyzed
+        chosen, value = best_subset_selection(provider, slot_sels, budget=2)
+        assert {pc_to_slot[pc] for pc in chosen} == {"a", "b"}
+        assert value > provider.cost([slot_sels[pc]
+                                      for pc in chosen[:1]]) + 100
+
+    def test_icost_plan_beats_individual_plan(self, analyzed):
+        workload, provider, slot_sels, pc_to_slot = analyzed
+        base = provider.result.cycles
+        ranked = rank_by_individual_cost(provider, slot_sels)
+        individual_plan = tuple(pc_to_slot[pc] for pc, __ in ranked[:2])
+        chosen, __ = best_subset_selection(provider, slot_sels, budget=2)
+        icost_plan = tuple(pc_to_slot[pc] for pc in chosen)
+        s_individual = speedup_percent(
+            base, evaluate_plan(make_prefetch_workload, individual_plan,
+                                iters=ITERS))
+        s_icost = speedup_percent(
+            base, evaluate_plan(make_prefetch_workload, icost_plan,
+                                iters=ITERS))
+        assert s_icost > s_individual > 0
+
+    def test_prefetching_everything_wins_most(self, analyzed):
+        workload, provider, __, __ = analyzed
+        base = provider.result.cycles
+        all_cycles = evaluate_plan(make_prefetch_workload, SLOTS, iters=ITERS)
+        assert speedup_percent(base, all_cycles) > 100
+
+    def test_greedy_reports_its_choices(self, analyzed):
+        __, provider, slot_sels, __ = analyzed
+        chosen, value = greedy_joint_selection(provider, slot_sels, budget=2)
+        assert len(chosen) == 2
+        assert value >= 0
+
+
+class TestPrefetchableWorkload:
+    def test_unknown_slot_rejected(self):
+        with pytest.raises(ValueError, match="slots"):
+            make_prefetch_workload(plan=("z",))
+
+    def test_slot_pcs_cover_all(self):
+        workload = make_prefetch_workload(iters=5)
+        assert set(workload.slot_pcs) == set(SLOTS)
+
+    def test_plan_adds_prefetch_instructions(self):
+        none = make_prefetch_workload(plan=(), iters=5)
+        full = make_prefetch_workload(plan=SLOTS, iters=5)
+        count = lambda wl: sum(1 for i in wl.program
+                               if i.opcode is Opcode.PREFETCH)
+        assert count(none) == 0
+        assert count(full) == 3

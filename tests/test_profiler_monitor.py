@@ -1,0 +1,71 @@
+"""The simulated performance-monitoring hardware."""
+
+import pytest
+
+from repro.profiler.monitor import CONTEXT, HardwareMonitor, MonitorConfig
+from repro.profiler.signature import signature_stream
+from repro.uarch import simulate
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    trace = get_workload("gzip", scale=0.4)
+    result = simulate(trace)
+    data = HardwareMonitor(MonitorConfig(seed=1)).collect(result)
+    return trace, result, data
+
+
+class TestSignatureSamples:
+    def test_samples_cover_trace(self, profiled):
+        trace, result, data = profiled
+        assert data.signature_samples
+        for sample in data.signature_samples:
+            assert len(sample) <= len(trace)
+            assert trace.program.at(sample.start_pc) is not None
+
+    def test_bits_match_ground_truth(self, profiled):
+        trace, result, data = profiled
+        stream = signature_stream(trace.insts, result.events)
+        sample = data.signature_samples[0]
+        s = sample.start_seq
+        assert list(sample.bits) == stream[s:s + len(sample)]
+
+    def test_short_trace_gets_one_full_sample(self):
+        trace = get_workload("gzip", scale=0.05)
+        result = simulate(trace)
+        data = HardwareMonitor().collect(result)
+        assert len(data.signature_samples) >= 1
+
+
+class TestDetailedSamples:
+    def test_density_near_configured(self, profiled):
+        trace, result, data = profiled
+        coverage = data.coverage()
+        assert 0.1 < coverage < 0.5  # mean interval 5 -> ~20%
+
+    def test_context_lengths(self, profiled):
+        __, __, data = profiled
+        for samples in data.detailed_by_pc.values():
+            for d in samples:
+                assert len(d.context_before) <= CONTEXT
+                assert len(d.context_after) <= CONTEXT
+
+    def test_samples_indexed_by_their_pc(self, profiled):
+        __, __, data = profiled
+        for pc, samples in data.detailed_by_pc.items():
+            assert all(d.pc == pc for d in samples)
+
+    def test_dynamic_facts_recorded(self, profiled):
+        trace, result, data = profiled
+        any_latency = any(
+            d.exec_latency > 0
+            for samples in data.detailed_by_pc.values() for d in samples)
+        assert any_latency
+
+    def test_hot_pcs_have_many_samples(self, profiled):
+        trace, __, data = profiled
+        hist = trace.pc_histogram()
+        hottest = max(hist, key=hist.get)
+        if hist[hottest] > 30:
+            assert hottest in data.detailed_by_pc

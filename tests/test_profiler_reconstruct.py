@@ -1,0 +1,141 @@
+"""The Figure 5a fragment-reconstruction algorithm."""
+
+import pytest
+
+from repro.profiler.monitor import HardwareMonitor, MonitorConfig
+from repro.profiler.reconstruct import FragmentReconstructor
+from repro.profiler.samples import ProfileData, SignatureSample
+from repro.uarch import MachineConfig, simulate
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    trace = get_workload("gzip", scale=0.4)
+    result = simulate(trace)
+    data = HardwareMonitor(MonitorConfig(seed=2)).collect(result)
+    rec = FragmentReconstructor(trace.program, data, MachineConfig())
+    return trace, result, data, rec
+
+
+class TestControlFlowReconstruction:
+    def test_pc_sequence_matches_ground_truth(self, setup):
+        """The whole point: PCs inferred from the binary + signature
+        must equal the instructions that actually retired."""
+        trace, result, data, rec = setup
+        sample = data.signature_samples[0]
+        fragment = rec.reconstruct(sample)
+        assert fragment is not None
+        truth = trace.insts[sample.start_seq:sample.start_seq + len(fragment)]
+        assert [i.pc for i in fragment.insts] == [i.pc for i in truth]
+
+    def test_taken_flags_match(self, setup):
+        trace, result, data, rec = setup
+        sample = data.signature_samples[-1]
+        fragment = rec.reconstruct(sample)
+        truth = trace.insts[sample.start_seq:sample.start_seq + len(fragment)]
+        assert [i.taken for i in fragment.insts] == [i.taken for i in truth]
+
+    def test_register_producers_match_inside_fragment(self, setup):
+        trace, result, data, rec = setup
+        sample = data.signature_samples[0]
+        fragment = rec.reconstruct(sample)
+        s = sample.start_seq
+        for pos, (fr, gt) in enumerate(zip(fragment.insts,
+                                           trace.insts[s:s + len(fragment)])):
+            for fp, gp in zip(fr.src_producers, gt.src_producers):
+                if fp >= 0 and gp >= 0:
+                    assert fp == gp - s
+
+    def test_stats_accumulate(self, setup):
+        __, __, data, rec = setup
+        before = rec.stats.attempted
+        rec.reconstruct(data.signature_samples[0])
+        assert rec.stats.attempted == before + 1
+        assert rec.stats.default_rate < 0.1
+
+
+class TestInconsistencyDetection:
+    def test_impossible_bit1_aborts(self, setup):
+        trace, __, data, rec = setup
+        good = data.signature_samples[0]
+        # corrupt: claim bit1 on every instruction -- ALU ops will trip it
+        bad = SignatureSample(
+            start_pc=good.start_pc,
+            bits=tuple((1, b2) for __, b2 in good.bits),
+            start_seq=good.start_seq)
+        assert rec.reconstruct(bad) is None
+        assert rec.stats.aborted_inconsistent > 0
+
+    def test_unknown_start_pc_aborts(self, setup):
+        __, __, data, rec = setup
+        bad = SignatureSample(start_pc=0xDEAD00, bits=data.signature_samples[0].bits)
+        assert rec.reconstruct(bad) is None
+        assert rec.stats.aborted_control > 0
+
+
+class TestDefaults:
+    def test_reconstruction_survives_missing_samples(self, setup):
+        """With NO detailed samples at all, control flow still
+        reconstructs (bit 1 carries directions); latencies default."""
+        trace, result, data, rec = setup
+        empty = ProfileData(signature_samples=data.signature_samples,
+                            instructions_observed=len(trace))
+        rec2 = FragmentReconstructor(trace.program, empty, MachineConfig())
+        sample = data.signature_samples[0]
+        fragment = rec2.reconstruct(sample)
+        # gzip has no indirect jumps outside RET (stack-covered), so the
+        # walk completes with defaulted latencies
+        assert fragment is not None
+        assert rec2.stats.default_rate == 1.0
+        truth = trace.insts[sample.start_seq:sample.start_seq + len(fragment)]
+        assert [i.pc for i in fragment.insts] == [i.pc for i in truth]
+
+    def test_indirect_jump_needs_detailed_sample(self):
+        """perl's dispatch is jr-driven: without samples the walk
+        aborts at the first indirect jump."""
+        trace = get_workload("perl", scale=0.3)
+        result = simulate(trace)
+        data = HardwareMonitor().collect(result)
+        empty = ProfileData(signature_samples=data.signature_samples,
+                            instructions_observed=len(trace))
+        rec = FragmentReconstructor(trace.program, empty, MachineConfig())
+        assert rec.reconstruct(data.signature_samples[0]) is None
+
+    def test_indirect_jump_resolved_with_samples(self):
+        trace = get_workload("perl", scale=0.3)
+        result = simulate(trace)
+        data = HardwareMonitor(MonitorConfig(detailed_interval=2)).collect(result)
+        rec = FragmentReconstructor(trace.program, data, MachineConfig())
+        fragment = None
+        for sample in data.signature_samples:
+            fragment = rec.reconstruct(sample)
+            if fragment is not None:
+                break
+        assert fragment is not None
+
+
+class TestFragmentGraphs:
+    def test_fragment_feeds_graph_builder(self, setup):
+        from repro.graph.builder import GraphBuilder
+        from repro.graph.cost import GraphCostAnalyzer
+
+        __, __, data, rec = setup
+        fragment = rec.reconstruct(data.signature_samples[0])
+        graph = GraphBuilder().build(fragment)
+        analyzer = GraphCostAnalyzer(graph)
+        assert analyzer.base_length > 0
+
+    def test_fragment_cp_close_to_ground_truth_window(self, setup):
+        """The fragment's critical path should approximate the time the
+        real machine spent on the same instruction window."""
+        trace, result, data, rec = setup
+        sample = data.signature_samples[0]
+        fragment = rec.reconstruct(sample)
+        from repro.graph.builder import GraphBuilder
+        from repro.graph.cost import GraphCostAnalyzer
+
+        cp = GraphCostAnalyzer(GraphBuilder().build(fragment)).base_length
+        s = sample.start_seq
+        actual = (result.events[s + len(fragment) - 1].c - result.events[s].d)
+        assert cp == pytest.approx(actual, rel=0.35)

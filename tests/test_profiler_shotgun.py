@@ -1,0 +1,94 @@
+"""End-to-end shotgun profiling and its accuracy envelope."""
+
+import pytest
+
+from repro.core import Category, interaction_breakdown
+from repro.core.categories import EventSelection
+from repro.profiler import profile_trace
+from repro.profiler.monitor import MonitorConfig
+from repro.uarch import MachineConfig
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def gzip_profiled():
+    trace = get_workload("gzip")
+    provider = profile_trace(trace, MachineConfig(dl1_latency=4), fragments=12)
+    return trace, provider
+
+
+class TestProvider:
+    def test_total_positive(self, gzip_profiled):
+        __, provider = gzip_profiled
+        assert provider.total > 0
+
+    def test_costs_nonnegative_per_category(self, gzip_profiled):
+        __, provider = gzip_profiled
+        for cat in Category:
+            assert provider.cost([cat]) >= 0
+
+    def test_rejects_selections(self, gzip_profiled):
+        __, provider = gzip_profiled
+        with pytest.raises(TypeError, match="selections"):
+            provider.cost([EventSelection(Category.DMISS, frozenset({1}))])
+
+    def test_fragment_count(self, gzip_profiled):
+        __, provider = gzip_profiled
+        assert provider.fragment_count == 12
+
+    def test_deterministic(self):
+        trace = get_workload("gzip", scale=0.3)
+        a = profile_trace(trace, fragments=4, seed=3)
+        b = profile_trace(trace, fragments=4, seed=3)
+        assert a.total == b.total
+        assert a.cost([Category.DL1]) == b.cost([Category.DL1])
+
+
+class TestAccuracy:
+    """The Section 6 claim at unit granularity: profiler breakdowns track
+    the full-graph breakdowns within roughly 10-percentage-point error
+    on significant categories."""
+
+    def test_tracks_full_graph(self, gzip_profiled):
+        from repro.analysis.graphsim import analyze_trace
+
+        trace, provider = gzip_profiled
+        cfg = MachineConfig(dl1_latency=4)
+        fg = interaction_breakdown(analyze_trace(trace, cfg),
+                                   focus=Category.DL1)
+        prof = interaction_breakdown(provider, focus=Category.DL1)
+        for entry in fg.entries:
+            if entry.kind in ("base", "interaction") and abs(entry.percent) >= 5:
+                assert prof.percent(entry.label) == pytest.approx(
+                    entry.percent, abs=11.0), entry.label
+
+    def test_serial_interactions_keep_sign(self, gzip_profiled):
+        from repro.analysis.graphsim import analyze_trace
+
+        trace, provider = gzip_profiled
+        cfg = MachineConfig(dl1_latency=4)
+        fg = interaction_breakdown(analyze_trace(trace, cfg), focus=Category.DL1)
+        prof = interaction_breakdown(provider, focus=Category.DL1)
+        for entry in fg.entries:
+            if entry.kind == "interaction" and entry.percent < -5:
+                assert prof.percent(entry.label) < 0, entry.label
+
+
+class TestConfiguration:
+    def test_sparser_sampling_still_works(self):
+        trace = get_workload("gzip", scale=0.3)
+        provider = profile_trace(
+            trace, monitor=MonitorConfig(detailed_interval=25), fragments=4)
+        assert provider.total > 0
+        assert provider.stats.default_rate < 0.5
+
+    def test_too_short_trace_raises(self):
+        from repro.isa import Executor, ProgramBuilder
+
+        b = ProgramBuilder("tiny")
+        b.addi(1, 0, 1)
+        b.halt()
+        trace = Executor(b.build()).run()
+        # a 2-instruction trace still yields one (short) signature sample
+        provider = profile_trace(trace, fragments=1)
+        assert provider.fragment_count == 1

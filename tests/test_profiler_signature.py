@@ -1,0 +1,62 @@
+"""Signature-bit semantics (Table 5)."""
+
+from repro.isa.instructions import DynInst, Opcode, StaticInst
+from repro.profiler.signature import match_score, signature_bits
+from repro.uarch.events import InstEvents
+
+
+def dyn(opcode, taken=False):
+    static = StaticInst(pc=0x1000, opcode=opcode, dst=None, srcs=())
+    return DynInst(seq=0, static=static, next_pc=0x1004, taken=taken)
+
+
+def ev(**kwargs):
+    e = InstEvents(seq=0, pc=0x1000)
+    for k, v in kwargs.items():
+        setattr(e, k, v)
+    return e
+
+
+class TestBit1:
+    def test_taken_branch_sets(self):
+        assert signature_bits(dyn(Opcode.BNE, taken=True), ev())[0] == 1
+
+    def test_untaken_branch_clears(self):
+        assert signature_bits(dyn(Opcode.BNE, taken=False), ev())[0] == 0
+
+    def test_load_and_store_set(self):
+        assert signature_bits(dyn(Opcode.LD), ev())[0] == 1
+        assert signature_bits(dyn(Opcode.ST), ev())[0] == 1
+
+    def test_l2_dcache_miss_resets(self):
+        assert signature_bits(dyn(Opcode.LD), ev(l1d_miss=True,
+                                                 l2d_miss=True))[0] == 0
+
+    def test_l1_only_miss_does_not_reset(self):
+        assert signature_bits(dyn(Opcode.LD), ev(l1d_miss=True))[0] == 1
+
+    def test_alu_clears(self):
+        assert signature_bits(dyn(Opcode.ADD), ev())[0] == 0
+
+
+class TestBit2:
+    def test_clean_instruction(self):
+        assert signature_bits(dyn(Opcode.ADD), ev())[1] == 0
+
+    def test_each_miss_kind_sets(self):
+        for flag in ("l1i_miss", "l2i_miss", "l1d_miss", "l2d_miss",
+                     "itlb_miss", "dtlb_miss"):
+            assert signature_bits(dyn(Opcode.ADD), ev(**{flag: True}))[1] == 1
+
+
+class TestMatchScore:
+    def test_identical(self):
+        bits = [(1, 0), (0, 1), (1, 1)]
+        assert match_score(bits, bits) == 6
+
+    def test_partial(self):
+        assert match_score([(1, 0)], [(1, 1)]) == 1
+        assert match_score([(1, 0)], [(0, 1)]) == 0
+
+    def test_empty(self):
+        assert match_score([], []) == 0

@@ -1,0 +1,185 @@
+"""Property-based tests: invariants over randomly generated workloads.
+
+Hypothesis drives the synthetic program generator through the behaviour
+space (load/store/branch mixes, iteration counts) and checks the
+properties every (trace, simulator, graph, icost) pipeline must hold:
+dataflow sanity, timing monotonicity, graph/sim equivalence, and the
+icost accounting identities.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Category, icost_pair
+from repro.core.icost import CachingCostProvider, icost
+from repro.graph import GraphCostAnalyzer, build_graph
+from repro.graph.critical_path import critical_path_edges
+from repro.uarch import IdealConfig, simulate
+from repro.workloads.synthetic import random_program
+
+SLOW = settings(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+workload_params = st.fixed_dictionaries({
+    "seed": st.integers(0, 10_000),
+    "body_insts": st.integers(10, 60),
+    "iterations": st.integers(3, 25),
+    "load_frac": st.floats(0.0, 0.4),
+    "store_frac": st.floats(0.0, 0.2),
+    "branch_frac": st.floats(0.0, 0.2),
+})
+
+
+def trace_for(params):
+    return random_program(**params).trace()
+
+
+class TestExecutorProperties:
+    @SLOW
+    @given(params=workload_params)
+    def test_producers_precede_consumers(self, params):
+        trace = trace_for(params)
+        for inst in trace:
+            for producer in inst.src_producers:
+                assert producer < inst.seq
+            assert inst.mem_producer < inst.seq
+
+    @SLOW
+    @given(params=workload_params)
+    def test_control_flow_is_connected(self, params):
+        trace = trace_for(params)
+        for prev, cur in zip(trace, list(trace)[1:]):
+            assert prev.next_pc == cur.pc
+
+
+class TestSimulatorProperties:
+    @SLOW
+    @given(params=workload_params)
+    def test_node_time_ordering(self, params):
+        result = simulate(trace_for(params))
+        for ev in result.events:
+            assert ev.d <= ev.r <= ev.e <= ev.p <= ev.c
+
+    @SLOW
+    @given(params=workload_params)
+    def test_idealization_monotone(self, params):
+        trace = trace_for(params)
+        base = simulate(trace).cycles
+        one = simulate(trace, ideal=IdealConfig(dmiss=True)).cycles
+        two = simulate(trace, ideal=IdealConfig(dmiss=True, win=True)).cycles
+        assert two <= one <= base
+
+
+class TestGraphProperties:
+    @SLOW
+    @given(params=workload_params)
+    def test_graph_cp_matches_sim(self, params):
+        result = simulate(trace_for(params))
+        analyzer = GraphCostAnalyzer(build_graph(result))
+        # the graph starts at D0 while the simulator spends a constant
+        # front-end fill before it; compare net of that offset
+        offset = result.events[0].d
+        assert analyzer.base_length + offset == pytest.approx(
+            result.cycles, rel=0.06, abs=4)
+
+    @SLOW
+    @given(params=workload_params)
+    def test_critical_path_sums_to_length(self, params):
+        result = simulate(trace_for(params))
+        graph = build_graph(result)
+        analyzer = GraphCostAnalyzer(graph)
+        path = critical_path_edges(graph)
+        assert sum(e.latency for e in path) + graph.seed_lat * 0 \
+            <= analyzer.base_length + graph.seed_lat
+        assert sum(e.latency for e in path) >= analyzer.base_length - graph.seed_lat
+
+    @SLOW
+    @given(params=workload_params)
+    def test_costs_nonnegative_and_bounded(self, params):
+        analyzer = GraphCostAnalyzer(build_graph(simulate(trace_for(params))))
+        for cat in Category:
+            cost = analyzer.cost([cat])
+            assert 0 <= cost <= analyzer.total
+
+
+class TestIcostProperties:
+    @SLOW
+    @given(params=workload_params,
+           pair=st.sampled_from([
+               (Category.DMISS, Category.WIN),
+               (Category.DL1, Category.BMISP),
+               (Category.SHALU, Category.BW),
+           ]))
+    def test_icost_identity(self, params, pair):
+        """cost(a u b) == cost(a) + cost(b) + icost(a,b), exactly."""
+        analyzer = GraphCostAnalyzer(build_graph(simulate(trace_for(params))))
+        a, b = pair
+        lhs = analyzer.cost([a, b])
+        rhs = analyzer.cost([a]) + analyzer.cost([b]) + \
+            icost_pair(analyzer, a, b)
+        assert lhs == pytest.approx(rhs)
+
+    @SLOW
+    @given(params=workload_params)
+    def test_power_set_sums_to_aggregate_cost(self, params):
+        """Sum of icosts over the power set of three categories equals
+        the aggregate cost of idealizing all three (the accounting
+        identity behind Section 2.3's breakdowns)."""
+        from itertools import combinations
+
+        analyzer = CachingCostProvider(
+            GraphCostAnalyzer(build_graph(simulate(trace_for(params)))))
+        cats = (Category.DMISS, Category.WIN, Category.SHALU)
+        total = 0.0
+        for r in range(1, 4):
+            for combo in combinations(cats, r):
+                total += icost(analyzer, combo)
+        assert total == pytest.approx(analyzer.cost(cats))
+
+    @SLOW
+    @given(params=workload_params)
+    def test_icost_bounded_below_by_negative_min_cost(self, params):
+        """icost(a,b) >= -min(cost(a), cost(b)): idealizing both can
+        never save less than idealizing the better one alone."""
+        analyzer = GraphCostAnalyzer(build_graph(simulate(trace_for(params))))
+        a, b = Category.DMISS, Category.SHALU
+        value = icost_pair(analyzer, a, b)
+        assert value >= -min(analyzer.cost([a]), analyzer.cost([b])) - 1e-9
+
+
+class TestProfilerProperties:
+    @SLOW
+    @given(params=workload_params)
+    def test_reconstruction_matches_ground_truth_control_flow(self, params):
+        """For any random program (direct branches only), the profiler's
+        PC walk from signature bits must equal the committed path."""
+        from repro.profiler.monitor import HardwareMonitor, MonitorConfig
+        from repro.profiler.reconstruct import FragmentReconstructor
+
+        trace = trace_for(params)
+        result = simulate(trace)
+        data = HardwareMonitor(MonitorConfig(seed=1)).collect(result)
+        rec = FragmentReconstructor(trace.program, data, result.config)
+        sample = data.signature_samples[0]
+        fragment = rec.reconstruct(sample)
+        assert fragment is not None
+        truth = trace.insts[sample.start_seq:sample.start_seq + len(fragment)]
+        assert [i.pc for i in fragment.insts] == [i.pc for i in truth]
+        assert [i.taken for i in fragment.insts] == [i.taken for i in truth]
+
+    @SLOW
+    @given(params=workload_params)
+    def test_persist_roundtrip(self, params):
+        """Any simulated run survives save/load byte-for-byte in the
+        fields analysis depends on."""
+        from repro.uarch.persist import result_from_dict, result_to_dict
+
+        result = simulate(trace_for(params))
+        loaded = result_from_dict(result_to_dict(result))
+        assert loaded.cycles == result.cycles
+        assert [e.p for e in loaded.events] == [e.p for e in result.events]
+        assert [i.pc for i in loaded.trace.insts] == \
+            [i.pc for i in result.trace.insts]

@@ -1,0 +1,21 @@
+"""Scale smoke test: the pipeline handles tens of thousands of
+instructions within a sane time budget."""
+
+import time
+
+from repro.analysis.graphsim import analyze_trace
+from repro.core import Category, interaction_breakdown
+from repro.workloads import get_workload
+
+
+def test_large_trace_end_to_end():
+    t0 = time.time()
+    trace = get_workload("gzip", scale=5.0)
+    assert len(trace) > 30_000
+    provider = analyze_trace(trace)
+    breakdown = interaction_breakdown(provider, focus=Category.DL1,
+                                      workload="gzip-5x")
+    assert breakdown.percent("Total") == 100.0
+    elapsed = time.time() - t0
+    # generous budget: CI machines vary; locally this is a few seconds
+    assert elapsed < 120, f"pipeline too slow at scale: {elapsed:.0f}s"

@@ -1,0 +1,131 @@
+"""Unit tests for the branch-prediction structures."""
+
+import pytest
+
+from repro.isa.instructions import DynInst, Opcode, StaticInst
+from repro.uarch.branch import BTB, BranchPredictor, TwoBitCounters
+from repro.uarch.config import MachineConfig
+
+
+def branch(pc, opcode, taken, target=None, next_pc=None):
+    static = StaticInst(pc=pc, opcode=opcode, srcs=(1, 2) if opcode.is_cond_branch else (),
+                        target=target)
+    if next_pc is None:
+        next_pc = target if taken and target is not None else pc + 4
+    return DynInst(seq=0, static=static, next_pc=next_pc, taken=taken)
+
+
+class TestTwoBitCounters:
+    def test_initial_weakly_taken(self):
+        t = TwoBitCounters(16)
+        assert t.predict(0)
+
+    def test_saturation(self):
+        t = TwoBitCounters(16)
+        for _ in range(5):
+            t.update(3, False)
+        assert not t.predict(3)
+        t.update(3, True)
+        assert not t.predict(3)     # strongly not-taken needs two updates
+        t.update(3, True)
+        assert t.predict(3)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            TwoBitCounters(100)
+
+    def test_index_wraps(self):
+        t = TwoBitCounters(16)
+        t.update(16, False)
+        t.update(16, False)
+        assert not t.predict(0)
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BTB(sets=16, ways=2)
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_update_replaces_target(self):
+        btb = BTB(sets=16, ways=2)
+        btb.update(0x1000, 0x2000)
+        btb.update(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_way_eviction(self):
+        btb = BTB(sets=1, ways=2)
+        btb.update(0x1000, 1)
+        btb.update(0x2000, 2)
+        btb.update(0x3000, 3)      # evicts 0x1000
+        assert btb.lookup(0x1000) is None
+        assert btb.lookup(0x2000) == 2
+
+
+class TestBranchPredictor:
+    def setup_method(self):
+        self.p = BranchPredictor(MachineConfig())
+
+    def test_learns_monotone_direction(self):
+        for _ in range(20):
+            pred = self.p.predict_and_update(
+                branch(0x1000, Opcode.BNE, taken=True, target=0x2000))
+        assert pred.correct
+
+    def test_random_directions_mispredict_often(self):
+        import random
+        rng = random.Random(1)
+        wrong = 0
+        for _ in range(400):
+            taken = rng.random() < 0.5
+            pred = self.p.predict_and_update(
+                branch(0x1000, Opcode.BNE, taken=taken, target=0x2000))
+            wrong += not pred.correct
+        assert wrong > 100   # ~50% expected
+
+    def test_unconditional_jump_always_correct(self):
+        pred = self.p.predict_and_update(
+            branch(0x1000, Opcode.J, taken=True, target=0x4000))
+        assert pred.correct
+
+    def test_call_return_pair(self):
+        self.p.predict_and_update(
+            branch(0x1000, Opcode.CALL, taken=True, target=0x4000))
+        pred = self.p.predict_and_update(
+            branch(0x4010, Opcode.RET, taken=True, next_pc=0x1004))
+        assert pred.correct
+
+    def test_return_without_call_mispredicts(self):
+        pred = self.p.predict_and_update(
+            branch(0x4010, Opcode.RET, taken=True, next_pc=0x1004))
+        assert not pred.correct
+
+    def test_ras_depth_limited(self):
+        cfg = MachineConfig(ras_entries=2)
+        p = BranchPredictor(cfg)
+        for i in range(3):
+            p.predict_and_update(
+                branch(0x1000 + 16 * i, Opcode.CALL, taken=True, target=0x4000))
+        # the deepest call was pushed out; its matching return mispredicts
+        p.predict_and_update(branch(0x4000, Opcode.RET, taken=True,
+                                    next_pc=0x1000 + 16 * 2 + 4))
+        p.predict_and_update(branch(0x4000, Opcode.RET, taken=True,
+                                    next_pc=0x1000 + 16 * 1 + 4))
+        pred = p.predict_and_update(branch(0x4000, Opcode.RET, taken=True,
+                                           next_pc=0x1000 + 4))
+        assert not pred.correct
+
+    def test_indirect_jump_learns_stable_target(self):
+        first = self.p.predict_and_update(
+            branch(0x1000, Opcode.JR, taken=True, next_pc=0x8000))
+        assert not first.correct          # cold BTB
+        second = self.p.predict_and_update(
+            branch(0x1000, Opcode.JR, taken=True, next_pc=0x8000))
+        assert second.correct
+
+    def test_mispredict_rate_accounting(self):
+        self.p.predict_and_update(
+            branch(0x1000, Opcode.JR, taken=True, next_pc=0x8000))
+        assert self.p.lookups == 1
+        assert 0.0 <= self.p.mispredict_rate <= 1.0

@@ -1,0 +1,164 @@
+"""Unit tests for caches, the hierarchy, fill sharing and warming."""
+
+import pytest
+
+from repro.uarch.cache import DataAccess, MemoryHierarchy, SetAssocCache
+from repro.uarch.config import MachineConfig
+
+
+class TestSetAssocCache:
+    def test_geometry(self):
+        cache = SetAssocCache(32 * 1024, ways=2, line_bytes=64)
+        assert cache.num_sets == 256
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(1000, ways=3, line_bytes=64)
+
+    def test_miss_then_hit(self):
+        cache = SetAssocCache(1024, 2, 64)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63)          # same line
+        assert not cache.access(64)      # next line
+
+    def test_lru_eviction(self):
+        cache = SetAssocCache(2 * 64, 2, 64)  # one set, two ways
+        set_span = 64 * cache.num_sets
+        a, b, c = 0, set_span, 2 * set_span  # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)                  # evicts a
+        assert not cache.access(a)       # a was evicted
+        assert cache.access(c)
+
+    def test_lru_touch_protects(self):
+        cache = SetAssocCache(2 * 64, 2, 64)
+        span = 64 * cache.num_sets
+        cache.access(0)
+        cache.access(span)
+        cache.access(0)                  # 0 now MRU
+        cache.access(2 * span)           # evicts span, not 0
+        assert cache.lookup(0)
+        assert not cache.lookup(span)
+
+    def test_stats_and_reset(self):
+        cache = SetAssocCache(1024, 2, 64)
+        cache.access(0)
+        cache.access(0)
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.reset_stats()
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_lookup_has_no_side_effects(self):
+        cache = SetAssocCache(1024, 2, 64)
+        assert not cache.lookup(0)
+        assert not cache.lookup(0)
+        assert cache.misses == 0
+
+
+class TestHierarchyData:
+    def setup_method(self):
+        self.cfg = MachineConfig()
+        self.h = MemoryHierarchy(self.cfg)
+        # avoid TLB noise in latency assertions: pre-translate the first
+        # 512 KiB, which is exactly the 128-entry DTLB's reach; all test
+        # addresses stay inside it
+        for page in range(0, 128 * self.cfg.page_bytes, self.cfg.page_bytes):
+            self.h.dtlb.access(page)
+
+    def test_miss_then_partial_then_hit(self):
+        cfg = self.cfg
+        first = self.h.data_access(0x1000, cycle=0, seq=1, is_store=False)
+        assert first.l1_miss
+        assert first.latency == cfg.dl1_latency + cfg.l2_latency + cfg.memory_latency
+        # second access to the same line while the fill is in flight
+        sharer = self.h.data_access(0x1008, cycle=5, seq=2, is_store=False)
+        assert sharer.pp_partner == 1
+        assert sharer.l1_miss
+        assert sharer.dl1_component == cfg.dl1_latency
+        assert sharer.miss_component == 0
+        # after the fill completes it is a plain hit
+        late = self.h.data_access(0x1010, cycle=first.latency + 1, seq=3,
+                                  is_store=False)
+        assert not late.l1_miss
+        assert late.latency == cfg.dl1_latency
+
+    def test_l2_hit_latency(self):
+        self.h.l2.install(0x9000)
+        acc = self.h.data_access(0x9000, 0, 1, is_store=False)
+        assert acc.l1_miss and not acc.l2_miss
+        assert acc.latency == self.cfg.dl1_latency + self.cfg.l2_latency
+
+    def test_latency_decomposition_sums(self):
+        acc = self.h.data_access(0x7B000, 0, 1, is_store=False)
+        assert acc.latency == acc.dl1_component + acc.miss_component
+
+    def test_store_never_stalls(self):
+        acc = self.h.data_access(0xCC000, 0, 1, is_store=True)
+        assert acc.l1_miss
+        assert acc.latency == self.cfg.dl1_latency
+        assert acc.miss_component == 0
+
+    def test_store_installs_line(self):
+        self.h.data_access(0xDD000, 0, 1, is_store=True)
+        acc = self.h.data_access(0xDD008, 1, 2, is_store=False)
+        assert not acc.l1_miss
+
+    def test_tlb_miss_penalty(self):
+        h = MemoryHierarchy(self.cfg)  # fresh, cold TLB
+        acc = h.data_access(0x1000, 0, 1, is_store=False)
+        assert acc.tlb_miss
+        assert acc.miss_component >= self.cfg.tlb_miss_latency
+
+    def test_perfect_l1d(self):
+        h = MemoryHierarchy(self.cfg, perfect_l1d=True)
+        acc = h.data_access(0xEE000, 0, 1, is_store=False)
+        assert not acc.l1_miss and not acc.tlb_miss
+        assert acc.latency == self.cfg.dl1_latency
+
+    def test_zero_dl1(self):
+        h = MemoryHierarchy(self.cfg, zero_dl1=True, perfect_l1d=True)
+        acc = h.data_access(0x1000, 0, 1, is_store=False)
+        assert acc.latency == 0
+
+
+class TestHierarchyFetch:
+    def test_fetch_miss_and_hit(self):
+        cfg = MachineConfig()
+        h = MemoryHierarchy(cfg)
+        h.itlb.access(0x1000)
+        miss = h.fetch_access(0x1000, 0)
+        assert miss.l1_miss and miss.l2_miss
+        assert miss.delay == cfg.l2_latency + cfg.memory_latency
+        hit = h.fetch_access(0x1004, 1)
+        assert hit.delay == 0
+
+    def test_perfect_l1i(self):
+        h = MemoryHierarchy(MachineConfig(), perfect_l1i=True)
+        assert h.fetch_access(0x1000, 0).delay == 0
+
+
+class TestWarming:
+    def test_instruction_warming(self):
+        h = MemoryHierarchy(MachineConfig())
+        pcs = [0x1000 + 4 * i for i in range(100)]
+        h.warm_instruction_side(pcs)
+        assert h.fetch_access(0x1000, 0).delay == 0
+        assert h.l1i.hits == 1 and h.l1i.misses == 0
+
+    def test_data_warming_l1_vs_l2(self):
+        cfg = MachineConfig()
+        h = MemoryHierarchy(cfg)
+        h.warm_data_side(l1_ranges=[(0x10000, 0x10100)],
+                         l2_ranges=[(0x20000, 0x20100)])
+        l1_acc = h.data_access(0x10000, 0, 1, is_store=False)
+        assert not l1_acc.l1_miss and not l1_acc.tlb_miss
+        l2_acc = h.data_access(0x20000, 0, 2, is_store=False)
+        assert l2_acc.l1_miss and not l2_acc.l2_miss and not l2_acc.tlb_miss
+        assert l2_acc.latency == cfg.dl1_latency + cfg.l2_latency
+
+    def test_warming_resets_stats(self):
+        h = MemoryHierarchy(MachineConfig())
+        h.warm_data_side([(0x10000, 0x11000)], [])
+        assert h.l1d.hits == 0 and h.l1d.misses == 0

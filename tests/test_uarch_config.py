@@ -1,0 +1,80 @@
+"""Unit tests for MachineConfig (Table 6) and IdealConfig (Table 1)."""
+
+import pytest
+
+from repro.core.categories import Category
+from repro.isa.instructions import OpClass
+from repro.uarch.config import FUKind, IdealConfig, MachineConfig, OPCLASS_TO_FU
+
+
+class TestTable6Defaults:
+    """The default configuration is the paper's Table 6 machine."""
+
+    def test_core(self):
+        cfg = MachineConfig()
+        assert cfg.window_size == 64
+        assert cfg.issue_width == 6
+
+    def test_predictor(self):
+        cfg = MachineConfig()
+        assert cfg.bimodal_entries == 8192
+        assert cfg.gshare_entries == 8192
+        assert cfg.meta_entries == 8192
+        assert cfg.btb_sets * cfg.btb_ways == 4096
+        assert cfg.ras_entries == 64
+
+    def test_memory_system(self):
+        cfg = MachineConfig()
+        assert cfg.l1i_bytes == 32 * 1024 and cfg.l1i_ways == 2
+        assert cfg.l1d_bytes == 32 * 1024 and cfg.l1d_ways == 2
+        assert cfg.dl1_latency == 2
+        assert cfg.l2_bytes == 1024 * 1024 and cfg.l2_ways == 4
+        assert cfg.l2_latency == 12
+        assert cfg.memory_latency == 100
+        assert cfg.dtlb_entries == 128 and cfg.itlb_entries == 64
+        assert cfg.tlb_miss_latency == 30
+
+    def test_functional_units(self):
+        cfg = MachineConfig()
+        counts = cfg.fu_counts()
+        assert counts[FUKind.IALU] == 6
+        assert counts[FUKind.IMUL] == 2
+        assert counts[FUKind.FALU] == 4
+        assert counts[FUKind.FMUL] == 2
+        assert counts[FUKind.MEM] == 3
+
+    def test_exec_latencies(self):
+        cfg = MachineConfig()
+        assert cfg.exec_latency(OpClass.IALU) == 1
+        assert cfg.exec_latency(OpClass.IMUL) == 3
+        assert cfg.exec_latency(OpClass.FALU) == 2
+        assert cfg.exec_latency(OpClass.FMUL) == 4
+        assert cfg.exec_latency(OpClass.FDIV) == 12
+        assert cfg.exec_latency(OpClass.LOAD) == cfg.dl1_latency
+
+    def test_every_opclass_has_fu(self):
+        for cls in OpClass:
+            assert cls in OPCLASS_TO_FU
+
+    def test_with_override(self):
+        cfg = MachineConfig().with_(dl1_latency=4)
+        assert cfg.dl1_latency == 4
+        assert cfg.window_size == 64
+        assert MachineConfig().dl1_latency == 2  # original untouched
+
+
+class TestIdealConfig:
+    def test_none_has_no_flags(self):
+        assert IdealConfig.none().active() == ()
+
+    def test_for_categories_accepts_enum_and_str(self):
+        ideal = IdealConfig.for_categories([Category.DL1, "win"])
+        assert set(ideal.active()) == {"dl1", "win"}
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            IdealConfig.for_categories(["nonsense"])
+
+    def test_flags_cover_all_base_categories(self):
+        flag_names = set(IdealConfig.none().__dataclass_fields__)
+        assert {c.value for c in Category} <= flag_names

@@ -1,0 +1,167 @@
+"""Unit and invariant tests for the out-of-order core."""
+
+import pytest
+
+from repro.isa import Executor, ProgramBuilder
+from repro.uarch import IdealConfig, MachineConfig, simulate
+from repro.uarch.config import FUKind, OPCLASS_TO_FU
+from repro.isa.instructions import OpClass
+
+
+def trace_of(body, name="t", **mem):
+    b = ProgramBuilder(name)
+    body(b)
+    b.halt()
+    return Executor(b.build(), memory_init=mem or None).run()
+
+
+class TestNodeTimeInvariants:
+    """Every instruction's node times must respect the pipeline order."""
+
+    def test_node_order_per_instruction(self, miss_result):
+        for ev in miss_result.events:
+            assert ev.f <= ev.d <= ev.r <= ev.e <= ev.p <= ev.c
+
+    def test_commit_in_order(self, miss_result):
+        commits = [ev.c for ev in miss_result.events]
+        assert commits == sorted(commits)
+
+    def test_dispatch_in_order(self, miss_result):
+        dispatches = [ev.d for ev in miss_result.events]
+        assert dispatches == sorted(dispatches)
+
+    def test_commit_bandwidth_respected(self, miss_result, base_config):
+        from collections import Counter
+        per_cycle = Counter(ev.c for ev in miss_result.events)
+        assert max(per_cycle.values()) <= base_config.commit_width
+
+    def test_issue_width_respected(self, miss_result, base_config):
+        from collections import Counter
+        per_cycle = Counter(ev.e for ev in miss_result.events)
+        assert max(per_cycle.values()) <= base_config.issue_width
+
+    def test_window_occupancy_bounded(self, miss_result, base_config):
+        events = miss_result.events
+        w = base_config.window_size
+        for i, ev in enumerate(events):
+            if i >= w:
+                assert ev.d >= events[i - w].c
+
+    def test_fu_pool_limits(self, miss_result, base_config):
+        from collections import Counter
+        counts = Counter()
+        for inst, ev in zip(miss_result.trace.insts, miss_result.events):
+            counts[(ev.e, OPCLASS_TO_FU[inst.opclass])] += 1
+        caps = base_config.fu_counts()
+        for (cycle, kind), n in counts.items():
+            assert n <= caps[kind], (cycle, kind, n)
+
+    def test_producers_complete_before_consumers_ready(self, miss_result):
+        events = miss_result.events
+        for inst, ev in zip(miss_result.trace.insts, miss_result.events):
+            for j in inst.src_producers:
+                if j >= 0:
+                    assert events[j].p <= ev.r
+
+    def test_execution_time_is_last_commit(self, miss_result):
+        assert miss_result.cycles == miss_result.events[-1].c + 1
+
+
+class TestIdealizations:
+    """Each Table 1 idealization must never slow the machine down."""
+
+    @pytest.mark.parametrize("flag", list(IdealConfig.none().__dataclass_fields__))
+    def test_single_idealization_helps_or_is_neutral(self, miss_trace, flag):
+        base = simulate(miss_trace).cycles
+        ideal = simulate(miss_trace, ideal=IdealConfig(**{flag: True})).cycles
+        assert ideal <= base
+
+    def test_idealizing_more_never_hurts(self, miss_trace):
+        a = simulate(miss_trace, ideal=IdealConfig(dmiss=True)).cycles
+        b = simulate(miss_trace, ideal=IdealConfig(dmiss=True, dl1=True)).cycles
+        c = simulate(miss_trace,
+                     ideal=IdealConfig(dmiss=True, dl1=True, win=True,
+                                       bw=True, bmisp=True, shalu=True,
+                                       lgalu=True, imiss=True)).cycles
+        assert c <= b <= a
+
+    def test_perfect_dcache_removes_misses(self, miss_trace):
+        result = simulate(miss_trace, ideal=IdealConfig(dmiss=True))
+        assert result.event_counts()["l1d_misses"] == 0
+
+    def test_perfect_bpred_removes_mispredicts(self, small_gzip_trace):
+        result = simulate(small_gzip_trace, ideal=IdealConfig(bmisp=True))
+        assert result.event_counts()["mispredicts"] == 0
+
+    def test_fully_idealized_approaches_dataflow_floor(self, loop_trace):
+        all_ideal = IdealConfig(dl1=True, win=True, bw=True, bmisp=True,
+                                dmiss=True, shalu=True, lgalu=True, imiss=True)
+        cycles = simulate(loop_trace, ideal=all_ideal).cycles
+        # the serial loop-counter chain no longer exists (shalu=0-latency);
+        # remaining time is pipeline depth plus store/branch latencies
+        assert cycles < simulate(loop_trace).cycles / 2
+
+
+class TestMachineKnobs:
+    def test_longer_dl1_latency_slows(self, loop_trace):
+        fast = simulate(loop_trace, MachineConfig(dl1_latency=1)).cycles
+        slow = simulate(loop_trace, MachineConfig(dl1_latency=4)).cycles
+        assert slow > fast
+
+    def test_bigger_window_helps_miss_streams(self, miss_trace):
+        small = simulate(miss_trace, MachineConfig(window_size=16)).cycles
+        big = simulate(miss_trace, MachineConfig(window_size=128)).cycles
+        assert big < small
+
+    def test_issue_wakeup_two_slows_dependent_chains(self, loop_trace):
+        w1 = simulate(loop_trace, MachineConfig(issue_wakeup=1)).cycles
+        w2 = simulate(loop_trace, MachineConfig(issue_wakeup=2)).cycles
+        assert w2 > w1
+
+    def test_longer_recovery_slows_mispredicting_code(self, small_gzip_trace):
+        r7 = simulate(small_gzip_trace, MachineConfig(mispredict_recovery=7)).cycles
+        r15 = simulate(small_gzip_trace, MachineConfig(mispredict_recovery=15)).cycles
+        assert r15 > r7
+
+    def test_warm_caches_flag(self, small_gzip_trace):
+        warm = simulate(small_gzip_trace, MachineConfig(warm_caches=True)).cycles
+        cold = simulate(small_gzip_trace, MachineConfig(warm_caches=False)).cycles
+        assert warm <= cold
+
+    def test_determinism(self, miss_trace):
+        a = simulate(miss_trace)
+        b = simulate(miss_trace)
+        assert a.cycles == b.cycles
+        assert [e.c for e in a.events] == [e.c for e in b.events]
+
+
+class TestEventDecomposition:
+    def test_mem_exec_latency_decomposes(self, miss_result):
+        for inst, ev in zip(miss_result.trace.insts, miss_result.events):
+            if inst.opclass.is_mem and ev.pp_partner < 0:
+                assert ev.exec_latency == ev.dl1_component + ev.miss_component
+
+    def test_sharer_completion_matches_partner(self, base_config):
+        # two loads to one line back to back: the second shares the fill
+        def body(b):
+            b.lui(1, 8)          # some address far from code
+            b.ld(2, 1, 0)
+            b.ld(3, 1, 8)
+        result = simulate(trace_of(body), base_config)
+        sharers = [ev for ev in result.events if ev.pp_partner >= 0]
+        assert sharers
+        for ev in sharers:
+            partner = result.events[ev.pp_partner]
+            assert ev.p >= partner.p
+
+    def test_store_bw_delay_only_on_stores(self, miss_result):
+        for inst, ev in zip(miss_result.trace.insts, miss_result.events):
+            if not inst.is_store:
+                assert ev.store_bw_delay == 0
+
+    def test_stats_present(self, miss_result):
+        for key in ("l1d_miss_rate", "l1i_miss_rate", "mispredict_rate"):
+            assert key in miss_result.stats
+
+    def test_ipc_cpi_consistency(self, miss_result):
+        assert miss_result.ipc * miss_result.cpi == pytest.approx(1.0)

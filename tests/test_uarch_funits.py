@@ -1,0 +1,58 @@
+"""Unit tests for functional-unit slot arbitration."""
+
+from repro.isa.instructions import OpClass
+from repro.uarch.config import MachineConfig
+from repro.uarch.funits import FUSlots
+
+
+class TestFUSlots:
+    def test_pool_capacity_per_cycle(self):
+        fu = FUSlots(MachineConfig())
+        claims = [fu.try_claim(OpClass.IMUL) for _ in range(3)]
+        assert claims == [True, True, False]
+
+    def test_new_cycle_resets(self):
+        fu = FUSlots(MachineConfig())
+        fu.try_claim(OpClass.IMUL)
+        fu.try_claim(OpClass.IMUL)
+        assert fu.saturated(OpClass.IMUL)
+        fu.new_cycle()
+        assert not fu.saturated(OpClass.IMUL)
+        assert fu.try_claim(OpClass.IMUL)
+
+    def test_pools_independent(self):
+        fu = FUSlots(MachineConfig())
+        fu.try_claim(OpClass.IMUL)
+        fu.try_claim(OpClass.IMUL)
+        assert fu.try_claim(OpClass.LOAD)
+        assert fu.try_claim(OpClass.IALU)
+
+    def test_branches_share_int_alus(self):
+        fu = FUSlots(MachineConfig())
+        for _ in range(6):
+            assert fu.try_claim(OpClass.BRANCH)
+        assert not fu.try_claim(OpClass.IALU)
+
+    def test_fdiv_shares_fmul_pool(self):
+        fu = FUSlots(MachineConfig())
+        assert fu.try_claim(OpClass.FDIV)
+        assert fu.try_claim(OpClass.FMUL)
+        assert not fu.try_claim(OpClass.FDIV)
+
+    def test_all_saturated(self):
+        cfg = MachineConfig()
+        fu = FUSlots(cfg)
+        assert not fu.all_saturated()
+        for cls, count in ((OpClass.IALU, 6), (OpClass.IMUL, 2),
+                           (OpClass.FALU, 4), (OpClass.FMUL, 2),
+                           (OpClass.LOAD, 3)):
+            for _ in range(count):
+                fu.try_claim(cls)
+        assert fu.all_saturated()
+
+    def test_infinite_mode(self):
+        fu = FUSlots(MachineConfig(), infinite=True)
+        for _ in range(1000):
+            assert fu.try_claim(OpClass.IMUL)
+        assert not fu.saturated(OpClass.IMUL)
+        assert not fu.all_saturated()

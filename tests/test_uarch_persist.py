@@ -1,0 +1,90 @@
+"""SimResult persistence round-trips."""
+
+import pytest
+
+from repro.core import Category, interaction_breakdown
+from repro.graph import GraphCostAnalyzer, build_graph
+from repro.uarch import IdealConfig, MachineConfig, simulate
+from repro.uarch.persist import (
+    FORMAT_VERSION,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    trace = get_workload("gzip", scale=0.3)
+    result = simulate(trace, MachineConfig(dl1_latency=4))
+    path = tmp_path_factory.mktemp("persist") / "gzip.repro.gz"
+    save_result(result, path)
+    return result, path
+
+
+class TestRoundTrip:
+    def test_timing_preserved(self, saved):
+        original, path = saved
+        loaded = load_result(path)
+        assert loaded.cycles == original.cycles
+        assert len(loaded.events) == len(original.events)
+        for a, b in zip(original.events, loaded.events):
+            assert (a.d, a.r, a.e, a.p, a.c) == (b.d, b.r, b.e, b.p, b.c)
+            assert a.mispredicted == b.mispredicted
+            assert a.miss_component == b.miss_component
+
+    def test_trace_preserved(self, saved):
+        original, path = saved
+        loaded = load_result(path)
+        for a, b in zip(original.trace.insts, loaded.trace.insts):
+            assert a.pc == b.pc
+            assert a.opcode is b.opcode
+            assert a.src_producers == b.src_producers
+            assert a.mem_producer == b.mem_producer
+
+    def test_config_preserved(self, saved):
+        original, path = saved
+        loaded = load_result(path)
+        assert loaded.config == original.config
+
+    def test_ideal_flags_preserved(self, tmp_path):
+        trace = get_workload("gzip", scale=0.2)
+        result = simulate(trace, ideal=IdealConfig(dmiss=True))
+        path = tmp_path / "ideal.gz"
+        save_result(result, path)
+        assert load_result(path).ideal.dmiss is True
+
+    def test_analysis_on_reloaded_result(self, saved):
+        """The whole point: graph analysis works on the reloaded run."""
+        original, path = saved
+        loaded = load_result(path)
+        fresh = GraphCostAnalyzer(build_graph(original))
+        reloaded = GraphCostAnalyzer(build_graph(loaded))
+        assert reloaded.base_length == fresh.base_length
+        for cat in (Category.DL1, Category.DMISS, Category.WIN):
+            assert reloaded.cost([cat]) == fresh.cost([cat])
+
+    def test_breakdown_identical(self, saved):
+        from repro.analysis.graphsim import GraphCostProvider
+
+        original, path = saved
+        a = interaction_breakdown(GraphCostProvider(original))
+        b = interaction_breakdown(GraphCostProvider(load_result(path)))
+        assert a.as_dict() == b.as_dict()
+
+    def test_version_checked(self, saved):
+        original, __ = saved
+        data = result_to_dict(original)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict(data)
+
+    def test_compression_is_effective(self, saved):
+        import json
+        import os
+
+        original, path = saved
+        raw = len(json.dumps(result_to_dict(original)))
+        assert os.path.getsize(path) < raw / 3

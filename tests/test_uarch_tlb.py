@@ -1,0 +1,50 @@
+"""Unit tests for the TLB."""
+
+import pytest
+
+from repro.uarch.tlb import TLB
+
+
+class TestTLB:
+    def test_miss_then_hit_same_page(self):
+        tlb = TLB(entries=4, page_bytes=4096)
+        assert not tlb.access(0x1000)
+        assert tlb.access(0x1FFF)     # same page
+        assert not tlb.access(0x2000)  # next page
+
+    def test_lru_replacement(self):
+        tlb = TLB(entries=2, page_bytes=4096)
+        tlb.access(0x0000)
+        tlb.access(0x1000)
+        tlb.access(0x2000)            # evicts page 0
+        assert not tlb.lookup(0x0000)
+        assert tlb.lookup(0x1000)
+        assert tlb.lookup(0x2000)
+
+    def test_access_refreshes_lru(self):
+        tlb = TLB(entries=2, page_bytes=4096)
+        tlb.access(0x0000)
+        tlb.access(0x1000)
+        tlb.access(0x0000)            # page 0 now MRU
+        tlb.access(0x2000)            # evicts page 1
+        assert tlb.lookup(0x0000)
+        assert not tlb.lookup(0x1000)
+
+    def test_stats(self):
+        tlb = TLB(entries=4, page_bytes=4096)
+        tlb.access(0)
+        tlb.access(0)
+        assert (tlb.hits, tlb.misses) == (1, 1)
+        tlb.reset_stats()
+        assert (tlb.hits, tlb.misses) == (0, 0)
+
+    def test_lookup_no_side_effects(self):
+        tlb = TLB(entries=4, page_bytes=4096)
+        assert not tlb.lookup(0)
+        assert tlb.misses == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0, page_bytes=4096)
+        with pytest.raises(ValueError):
+            TLB(entries=4, page_bytes=1000)

@@ -1,0 +1,120 @@
+"""The kernel building blocks and the memory image."""
+
+import random
+
+import pytest
+
+from repro.isa import Executor, ProgramBuilder
+from repro.workloads import kernels as K
+from repro.workloads.kernels import WORD, MemoryImage
+
+
+class TestMemoryImage:
+    def test_regions_disjoint(self):
+        mem = MemoryImage()
+        a = mem.alloc(100)
+        b = mem.alloc(100)
+        assert b >= a + 100 * WORD
+
+    def test_warmth_recorded(self):
+        mem = MemoryImage()
+        a = mem.alloc(10, warmth="l1")
+        b = mem.alloc(10, warmth="l2")
+        mem.alloc(10)  # cold
+        assert mem.ranges("l1") == ((a, a + 80),)
+        assert mem.ranges("l2") == ((b, b + 80),)
+        assert len(mem.ranges("cold")) == 1
+
+    def test_bad_warmth_rejected(self):
+        with pytest.raises(ValueError, match="warmth"):
+            MemoryImage().alloc(10, warmth="toasty")
+
+    def test_fill(self):
+        mem = MemoryImage()
+        base = mem.alloc(3)
+        mem.fill(base, [7, 8, 9])
+        assert mem.data[base + WORD] == 8
+
+
+class TestDataBuilders:
+    def test_linked_list_terminates_and_covers_all(self):
+        mem = MemoryImage()
+        rng = random.Random(0)
+        head = K.build_linked_list(mem, 50, rng)
+        seen = set()
+        addr = head
+        while addr:
+            assert addr not in seen
+            seen.add(addr)
+            addr = mem.data[addr]
+        assert len(seen) == 50
+
+    def test_permutation_chain_is_one_cycle(self):
+        mem = MemoryImage()
+        base = K.build_permutation_chain(mem, 32, random.Random(1))
+        offset = 0
+        seen = set()
+        for __ in range(32):
+            assert offset not in seen
+            seen.add(offset)
+            offset = mem.data[base + offset]
+        assert offset in seen  # closed the cycle
+        assert len(seen) == 32
+
+    def test_index_array_in_range(self):
+        mem = MemoryImage()
+        base = K.build_index_array(mem, 64, 100, random.Random(2))
+        for i in range(64):
+            value = mem.data[base + i * WORD]
+            assert 0 <= value < 100 * WORD
+            assert value % WORD == 0
+
+    def test_random_words_respect_bounds(self):
+        mem = MemoryImage()
+        base = K.build_random_words(mem, 40, random.Random(3), lo=5, hi=9)
+        for i in range(40):
+            assert 5 <= mem.data[base + i * WORD] < 9
+
+
+class TestEmitters:
+    def _run(self, emit, mem=None):
+        b = ProgramBuilder("k")
+        b.addi(20, 0, 1)
+        emit(b)
+        b.halt()
+        return Executor(b.build(), memory_init=(mem.data if mem else None)).run()
+
+    def test_alu_chain_is_serial(self):
+        trace = self._run(lambda b: K.emit_alu_chain(b, reg=18, length=5))
+        chain = [i for i in trace if i.static.dst == 18]
+        for prev, cur in zip(chain, chain[1:]):
+            assert prev.seq in cur.src_producers
+
+    def test_ilp_alu_is_parallel(self):
+        trace = self._run(lambda b: K.emit_ilp_alu(b, regs=[8, 9, 10], rounds=1))
+        body = [i for i in trace if i.static.dst in (8, 9, 10)]
+        firsts = body[:3]
+        for inst in firsts:
+            assert all(p < 1 for p in inst.src_producers)
+
+    def test_l1_chase_is_dependent_loads(self):
+        mem = MemoryImage()
+        base = K.build_permutation_chain(mem, 16, random.Random(4))
+        def emit(b):
+            b.lui(27, base >> 16)
+            b.addi(27, 27, base & 0xFFFF)
+            b.addi(13, 0, 0)
+            K.emit_l1_chase(b, base_reg=27, ptr_reg=13, links=4)
+        trace = self._run(emit, mem)
+        loads = [i for i in trace if i.is_load]
+        assert len(loads) == 4
+        for prev, cur in zip(loads, loads[1:]):
+            # each load's address depends on the previous load's value
+            assert any(p >= prev.seq for p in cur.src_producers)
+
+    def test_store_burst(self):
+        def emit(b):
+            b.addi(27, 0, 0x9000)
+            K.emit_store_burst(b, base_reg=27, count=5)
+        trace = self._run(emit)
+        assert sum(1 for i in trace if i.is_store) == 5

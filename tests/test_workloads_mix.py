@@ -1,0 +1,102 @@
+"""The MixSpec workload generator."""
+
+import pytest
+
+from repro.uarch import simulate
+from repro.workloads.mix import MixSpec, generate
+
+
+def spec(**kwargs):
+    defaults = dict(name="mixtest", description="test mix", iters=20)
+    defaults.update(kwargs)
+    return MixSpec(**defaults)
+
+
+class TestGeneration:
+    def test_minimal_spec_runs(self):
+        trace = generate(spec(alu_chain=4)).trace()
+        assert len(trace) > 20 * 4
+
+    def test_deterministic_across_calls(self):
+        a = generate(spec(chase_count=1, gather_count=1), seed=9).trace()
+        b = generate(spec(chase_count=1, gather_count=1), seed=9).trace()
+        assert [i.pc for i in a] == [i.pc for i in b]
+        assert [i.mem_addr for i in a] == [i.mem_addr for i in b]
+
+    def test_stable_across_hash_seeds(self):
+        """Workload data must not depend on PYTHONHASHSEED (regression:
+        the generator once seeded its RNG with hash(name))."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.workloads.mix import MixSpec, generate;"
+            "t = generate(MixSpec(name='h', description='d', iters=5,"
+            " gather_count=2)).trace();"
+            "print(sum(i.mem_addr or 0 for i in t))"
+        )
+        outs = set()
+        for seed in (1, 2):
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                env={"PYTHONHASHSEED": str(seed), "PATH": "/usr/bin:/bin"},
+                capture_output=True, text=True, cwd="/root/repo/src")
+            assert proc.returncode == 0, proc.stderr
+            assert proc.stdout.strip()
+            outs.add(proc.stdout)
+        assert len(outs) == 1
+
+    def test_scale(self):
+        short = generate(spec(alu_chain=4), scale=0.5).trace()
+        full = generate(spec(alu_chain=4), scale=1.0).trace()
+        assert len(full) > 1.5 * len(short)
+
+
+class TestIngredients:
+    def test_chase_emits_dependent_loads(self):
+        trace = generate(spec(chase_count=1, chase_links=3)).trace()
+        loads = [i for i in trace if i.is_load]
+        assert len(loads) >= 20 * 4  # seed + 3 links per iteration
+
+    def test_gather_region_size(self):
+        wl = generate(spec(gather_count=2, gather_kb=64))
+        total_l2 = sum(end - start for start, end in wl.warm_l2_ranges)
+        assert total_l2 >= 64 * 1024
+
+    def test_branch_ingredient_mispredicts(self):
+        wl = generate(spec(branch_count=2, branch_hi=2, iters=120))
+        result = simulate(wl.trace())
+        assert result.stats["mispredict_rate"] > 0.05
+
+    def test_functions_split_the_body(self):
+        wl = generate(spec(functions=4, body_pad=9, alu_chain=2))
+        from repro.isa.instructions import Opcode
+
+        calls = sum(1 for i in wl.program if i.opcode is Opcode.CALL)
+        rets = sum(1 for i in wl.program if i.opcode is Opcode.RET)
+        assert calls == rets == 4
+
+    def test_function_bodies_use_distinct_data(self):
+        wl = generate(spec(functions=3, gather_count=1, iters=4))
+        trace = wl.trace()
+        # the three gathers of one iteration must hit distinct indices
+        idx_loads = [i.mem_addr for i in trace
+                     if i.is_load and i.mem_addr is not None]
+        assert len(set(idx_loads)) > 3
+
+    def test_fp_every(self):
+        from repro.isa.instructions import OpClass
+
+        all_fp = generate(spec(functions=4, fp_adds=2, fp_every=1)).trace()
+        some_fp = generate(spec(functions=4, fp_adds=2, fp_every=2)).trace()
+        count = lambda t: sum(1 for i in t if i.opclass is OpClass.FALU)
+        assert count(all_fp) > count(some_fp) > 0
+
+    def test_alu_chain_resets_per_iteration(self):
+        """Chains must be body-local (the shalu+win serial mechanism):
+        the first chain op of an iteration reads r0, not the previous
+        iteration's result."""
+        trace = generate(spec(alu_chain=5)).trace()
+        heads = [i for i in trace
+                 if i.static.dst == 18 and i.src_producers == (-1,)]
+        assert len(heads) == 20  # one reset per iteration

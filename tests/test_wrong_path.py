@@ -1,0 +1,56 @@
+"""The opt-in wrong-path fetch-pollution model."""
+
+import pytest
+
+from repro.uarch import MachineConfig, simulate
+from repro.workloads import get_workload
+
+
+class TestWrongPathModel:
+    def test_off_by_default(self):
+        assert MachineConfig().model_wrong_path is False
+
+    def test_perturbs_icache_state_on_thrashing_code(self):
+        """With a thrash-sized code footprint and mispredicting
+        branches, wrong-path fetch must change committed-path icache
+        behaviour.  The direction is workload-dependent: pollution
+        (extra misses) or wrong-path *prefetching* (fewer -- the
+        fallthrough path usually executes soon anyway).  eon shows the
+        prefetching side."""
+        trace = get_workload("eon")
+        clean = simulate(trace, MachineConfig())
+        dirty = simulate(trace, MachineConfig(model_wrong_path=True))
+        assert dirty.event_counts()["l1i_misses"] != \
+            clean.event_counts()["l1i_misses"]
+        assert dirty.cycles != clean.cycles
+
+    def test_no_effect_without_mispredicts(self):
+        trace = get_workload("vortex", scale=0.4)  # ~0 mispredicts
+        clean = simulate(trace, MachineConfig()).cycles
+        dirty = simulate(trace, MachineConfig(model_wrong_path=True)).cycles
+        assert dirty == pytest.approx(clean, abs=5)
+
+    def test_perfect_prediction_disables_it(self):
+        from repro.uarch import IdealConfig
+
+        trace = get_workload("gcc", scale=0.4)
+        cfg = MachineConfig(model_wrong_path=True)
+        a = simulate(trace, cfg, IdealConfig(bmisp=True)).cycles
+        b = simulate(trace, MachineConfig(), IdealConfig(bmisp=True)).cycles
+        assert a == b
+
+    def test_deterministic(self):
+        trace = get_workload("gzip", scale=0.4)
+        cfg = MachineConfig(model_wrong_path=True)
+        assert simulate(trace, cfg).cycles == simulate(trace, cfg).cycles
+
+    def test_graph_still_tracks_sim(self):
+        """The graph has no wrong-path notion; the pollution shows up
+        in its measured DD latencies, so the baseline CP still
+        matches."""
+        from repro.graph import GraphCostAnalyzer, build_graph
+
+        trace = get_workload("gcc", scale=0.6)
+        result = simulate(trace, MachineConfig(model_wrong_path=True))
+        analyzer = GraphCostAnalyzer(build_graph(result))
+        assert analyzer.base_length == pytest.approx(result.cycles, rel=0.08)
