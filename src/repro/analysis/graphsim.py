@@ -19,17 +19,30 @@ from repro.uarch.events import SimResult
 
 
 class GraphCostProvider:
-    """Cost provider backed by one simulation and its dependence graph."""
+    """Cost provider backed by one simulation and its dependence graph.
+
+    *engine* selects the cost engine (``"naive"``, ``"batched"``,
+    ``"parallel"`` or an instance; see :mod:`repro.graph.engine`).
+    """
 
     def __init__(self, result: SimResult,
-                 model_taken_branch_breaks: bool = True) -> None:
+                 model_taken_branch_breaks: bool = True,
+                 engine=None) -> None:
         self.result = result
         self.graph = build_graph(result, model_taken_branch_breaks)
-        self._analyzer = GraphCostAnalyzer(self.graph)
+        self._analyzer = GraphCostAnalyzer(self.graph, engine=engine)
 
     def cost(self, targets: Iterable[Target]) -> float:
         """Cycles saved by idealizing *targets* on the graph."""
         return self._analyzer.cost(targets)
+
+    def prefetch(self, target_sets: Iterable[Iterable[Target]]) -> None:
+        """Batch-measure many target sets (see the analyzer's method)."""
+        self._analyzer.prefetch(target_sets)
+
+    def close(self) -> None:
+        """Release engine resources (worker pools, cached states)."""
+        self._analyzer.close()
 
     @property
     def total(self) -> float:
@@ -47,7 +60,8 @@ class GraphCostProvider:
 
 
 def analyze_trace(trace: Trace, config: Optional[MachineConfig] = None,
-                  model_taken_branch_breaks: bool = True) -> GraphCostProvider:
+                  model_taken_branch_breaks: bool = True,
+                  engine=None) -> GraphCostProvider:
     """Simulate *trace* on *config* and wrap it in a graph cost provider."""
     result = simulate(trace, config=config)
-    return GraphCostProvider(result, model_taken_branch_breaks)
+    return GraphCostProvider(result, model_taken_branch_breaks, engine=engine)

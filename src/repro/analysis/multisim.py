@@ -9,13 +9,28 @@ exist -- but exact by construction.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional
+import os
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from repro.core.categories import Category, EventSelection, normalize_targets
 from repro.core.icost import Target
 from repro.isa.trace import Trace
 from repro.uarch.config import IdealConfig, MachineConfig
 from repro.uarch.core import simulate
+
+# process-pool worker state: the trace/config ship once per worker
+_worker_sim = None
+
+
+def _init_sim_worker(trace: Trace, config: MachineConfig) -> None:
+    global _worker_sim
+    _worker_sim = (trace, config)
+
+
+def _sim_worker_cycles(key: FrozenSet[Category]) -> int:
+    trace, config = _worker_sim
+    ideal = IdealConfig.for_categories(key)
+    return simulate(trace, config=config, ideal=ideal).cycles
 
 
 class MultiSimCostProvider:
@@ -27,12 +42,19 @@ class MultiSimCostProvider:
     :class:`~repro.core.categories.EventSelection` queries raise
     ``TypeError`` (use the graph provider for those, as the paper
     does).
+
+    *max_workers* bounds the process pool :meth:`prefetch` uses to fan
+    the 2^n independent idealized simulations of a power-set breakdown
+    out in parallel; ``None`` sizes it from the CPU count, and pools
+    are skipped entirely on single-core machines.
     """
 
     def __init__(self, trace: Trace,
-                 config: Optional[MachineConfig] = None) -> None:
+                 config: Optional[MachineConfig] = None,
+                 max_workers: Optional[int] = None) -> None:
         self.trace = trace
         self.config = config or MachineConfig()
+        self.max_workers = max_workers
         self._cycles: Dict[FrozenSet[Category], int] = {}
         self.base_cycles = self.cycles_with(frozenset())
 
@@ -50,6 +72,45 @@ class MultiSimCostProvider:
 
     def cost(self, targets: Iterable[Target]) -> float:
         """Cycles saved, measured by actually re-simulating."""
+        return float(self.base_cycles - self.cycles_with(self._key(targets)))
+
+    def prefetch(self, target_sets: Iterable[Iterable[Target]]) -> None:
+        """Run the simulations for many target sets, in parallel if useful.
+
+        The idealized re-simulations of a breakdown are independent, so
+        they fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`;
+        any pool failure (or a single-core machine) degrades to the
+        serial loop.  Results land in the same memo ``cost`` reads.
+        """
+        keys: List[FrozenSet[Category]] = []
+        seen = set()
+        for targets in target_sets:
+            key = self._key(targets)
+            if key not in self._cycles and key not in seen:
+                seen.add(key)
+                keys.append(key)
+        if not keys:
+            return
+        workers = self.max_workers or (os.cpu_count() or 1)
+        workers = min(workers, len(keys))
+        if workers > 1:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(
+                        max_workers=workers, initializer=_init_sim_worker,
+                        initargs=(self.trace, self.config)) as pool:
+                    for key, cycles in zip(keys, pool.map(
+                            _sim_worker_cycles, keys)):
+                        self._cycles[key] = cycles
+                return
+            except Exception:
+                pass  # fall through to the exact serial loop
+        for key in keys:
+            self.cycles_with(key)
+
+    @staticmethod
+    def _key(targets: Iterable[Target]) -> FrozenSet[Category]:
         key = normalize_targets(targets)
         for t in key:
             if isinstance(t, EventSelection):
@@ -57,7 +118,7 @@ class MultiSimCostProvider:
                     "multisim cannot idealize per-instruction selections; "
                     "use a graph-based provider"
                 )
-        return float(self.base_cycles - self.cycles_with(key))
+        return key
 
     @property
     def total(self) -> float:

@@ -66,7 +66,8 @@ def cmd_breakdown(args) -> int:
         render_stacked_bar,
     )
 
-    provider = analyze_trace(_trace(args), config=_machine_config(args))
+    provider = analyze_trace(_trace(args), config=_machine_config(args),
+                             engine=args.engine)
     if args.full:
         cats = [Category(c.strip()) for c in args.full.split(",")]
         bd = full_interaction_breakdown(provider, cats,
@@ -119,7 +120,8 @@ def cmd_profile(args) -> int:
     prof_provider = profile_trace(trace, config, fragments=args.fragments,
                                   seed=args.seed)
     prof = interaction_breakdown(prof_provider, focus=focus)
-    full = interaction_breakdown(analyze_trace(trace, config), focus=focus)
+    full = interaction_breakdown(
+        analyze_trace(trace, config, engine=args.engine), focus=focus)
     rows = {
         e.label: {"fullgraph": e.percent, "profiler": prof.percent(e.label)}
         for e in full.entries if e.kind in ("base", "interaction")
@@ -138,7 +140,8 @@ def cmd_matrix(args) -> int:
     from repro.analysis.graphsim import analyze_trace
     from repro.analysis.matrix import interaction_matrix
 
-    provider = analyze_trace(_trace(args), config=_machine_config(args))
+    provider = analyze_trace(_trace(args), config=_machine_config(args),
+                             engine=args.engine)
     matrix = interaction_matrix(provider, workload=args.workload)
     print(matrix.render())
     a, b, value = matrix.strongest_serial()
@@ -203,7 +206,8 @@ def cmd_critical(args) -> int:
     from repro.graph.critical_path import edge_kind_profile
     from repro.graph.slack import top_critical_instructions
 
-    provider = analyze_trace(_trace(args), config=_machine_config(args))
+    provider = analyze_trace(_trace(args), config=_machine_config(args),
+                             engine=args.engine)
     result = provider.result
     ranked = top_critical_instructions(
         provider.analyzer, range(len(result.events)), top=args.top)
@@ -236,11 +240,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override a MachineConfig field, e.g. "
                             "--set dl1_latency=4")
 
+    def engine_flag(p):
+        from repro.graph.engine import ENGINE_NAMES
+
+        p.add_argument("--engine", choices=ENGINE_NAMES, default="naive",
+                       help="cost engine for graph measurements: the "
+                            "naive reference sweep, the batched "
+                            "vectorized/incremental kernel, or the "
+                            "process-pool fan-out (default: naive)")
+
     sub.add_parser("workloads", help="list the synthetic suite") \
         .set_defaults(func=cmd_workloads)
 
     p = sub.add_parser("breakdown", help="interaction-cost breakdown")
     common(p)
+    engine_flag(p)
     p.add_argument("--focus", choices=[c.value for c in BASE_CATEGORIES],
                    help="add pairwise interaction rows with this category")
     p.add_argument("--full", metavar="CATS",
@@ -265,12 +279,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("profile", help="shotgun-profile and compare")
     common(p)
+    engine_flag(p)
     p.add_argument("--focus", choices=[c.value for c in BASE_CATEGORIES])
     p.add_argument("--fragments", type=int, default=12)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("matrix", help="pairwise interaction-cost matrix")
     common(p)
+    engine_flag(p)
     p.set_defaults(func=cmd_matrix)
 
     p = sub.add_parser("report", help="self-contained HTML analysis report")
@@ -297,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("critical", help="costliest instructions + CP profile")
     common(p)
+    engine_flag(p)
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_critical)
 

@@ -73,6 +73,22 @@ def _label_of(group) -> str:
     return "+".join(str(t) for t in targets)
 
 
+def _prefetch_unions(cached: CachingCostProvider, group_sets) -> None:
+    """Hint the provider about every union a breakdown will measure.
+
+    The power-set identity means the same union is shared by many
+    icost evaluations; prefetching each distinct union once lets
+    batched engines schedule subset reuse and parallel engines fan the
+    independent measurements across workers.
+    """
+    from itertools import chain
+
+    unions = []
+    for groups in group_sets:
+        unions.append(frozenset(chain.from_iterable(groups)))
+    cached.prefetch(unions)
+
+
 def interaction_breakdown(
     provider: CostProvider,
     base: Sequence[Union[Target, Iterable[Target]]] = BASE_CATEGORIES,
@@ -98,6 +114,11 @@ def interaction_breakdown(
     focus_group = as_group(focus) if focus is not None else None
     if focus_group is not None and focus_group not in base_groups:
         raise ValueError("focus must be one of the base categories")
+
+    needed = [(g,) for g in base_groups]
+    if focus_group is not None:
+        needed += [(focus_group, g) for g in base_groups if g != focus_group]
+    _prefetch_unions(cached, needed)
 
     for group in base_groups:
         cycles = cached.cost(group)
@@ -158,6 +179,11 @@ def full_interaction_breakdown(
     total = cached.total
     if total <= 0:
         raise ValueError("provider reports non-positive execution time")
+
+    _prefetch_unions(cached, (
+        combo for size in range(1, len(base_groups) + 1)
+        for combo in combinations(base_groups, size)
+    ))
 
     entries: List[BreakdownEntry] = []
     for size in range(1, len(base_groups) + 1):

@@ -59,6 +59,21 @@ class CachingCostProvider:
             self._cache[key] = self._provider.cost(key)
         return self._cache[key]
 
+    def prefetch(self, target_sets: Iterable[Iterable[Target]]) -> None:
+        """Forward a batch hint to providers that can exploit it.
+
+        Providers with a ``prefetch`` method (the graph engines, the
+        multisim process pool) measure the whole batch up front; plain
+        providers ignore the hint.  Either way ``cost`` semantics and
+        the ``calls`` counter are unchanged -- each distinct target set
+        is still requested from the provider exactly once.
+        """
+        fn = getattr(self._provider, "prefetch", None)
+        if fn is None:
+            return
+        keys = [normalize_targets(ts) for ts in target_sets]
+        fn([key for key in keys if key not in self._cache])
+
     @property
     def total(self) -> float:
         return self._provider.total

@@ -11,6 +11,13 @@ from repro.graph.model import NodeKind, EdgeKind, DependenceGraph
 from repro.graph.builder import GraphBuilder, build_graph
 from repro.graph.critical_path import longest_path, critical_path_edges, edge_kind_profile
 from repro.graph.cost import GraphCostAnalyzer
+from repro.graph.engine import (
+    ENGINE_NAMES,
+    BatchedEngine,
+    NaiveEngine,
+    ParallelEngine,
+    make_engine,
+)
 from repro.graph.slack import (
     edge_slacks,
     instruction_cost,
@@ -29,6 +36,11 @@ __all__ = [
     "critical_path_edges",
     "edge_kind_profile",
     "GraphCostAnalyzer",
+    "ENGINE_NAMES",
+    "NaiveEngine",
+    "BatchedEngine",
+    "ParallelEngine",
+    "make_engine",
     "edge_slacks",
     "instruction_cost",
     "instruction_icost",

@@ -4,6 +4,11 @@
 events in *S* on the graph -- the efficient alternative to re-running
 the simulator, and the measurement the icost algebra of
 :mod:`repro.core.icost` consumes.
+
+The measurement itself is delegated to a pluggable *cost engine*
+(:mod:`repro.graph.engine`): the naive full-sweep oracle, the
+batched/incremental kernel, or the process-pool fan-out.  All engines
+are bit-identical by contract (and by differential test).
 """
 
 from __future__ import annotations
@@ -11,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Union
 
 from repro.core.categories import Category, EventSelection, normalize_targets
-from repro.graph.critical_path import longest_path
+from repro.graph.engine import make_engine
 from repro.graph.idealize import GraphIdealizer
 from repro.graph.model import DependenceGraph
 
@@ -25,11 +30,16 @@ class GraphCostAnalyzer:
     ``cost(targets)`` and ``total``.  Critical-path lengths are memoised
     per target set, so the 2^n - 1 measurements of an n-way interaction
     cost reuse shared subsets across calls.
+
+    *engine* selects how lengths are measured: an engine name
+    (``"naive"``, ``"batched"``, ``"parallel"``), an engine factory, or
+    a ready instance; ``None`` keeps the naive reference oracle.
     """
 
-    def __init__(self, graph: DependenceGraph) -> None:
+    def __init__(self, graph: DependenceGraph, engine=None) -> None:
         self.graph = graph
         self._idealizer = GraphIdealizer(graph)
+        self._engine = make_engine(engine, graph, self._idealizer)
         self._lengths: Dict[FrozenSet[Target], int] = {}
         self.base_length = self.cp_length(frozenset())
 
@@ -39,16 +49,30 @@ class GraphCostAnalyzer:
         """Critical-path length with *targets* idealized."""
         key = normalize_targets(targets)
         cached = self._lengths.get(key)
-        if cached is not None:
-            return cached
-        if key:
-            lat = self._idealizer.latencies(key)
-            dist = longest_path(self.graph, lat, seed=self._idealizer.seed(key))
-        else:
-            dist = longest_path(self.graph)
-        length = max(dist) if dist else 0
-        self._lengths[key] = length
-        return length
+        if cached is None:
+            cached = self._engine.cp_length(key)
+            self._lengths[key] = cached
+        return cached
+
+    def prefetch(self, target_sets: Iterable[Iterable[Target]]) -> None:
+        """Measure many target sets at once (batch/parallel friendly).
+
+        Engines may evaluate the batch out of order, in parallel, or
+        with subset-reuse scheduling; results land in the same memo
+        ``cost``/``cp_length`` read, so prefetching is purely an
+        optimization.
+        """
+        keys = []
+        seen = set()
+        for targets in target_sets:
+            key = normalize_targets(targets)
+            if key not in self._lengths and key not in seen:
+                seen.add(key)
+                keys.append(key)
+        if not keys:
+            return
+        for key, length in zip(keys, self._engine.cp_lengths(keys)):
+            self._lengths[key] = length
 
     def cost(self, targets: Iterable[Target]) -> float:
         """Cycles saved by idealizing *targets* together (aggregate cost)."""
@@ -63,3 +87,12 @@ class GraphCostAnalyzer:
     def measurements(self) -> int:
         """How many distinct CP lengths have been computed (for tests)."""
         return len(self._lengths)
+
+    @property
+    def engine(self):
+        """The underlying cost engine (exposes ``name`` for reporting)."""
+        return self._engine
+
+    def close(self) -> None:
+        """Release engine resources (worker pools, cached states)."""
+        self._engine.close()

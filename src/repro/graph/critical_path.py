@@ -74,10 +74,7 @@ def critical_path_edges(graph: DependenceGraph,
                 break
         if chosen is None:  # node started at 0 with no binding edge
             break
-        path.append(next(
-            edge for i, edge in enumerate(graph.in_edges(v)) if
-            start[v] + i == chosen
-        ))
+        path.append(graph.edge(chosen, dst=v))
         v = src[chosen]
     path.reverse()
     return path

@@ -54,12 +54,15 @@ class GraphIdealizer:
         self._cat2 = np.asarray(graph.edge_cat2, dtype=np.int16)
         self._val2 = np.asarray(graph.edge_val2, dtype=np.int64)
         # owning instruction of each edge, by destination and by source
-        dst_owner = np.empty(graph.num_edges, dtype=np.int64)
-        for v in range(graph.num_nodes):
-            lo, hi = graph.csr_start[v], graph.csr_start[v + 1]
-            if lo < hi:
-                dst_owner[lo:hi] = v // NODES_PER_INST
-        self._dst_owner = dst_owner
+        # (edges are CSR-sorted by destination, so this is one repeat)
+        csr = np.asarray(graph.csr_start, dtype=np.int64)
+        self._dst_owner = np.repeat(
+            np.arange(graph.num_nodes, dtype=np.int64) // NODES_PER_INST,
+            np.diff(csr))
+        # per-category latency deltas and removal masks, built lazily:
+        # whole-category idealization then costs one subtract + one OR
+        self._cat_delta: dict = {}
+        self._cat_removed: dict = {}
         self._src_owner = np.asarray(graph.edge_src, dtype=np.int64) // NODES_PER_INST
 
     # ------------------------------------------------------------------
@@ -67,6 +70,17 @@ class GraphIdealizer:
     def latencies(self, targets: Iterable[Union[Category, EventSelection]]
                   ) -> List[int]:
         """Edge latencies with every target in *targets* idealized."""
+        return self.latencies_array(targets).tolist()
+
+    def latencies_array(self, targets: Iterable[Union[Category, EventSelection]]
+                        ) -> "np.ndarray":
+        """Idealized edge latencies as a fresh int64 array.
+
+        The array form feeds the batched engines directly (change
+        detection against a reference latency vector is a single
+        vectorized comparison); :meth:`latencies` is its list view for
+        the naive sweep.
+        """
         lat = self._lat.copy()
         removed = np.zeros(len(lat), dtype=bool)
         for target in targets:
@@ -77,7 +91,7 @@ class GraphIdealizer:
             else:
                 raise TypeError(f"not an idealization target: {target!r}")
         lat[removed] = REMOVED
-        return lat.tolist()
+        return lat
 
     def seed(self, targets: Iterable[Union[Category, EventSelection]]) -> int:
         """Node-0 seed latency with *targets* idealized."""
@@ -96,10 +110,17 @@ class GraphIdealizer:
 
     def _apply_category(self, cat: Category, lat, removed) -> None:
         ci = cat.index
-        lat -= self._val1 * (self._cat1 == ci)
-        lat -= self._val2 * (self._cat2 == ci)
-        for kind in _REMOVAL_KINDS.get(cat, ()):
-            removed |= self._kind == kind
+        delta = self._cat_delta.get(ci)
+        if delta is None:
+            delta = (self._val1 * (self._cat1 == ci)
+                     + self._val2 * (self._cat2 == ci))
+            mask = np.zeros(len(lat), dtype=bool)
+            for kind in _REMOVAL_KINDS.get(cat, ()):
+                mask |= self._kind == kind
+            self._cat_delta[ci] = delta
+            self._cat_removed[ci] = mask
+        lat -= delta
+        removed |= self._cat_removed[ci]
 
     def _apply_selection(self, sel: EventSelection, lat, removed) -> None:
         cat = sel.category

@@ -17,6 +17,7 @@ data cache.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
@@ -176,6 +177,28 @@ class DependenceGraph:
     @property
     def num_edges(self) -> int:
         return len(self.edge_src)
+
+    def edge(self, index: int, dst: Optional[int] = None) -> Edge:
+        """Materialise the edge at CSR *index* directly, without scanning.
+
+        *dst* may be supplied when the caller already knows the
+        destination node (e.g. a critical-path backtrack); otherwise it
+        is recovered from the CSR offsets by bisection.
+        """
+        if not 0 <= index < self.num_edges:
+            raise IndexError(f"edge index {index} out of range")
+        if dst is None:
+            dst = bisect_right(self.csr_start, index) - 1
+        return Edge(
+            src=self.edge_src[index],
+            dst=dst,
+            kind=EdgeKind(self.edge_kind[index]),
+            latency=self.edge_lat[index],
+            cat1=self.edge_cat1[index],
+            val1=self.edge_val1[index],
+            cat2=self.edge_cat2[index],
+            val2=self.edge_val2[index],
+        )
 
     def in_edges(self, dst: int) -> Iterator[Edge]:
         """Materialised incoming edges of node *dst*."""

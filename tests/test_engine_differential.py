@@ -1,0 +1,190 @@
+"""Differential harness: every cost engine vs the naive oracle.
+
+The batched/incremental/parallel engines of :mod:`repro.graph.engine`
+promise *bit-identical* results to the naive pure-Python
+``longest_path`` sweep -- not approximately equal, identical.  This
+suite enforces the promise over hypothesis-generated random programs
+and the registered workload suite, for every target set in a
+three-category power set, through every engine configuration
+(C kernel, pure-Python fallback, forced worklist incremental,
+process-pool fan-out).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.categories import Category, EventSelection
+from repro.graph import GraphCostAnalyzer, build_graph
+from repro.graph.engine import (
+    ENGINE_NAMES,
+    BatchedEngine,
+    NaiveEngine,
+    ParallelEngine,
+    make_engine,
+)
+from repro.uarch import simulate
+from repro.workloads import WORKLOAD_NAMES, get_workload
+from repro.workloads.synthetic import random_program
+
+SLOW = settings(max_examples=10, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+#: The three categories whose power set every engine must reproduce.
+CATS = (Category.DMISS, Category.WIN, Category.BMISP)
+POWER_SET = [frozenset(combo)
+             for size in range(1, len(CATS) + 1)
+             for combo in combinations(CATS, size)]
+
+
+def _forced_worklist(graph, idealizer):
+    """A batched engine that may never fall back to the full sweep."""
+    engine = BatchedEngine(graph, idealizer,
+                           incremental_max_edges=1 << 30)
+    engine._worklist_budget = 1 << 30
+    return engine
+
+
+#: Every engine configuration under test, vs the naive oracle.
+ENGINE_FACTORIES = {
+    "batched": BatchedEngine,
+    "batched-pure-python": lambda g, i: BatchedEngine(g, i, native=False),
+    "batched-worklist": _forced_worklist,
+    "parallel": lambda g, i: ParallelEngine(g, i, max_workers=2),
+}
+
+
+def small_graph(seed, body_insts=20, iterations=6):
+    trace = random_program(seed=seed, body_insts=body_insts,
+                           iterations=iterations).trace()
+    return build_graph(simulate(trace))
+
+
+def assert_engines_match_oracle(graph, target_sets, factories=ENGINE_FACTORIES):
+    oracle = GraphCostAnalyzer(graph, engine="naive")
+    expected = {key: (oracle.cp_length(key), oracle.cost(key))
+                for key in target_sets}
+    for name, factory in factories.items():
+        analyzer = GraphCostAnalyzer(graph, engine=factory)
+        try:
+            analyzer.prefetch(target_sets)  # batch path (pool fan-out)
+            for key in target_sets:
+                assert analyzer.cp_length(key) == expected[key][0], \
+                    f"{name}: cp_length mismatch for {sorted(map(str, key))}"
+                assert analyzer.cost(key) == expected[key][1], \
+                    f"{name}: cost mismatch for {sorted(map(str, key))}"
+            assert analyzer.base_length == oracle.base_length, name
+        finally:
+            analyzer.close()
+
+
+class TestRandomPrograms:
+    @SLOW
+    @given(seed=st.integers(0, 400))
+    def test_category_power_set_bit_identical(self, seed):
+        """cp_length and cost(S) for all 7 subsets, every engine."""
+        graph = small_graph(seed)
+        assert_engines_match_oracle(graph, POWER_SET)
+
+    @SLOW
+    @given(seed=st.integers(0, 400),
+           insts=st.tuples(st.integers(0, 30), st.integers(31, 60),
+                           st.integers(61, 90)))
+    def test_selection_power_set_bit_identical(self, seed, insts):
+        """Per-instruction selections drive the incremental worklist."""
+        graph = small_graph(seed, body_insts=16, iterations=6)
+        groups = [
+            EventSelection(Category.DMISS, frozenset([insts[0]])),
+            EventSelection(Category.SHALU, frozenset([insts[1]])),
+            EventSelection(Category.BMISP, frozenset([insts[2]])),
+        ]
+        target_sets = [frozenset(combo)
+                       for size in range(1, 4)
+                       for combo in combinations(groups, size)]
+        assert_engines_match_oracle(graph, target_sets)
+
+    @SLOW
+    @given(seed=st.integers(0, 400))
+    def test_sequential_queries_match_prefetched(self, seed):
+        """One-at-a-time measurement equals the batched prefetch path."""
+        graph = small_graph(seed)
+        oracle = GraphCostAnalyzer(graph, engine="naive")
+        analyzer = GraphCostAnalyzer(graph, engine="batched")
+        # deliberately query largest-first: parents are never available,
+        # so every delta is taken against the baseline state
+        for key in sorted(POWER_SET, key=len, reverse=True):
+            assert analyzer.cp_length(key) == oracle.cp_length(key)
+
+
+class TestRegisteredWorkloads:
+    """The whole suite, engine vs oracle (scaled down for CI speed)."""
+
+    def test_one_workload_fast_tier(self):
+        graph = build_graph(simulate(get_workload("gzip", scale=0.3)))
+        assert_engines_match_oracle(graph, POWER_SET)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_every_workload_bit_identical(self, name):
+        graph = build_graph(simulate(get_workload(name, scale=0.5)))
+        assert_engines_match_oracle(graph, POWER_SET)
+
+
+class TestEngineMachinery:
+    def test_make_engine_names_and_errors(self):
+        graph = small_graph(0)
+        for name in ENGINE_NAMES:
+            engine = make_engine(name, graph)
+            assert engine.name == name
+            engine.close()
+        assert isinstance(make_engine(None, graph), NaiveEngine)
+        with pytest.raises(ValueError):
+            make_engine("warp-drive", graph)
+
+    def test_engine_instance_passthrough(self):
+        graph = small_graph(1)
+        engine = BatchedEngine(graph)
+        analyzer = GraphCostAnalyzer(graph, engine=engine)
+        assert analyzer.engine is engine
+        assert analyzer.engine.name == "batched"
+
+    def test_empty_graph_all_engines(self):
+        from repro.graph.model import DependenceGraph
+
+        graph = DependenceGraph(0)
+        graph.finalize()
+        for name in ENGINE_NAMES:
+            analyzer = GraphCostAnalyzer(graph, engine=name)
+            assert analyzer.base_length == 0
+            assert analyzer.cp_length(POWER_SET[0]) == 0
+            analyzer.close()
+
+    def test_state_eviction_stays_correct(self):
+        """A tiny state cache forces re-measurement; results must hold."""
+        graph = small_graph(2)
+        oracle = GraphCostAnalyzer(graph, engine="naive")
+        engine = BatchedEngine(graph, max_states=2)
+        for key in POWER_SET + list(reversed(POWER_SET)):
+            assert engine.cp_length(key) == oracle.cp_length(key)
+
+    def test_prefetch_is_pure_optimization(self):
+        graph = small_graph(3)
+        plain = GraphCostAnalyzer(graph, engine="batched")
+        warmed = GraphCostAnalyzer(graph, engine="batched")
+        warmed.prefetch(POWER_SET)
+        assert warmed.measurements == len(POWER_SET) + 1  # + baseline
+        for key in POWER_SET:
+            assert plain.cp_length(key) == warmed.cp_length(key)
+
+    def test_parallel_engine_survives_broken_pool(self):
+        graph = small_graph(4)
+        engine = ParallelEngine(graph, max_workers=2)
+        engine._pool_broken = True  # simulate a sandboxed environment
+        oracle = GraphCostAnalyzer(graph, engine="naive")
+        lengths = engine.cp_lengths(POWER_SET)
+        assert lengths == [oracle.cp_length(k) for k in POWER_SET]
+        engine.close()

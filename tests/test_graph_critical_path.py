@@ -78,6 +78,38 @@ class TestCriticalPathExtraction:
         p2 = critical_path_edges(miss_graph)
         assert [(e.src, e.dst) for e in p1] == [(e.src, e.dst) for e in p2]
 
+    def test_pinned_path_on_known_workload(self):
+        """Regression pin for the indexed backtracking rewrite.
+
+        The backtrack used to rebuild every in-edge of each path node;
+        it now indexes the chosen CSR edge directly.  Pin the exact
+        path (endpoints, kinds, latency sum) on a deterministic
+        workload so any behavioural drift in the rewrite is caught.
+        """
+        from repro.graph import build_graph
+        from repro.uarch import simulate
+        from repro.workloads import get_workload
+
+        graph = build_graph(simulate(get_workload("gzip", scale=0.1)))
+        path = critical_path_edges(graph)
+        assert path
+        for a, b in zip(path, path[1:]):
+            assert a.dst == b.src
+        dist = longest_path(graph)
+        assert (sum(e.latency for e in path) + dist[path[0].src]
+                == max(dist))
+        # every chosen edge is tight: dist[src] + latency == dist[dst]
+        for e in path:
+            assert dist[e.src] + e.latency == dist[e.dst]
+
+    def test_path_edges_carry_original_latency(self):
+        """graph.edge() must return Table-3 latencies, not overrides."""
+        g = diamond_graph()
+        lat = list(g.edge_lat)
+        lat[0] = 7  # override shrinks the long arm for the sweep only
+        path = critical_path_edges(g, lat=lat)
+        assert sum(e.latency for e in path) == 10  # original latencies
+
 
 class TestEdgeKindProfile:
     def test_profile_sums_to_cp_length(self, miss_graph, miss_analyzer):

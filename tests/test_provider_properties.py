@@ -1,0 +1,146 @@
+"""Icost-algebra properties, checked across all three CostProviders.
+
+The paper's algebra (Section 2) is provider-agnostic: whether costs
+come from graph idealization, full re-simulation, or shotgun-profiled
+fragments, the same identities must hold --
+
+- the power-set identity: the icosts of every non-empty subset of a
+  group collection sum to the aggregate cost of the union
+  (``icost_of_union``), so breakdowns account for all cycles;
+- symmetry: icost is a function of the *set* of groups, not the order
+  they are given in;
+- measurement count: a full n-way decomposition through
+  :class:`CachingCostProvider` takes exactly ``2^n - 1`` measurements.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.graphsim import GraphCostProvider
+from repro.analysis.multisim import MultiSimCostProvider
+from repro.core.categories import Category
+from repro.core.icost import CachingCostProvider, icost, icost_of_union
+from repro.profiler import profile_trace
+from repro.uarch import simulate
+from repro.workloads import get_workload
+from repro.workloads.synthetic import random_program
+
+SLOW = settings(max_examples=8, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+GROUPS = (Category.DL1, Category.BMISP, Category.DMISS)
+
+
+def power_set(groups):
+    return [frozenset(c)
+            for size in range(1, len(groups) + 1)
+            for c in combinations(groups, size)]
+
+
+def small_trace(seed=0):
+    return random_program(seed=seed, body_insts=18, iterations=5).trace()
+
+
+def make_providers(trace):
+    """One instance of each CostProvider implementation over *trace*."""
+    return {
+        "graph": GraphCostProvider(simulate(trace), engine="batched"),
+        "multisim": MultiSimCostProvider(trace, max_workers=1),
+        "shotgun": profile_trace(trace, fragments=6, seed=1),
+    }
+
+
+class TestAlgebraAcrossProviders:
+    """The identities, once per provider implementation."""
+
+    @pytest.fixture(scope="class")
+    def providers(self):
+        return make_providers(small_trace())
+
+    @pytest.mark.parametrize("which", ["graph", "multisim", "shotgun"])
+    def test_power_set_identity(self, providers, which):
+        provider = providers[which]
+        total = sum(icost(provider, subset) for subset in power_set(GROUPS))
+        union = icost_of_union(provider, GROUPS)
+        assert total == pytest.approx(union, abs=1e-6), which
+
+    @pytest.mark.parametrize("which", ["graph", "multisim", "shotgun"])
+    def test_icost_symmetric_under_reordering(self, providers, which):
+        provider = providers[which]
+        values = {icost(provider, order) for order in permutations(GROUPS)}
+        assert len(values) == 1, which
+
+    @pytest.mark.parametrize("which", ["graph", "multisim", "shotgun"])
+    def test_pair_icost_definition(self, providers, which):
+        """icost({a,b}) == cost(a u b) - cost(a) - cost(b), verbatim."""
+        provider = providers[which]
+        for a, b in combinations(GROUPS, 2):
+            direct = (provider.cost(frozenset((a, b)))
+                      - provider.cost(frozenset((a,)))
+                      - provider.cost(frozenset((b,))))
+            assert icost(provider, (a, b)) == pytest.approx(direct), which
+
+    @pytest.mark.parametrize("which", ["graph", "multisim", "shotgun"])
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_caching_provider_counts_2n_minus_1(self, providers, which, n):
+        cached = CachingCostProvider(providers[which])
+        groups = GROUPS[:n]
+        for subset in power_set(groups):
+            icost(cached, subset)
+        assert cached.calls == 2 ** n - 1, which
+
+    def test_prefetch_does_not_change_call_count(self, providers):
+        """Batch hints are an optimization, never extra measurements."""
+        cached = CachingCostProvider(providers["graph"])
+        targets = power_set(GROUPS)
+        cached.prefetch(targets)
+        for subset in targets:
+            icost(cached, subset)
+        assert cached.calls == 2 ** len(GROUPS) - 1
+        # a second prefetch of already-cached sets is a no-op
+        cached.prefetch(targets)
+        assert cached.calls == 2 ** len(GROUPS) - 1
+
+
+class TestAlgebraRandomized:
+    """Hypothesis sweep of the identities on the graph provider (the
+    only one fast enough to rebuild per example)."""
+
+    @SLOW
+    @given(seed=st.integers(0, 2_000))
+    def test_power_set_identity_random_programs(self, seed):
+        trace = small_trace(seed)
+        provider = GraphCostProvider(simulate(trace), engine="batched")
+        total = sum(icost(provider, s) for s in power_set(GROUPS))
+        assert total == pytest.approx(icost_of_union(provider, GROUPS))
+
+    @SLOW
+    @given(seed=st.integers(0, 2_000),
+           cats=st.permutations([Category.DL1, Category.WIN,
+                                 Category.BMISP, Category.DMISS]))
+    def test_icost_order_invariance_random_programs(self, seed, cats):
+        provider = GraphCostProvider(simulate(small_trace(seed)),
+                                     engine="batched")
+        assert icost(provider, cats) == pytest.approx(
+            icost(provider, tuple(reversed(cats))))
+
+
+class TestProviderAgreement:
+    """Graph and re-simulation providers agree on a registered workload
+    to the model tolerance (the Section 4 validation, in miniature);
+    the algebraic identities hold *exactly* for each on its own."""
+
+    @pytest.mark.slow
+    def test_graph_tracks_multisim_power_set(self):
+        trace = get_workload("gzip", scale=0.2)
+        graph = GraphCostProvider(simulate(trace), engine="batched")
+        sim = MultiSimCostProvider(trace, max_workers=1)
+        tol = max(12, 0.12 * sim.total)
+        for subset in power_set(GROUPS):
+            assert graph.cost(subset) == pytest.approx(
+                sim.cost(subset), abs=tol), sorted(t.value for t in subset)
