@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+import repro.obs as obs
 from repro.core.icost import Target
 from repro.graph.builder import build_graph
 from repro.graph.cost import GraphCostAnalyzer
@@ -63,5 +64,8 @@ def analyze_trace(trace: Trace, config: Optional[MachineConfig] = None,
                   model_taken_branch_breaks: bool = True,
                   engine=None) -> GraphCostProvider:
     """Simulate *trace* on *config* and wrap it in a graph cost provider."""
-    result = simulate(trace, config=config)
-    return GraphCostProvider(result, model_taken_branch_breaks, engine=engine)
+    with obs.span("analysis.analyze_trace",
+                  engine=getattr(engine, "name", engine) or "naive"):
+        result = simulate(trace, config=config)
+        return GraphCostProvider(result, model_taken_branch_breaks,
+                                 engine=engine)

@@ -10,6 +10,12 @@ Subcommands mirror the library's main entry points::
     repro-icost critical gzip --top 8          # costliest instructions
 
 (also available as ``python -m repro ...``)
+
+Every subcommand additionally understands the global observability
+flags (``docs/OBSERVABILITY.md``): ``--trace FILE`` writes a
+Perfetto-loadable Chrome trace of the analysis pipeline, ``--metrics``
+prints a summary table of pipeline counters after the run, and
+``-v``/``--log-level`` control diagnostic logging.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+import repro.obs as obs
 from repro.core.categories import BASE_CATEGORIES, Category
 
 
@@ -229,7 +236,25 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-icost",
         description="Interaction-cost microarchitectural bottleneck analysis",
     )
+
+    # global observability flags, attached to every subcommand
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    group = obs_flags.add_argument_group("observability")
+    group.add_argument("--trace", metavar="FILE", default=None,
+                       help="write a Chrome trace-event JSON of the "
+                            "analysis pipeline (load in ui.perfetto.dev)")
+    group.add_argument("--metrics", action="store_true",
+                       help="print a pipeline metrics summary after the run")
+    group.add_argument("-v", "--verbose", action="count", default=0,
+                       help="increase log verbosity (-v info, -vv debug)")
+    group.add_argument("--log-level", default=None,
+                       choices=["debug", "info", "warning", "error"],
+                       help="explicit log level (overrides -v)")
+
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_command(name, **kwargs):
+        return sub.add_parser(name, parents=[obs_flags], **kwargs)
 
     def common(p):
         p.add_argument("workload", help="suite workload name (see 'workloads')")
@@ -249,10 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "vectorized/incremental kernel, or the "
                             "process-pool fan-out (default: naive)")
 
-    sub.add_parser("workloads", help="list the synthetic suite") \
+    add_command("workloads", help="list the synthetic suite") \
         .set_defaults(func=cmd_workloads)
 
-    p = sub.add_parser("breakdown", help="interaction-cost breakdown")
+    p = add_command("breakdown", help="interaction-cost breakdown")
     common(p)
     engine_flag(p)
     p.add_argument("--focus", choices=[c.value for c in BASE_CATEGORIES],
@@ -268,7 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the breakdown as CSV")
     p.set_defaults(func=cmd_breakdown)
 
-    p = sub.add_parser("characterize",
+    p = add_command("characterize",
                        help="icost fingerprint of the suite")
     p.add_argument("--workloads", metavar="NAMES",
                    help="comma-separated subset (default: all twelve)")
@@ -277,25 +302,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--set", action="append", metavar="KEY=VALUE")
     p.set_defaults(func=cmd_characterize)
 
-    p = sub.add_parser("profile", help="shotgun-profile and compare")
+    p = add_command("profile", help="shotgun-profile and compare")
     common(p)
     engine_flag(p)
     p.add_argument("--focus", choices=[c.value for c in BASE_CATEGORIES])
     p.add_argument("--fragments", type=int, default=12)
     p.set_defaults(func=cmd_profile)
 
-    p = sub.add_parser("matrix", help="pairwise interaction-cost matrix")
+    p = add_command("matrix", help="pairwise interaction-cost matrix")
     common(p)
     engine_flag(p)
     p.set_defaults(func=cmd_matrix)
 
-    p = sub.add_parser("report", help="self-contained HTML analysis report")
+    p = add_command("report", help="self-contained HTML analysis report")
     common(p)
     p.add_argument("--focus", choices=[c.value for c in BASE_CATEGORIES])
     p.add_argument("-o", "--output", default="report.html")
     p.set_defaults(func=cmd_report)
 
-    p = sub.add_parser("sensitivity", help="window-size sweep (Figure 3)")
+    p = add_command("sensitivity", help="window-size sweep (Figure 3)")
     common(p)
     p.add_argument("--dl1", default="1,2,3,4",
                    help="dl1 latencies, comma separated")
@@ -303,7 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="window sizes, comma separated")
     p.set_defaults(func=cmd_sensitivity)
 
-    p = sub.add_parser("phases", help="segment cost vectors + phase changes")
+    p = add_command("phases", help="segment cost vectors + phase changes")
     common(p)
     p.add_argument("--segment", type=int, default=500,
                    help="instructions per segment (default 500)")
@@ -311,7 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="L1 cost-vector jump marking a phase change")
     p.set_defaults(func=cmd_phases)
 
-    p = sub.add_parser("critical", help="costliest instructions + CP profile")
+    p = add_command("critical", help="costliest instructions + CP profile")
     common(p)
     engine_flag(p)
     p.add_argument("--top", type=int, default=10)
@@ -320,11 +345,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _log_level(args) -> str:
+    if args.log_level:
+        return args.log_level
+    return {0: "warning", 1: "info"}.get(args.verbose, "debug")
+
+
+def _warn_native_fallback() -> None:
+    """Surface a silent C-kernel compile/load failure, once per process."""
+    from repro.graph.engine import native_fallback_warning
+
+    message = native_fallback_warning()
+    if message:
+        print(message, file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    obs.setup_logging(_log_level(args))
+    collector = obs.enable() if (args.trace or args.metrics) else None
     try:
-        return args.func(args)
+        code = args.func(args)
     except BrokenPipeError:
         # output piped into a pager/head that closed early: not an error
         try:
@@ -332,6 +374,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
+    finally:
+        if collector is not None:
+            obs.disable()
+    _warn_native_fallback()
+    if collector is not None:
+        if args.trace:
+            obs.write_trace(collector, args.trace)
+            print(f"wrote pipeline trace to {args.trace} "
+                  f"(open in https://ui.perfetto.dev)", file=sys.stderr)
+        if args.metrics:
+            print()
+            print(obs.render_metrics_table(collector))
+    return code
 
 
 if __name__ == "__main__":

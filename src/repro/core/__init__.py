@@ -11,6 +11,7 @@ shotgun-profiler fragments.
 
 from repro.core.categories import Category, EventSelection, BASE_CATEGORIES
 from repro.core.icost import (
+    CacheStats,
     CostProvider,
     CachingCostProvider,
     icost,
@@ -38,6 +39,7 @@ __all__ = [
     "Category",
     "EventSelection",
     "BASE_CATEGORIES",
+    "CacheStats",
     "CostProvider",
     "CachingCostProvider",
     "icost",

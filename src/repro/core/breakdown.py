@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+import repro.obs as obs
 from repro.core.categories import BASE_CATEGORIES, Category, EventSelection
 from repro.core.icost import CachingCostProvider, CostProvider, as_group, icost
 
@@ -118,25 +119,30 @@ def interaction_breakdown(
     needed = [(g,) for g in base_groups]
     if focus_group is not None:
         needed += [(focus_group, g) for g in base_groups if g != focus_group]
-    _prefetch_unions(cached, needed)
+    with obs.span("breakdown.interaction", workload=workload,
+                  rows=len(needed)) as sp:
+        _prefetch_unions(cached, needed)
 
-    for group in base_groups:
-        cycles = cached.cost(group)
-        entries.append(BreakdownEntry(
-            label=_label_of(group), cycles=cycles,
-            percent=100.0 * cycles / total, kind="base", groups=(group,),
-        ))
-
-    if focus_group is not None:
         for group in base_groups:
-            if group == focus_group:
-                continue
-            cycles = icost(cached, (focus_group, group))
-            label = f"{_label_of(focus_group)}+{_label_of(group)}"
+            cycles = cached.cost(group)
             entries.append(BreakdownEntry(
-                label=label, cycles=cycles, percent=100.0 * cycles / total,
-                kind="interaction", groups=(focus_group, group),
+                label=_label_of(group), cycles=cycles,
+                percent=100.0 * cycles / total, kind="base", groups=(group,),
             ))
+
+        if focus_group is not None:
+            for group in base_groups:
+                if group == focus_group:
+                    continue
+                obs.count("breakdown.icost.eval")
+                cycles = icost(cached, (focus_group, group))
+                label = f"{_label_of(focus_group)}+{_label_of(group)}"
+                entries.append(BreakdownEntry(
+                    label=label, cycles=cycles, percent=100.0 * cycles / total,
+                    kind="interaction", groups=(focus_group, group),
+                ))
+        stats = cached.stats()
+        sp.set(cache_hits=stats.hits, cache_misses=stats.misses)
 
     displayed = sum(e.cycles for e in entries)
     entries.append(BreakdownEntry(
@@ -180,20 +186,26 @@ def full_interaction_breakdown(
     if total <= 0:
         raise ValueError("provider reports non-positive execution time")
 
-    _prefetch_unions(cached, (
-        combo for size in range(1, len(base_groups) + 1)
-        for combo in combinations(base_groups, size)
-    ))
-
     entries: List[BreakdownEntry] = []
-    for size in range(1, len(base_groups) + 1):
-        for combo in combinations(base_groups, size):
-            cycles = icost(cached, combo)
-            label = "+".join(sorted(_label_of(g) for g in combo))
-            entries.append(BreakdownEntry(
-                label=label, cycles=cycles, percent=100.0 * cycles / total,
-                kind="base" if size == 1 else "interaction", groups=combo,
-            ))
+    with obs.span("breakdown.powerset", workload=workload,
+                  categories=len(base_groups),
+                  rows=2 ** len(base_groups) - 1) as sp:
+        _prefetch_unions(cached, (
+            combo for size in range(1, len(base_groups) + 1)
+            for combo in combinations(base_groups, size)
+        ))
+
+        for size in range(1, len(base_groups) + 1):
+            for combo in combinations(base_groups, size):
+                obs.count("breakdown.icost.eval")
+                cycles = icost(cached, combo)
+                label = "+".join(sorted(_label_of(g) for g in combo))
+                entries.append(BreakdownEntry(
+                    label=label, cycles=cycles, percent=100.0 * cycles / total,
+                    kind="base" if size == 1 else "interaction", groups=combo,
+                ))
+        stats = cached.stats()
+        sp.set(cache_hits=stats.hits, cache_misses=stats.misses)
     displayed = sum(e.cycles for e in entries)
     entries.append(BreakdownEntry(
         label="Other", cycles=total - displayed,
@@ -225,15 +237,16 @@ def traditional_breakdown(
     entries: List[BreakdownEntry] = []
     idealized: List[Target] = []
     prev_time = total
-    for group in (as_group(g) for g in base):
-        idealized.extend(group)
-        time_now = total - cached.cost(frozenset(idealized))
-        cycles = prev_time - time_now
-        entries.append(BreakdownEntry(
-            label=_label_of(group), cycles=cycles,
-            percent=100.0 * cycles / total, kind="base", groups=(group,),
-        ))
-        prev_time = time_now
+    with obs.span("breakdown.traditional", workload=workload):
+        for group in (as_group(g) for g in base):
+            idealized.extend(group)
+            time_now = total - cached.cost(frozenset(idealized))
+            cycles = prev_time - time_now
+            entries.append(BreakdownEntry(
+                label=_label_of(group), cycles=cycles,
+                percent=100.0 * cycles / total, kind="base", groups=(group,),
+            ))
+            prev_time = time_now
     entries.append(BreakdownEntry(
         label="Other", cycles=prev_time, percent=100.0 * prev_time / total,
         kind="other",

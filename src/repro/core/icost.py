@@ -17,9 +17,11 @@ with something else, so fully optimizing both is not worthwhile).
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass, replace
 from itertools import chain, combinations
 from typing import Dict, FrozenSet, Iterable, Protocol, Union
 
+import repro.obs as obs
 from repro.core.categories import Category, EventSelection, normalize_targets
 
 Target = Union[Category, EventSelection]
@@ -43,20 +45,59 @@ class CostProvider(Protocol):
         """Baseline execution time, for normalising breakdowns."""
 
 
+@dataclass
+class CacheStats:
+    """Hit/miss/prefetch accounting of one :class:`CachingCostProvider`."""
+
+    hits: int = 0
+    misses: int = 0
+    prefetched: int = 0
+
+    @property
+    def queries(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.queries if self.queries else 0.0
+
+
 class CachingCostProvider:
     """Memoising wrapper; also counts underlying measurements."""
 
     def __init__(self, provider: CostProvider) -> None:
         self._provider = provider
         self._cache: Dict[FrozenSet[Target], float] = {}
-        self.calls = 0
+        self._stats = CacheStats()
+
+    @property
+    def calls(self) -> int:
+        """Underlying measurements made so far (= cache misses)."""
+        return self._stats.misses
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the cache accounting, also pushed to obs gauges."""
+        s = self._stats
+        obs.gauge("icost.cache.hits", s.hits)
+        obs.gauge("icost.cache.misses", s.misses)
+        obs.gauge("icost.cache.prefetched", s.prefetched)
+        return replace(s)
+
+    def clear(self) -> None:
+        """Drop every memoised cost and reset the statistics."""
+        self._cache.clear()
+        self._stats = CacheStats()
 
     def cost(self, targets: Iterable[Target]) -> float:
         """Memoised pass-through to the wrapped provider."""
         key = normalize_targets(targets)
         if key not in self._cache:
-            self.calls += 1
+            self._stats.misses += 1
+            obs.count("icost.cache.miss")
             self._cache[key] = self._provider.cost(key)
+        else:
+            self._stats.hits += 1
+            obs.count("icost.cache.hit")
         return self._cache[key]
 
     def prefetch(self, target_sets: Iterable[Iterable[Target]]) -> None:
@@ -72,7 +113,10 @@ class CachingCostProvider:
         if fn is None:
             return
         keys = [normalize_targets(ts) for ts in target_sets]
-        fn([key for key in keys if key not in self._cache])
+        todo = [key for key in keys if key not in self._cache]
+        self._stats.prefetched += len(todo)
+        obs.count("icost.cache.prefetch", len(todo))
+        fn(todo)
 
     @property
     def total(self) -> float:

@@ -11,6 +11,7 @@ sharing edges.
 from __future__ import annotations
 
 
+import repro.obs as obs
 from repro.core.categories import Category
 from repro.graph.model import (
     NO_CATEGORY,
@@ -47,6 +48,12 @@ class GraphBuilder:
 
     def build(self, result: SimResult) -> DependenceGraph:
         """Construct the Table 3 graph of one simulated run."""
+        with obs.span("graph.build", insns=len(result.trace.insts)) as sp:
+            graph = self._build(result)
+            sp.set(edges=graph.num_edges)
+        return graph
+
+    def _build(self, result: SimResult) -> DependenceGraph:
         trace = result.trace
         events = result.events
         insts = trace.insts

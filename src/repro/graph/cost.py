@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Union
 
+import repro.obs as obs
 from repro.core.categories import Category, EventSelection, normalize_targets
 from repro.graph.engine import make_engine
 from repro.graph.idealize import GraphIdealizer
@@ -50,8 +51,11 @@ class GraphCostAnalyzer:
         key = normalize_targets(targets)
         cached = self._lengths.get(key)
         if cached is None:
+            obs.count("analyzer.cp.measure")
             cached = self._engine.cp_length(key)
             self._lengths[key] = cached
+        else:
+            obs.count("analyzer.cp.memo_hit")
         return cached
 
     def prefetch(self, target_sets: Iterable[Iterable[Target]]) -> None:

@@ -54,6 +54,7 @@ try:  # numpy accelerates latency rewriting and change detection
 except ImportError:  # pragma: no cover - numpy ships with the package
     np = None
 
+import repro.obs as obs
 from repro.core.categories import Category, EventSelection
 from repro.graph.critical_path import longest_path
 from repro.graph.idealize import GraphIdealizer
@@ -96,12 +97,21 @@ void cp_sweep(int64_t n_nodes, const int64_t *cs, const int64_t *src,
 
 _NATIVE_SENTINEL = object()
 _native_fn = _NATIVE_SENTINEL  # module-level cache: compile at most once
+_native_reason = "not attempted"
+_native_warned = False
 
 
 def _compile_native_kernel():
-    """Compile and load the C sweep, or return None if impossible."""
-    if np is None or os.environ.get("REPRO_ENGINE_NO_NATIVE"):
-        return None
+    """Compile and load the C sweep.
+
+    Returns ``(fn, reason)`` where *fn* is the ctypes function or None
+    and *reason* states why (so a failed compile is never silent --
+    :func:`native_kernel_status` and the CLI surface it).
+    """
+    if np is None:
+        return None, "numpy unavailable"
+    if os.environ.get("REPRO_ENGINE_NO_NATIVE"):
+        return None, "disabled by REPRO_ENGINE_NO_NATIVE"
     digest = hashlib.sha256(_KERNEL_SOURCE.encode()).hexdigest()[:16]
     uid = getattr(os, "getuid", lambda: 0)()
     lib_path = os.path.join(
@@ -111,6 +121,7 @@ def _compile_native_kernel():
             src_path = lib_path[:-3] + ".c"
             with open(src_path, "w") as fh:
                 fh.write(_KERNEL_SOURCE)
+            errors = []
             for compiler in ("cc", "gcc", "clang"):
                 proc = subprocess.run(
                     [compiler, "-O3", "-shared", "-fPIC", "-o",
@@ -119,24 +130,62 @@ def _compile_native_kernel():
                 if proc.returncode == 0:
                     os.replace(lib_path + ".tmp", lib_path)
                     break
+                stderr = proc.stderr.decode(errors="replace").strip()
+                detail = stderr.splitlines()[-1] if stderr \
+                    else f"exit {proc.returncode}"
+                errors.append(f"{compiler}: {detail}")
             else:
-                return None
+                return None, "no working C compiler (" + "; ".join(errors) + ")"
         lib = ctypes.CDLL(lib_path)
         fn = lib.cp_sweep
         ptr = ctypes.POINTER(ctypes.c_int64)
         fn.argtypes = [ctypes.c_int64, ptr, ptr, ptr, ptr, ctypes.c_int64]
         fn.restype = None
-        return fn
-    except (OSError, subprocess.SubprocessError):
-        return None
+        return fn, f"loaded ({lib_path})"
+    except (OSError, subprocess.SubprocessError) as exc:
+        return None, f"compile/load failed: {exc}"
 
 
 def native_kernel():
     """The process-wide compiled sweep function (or None)."""
-    global _native_fn
+    global _native_fn, _native_reason
     if _native_fn is _NATIVE_SENTINEL:
-        _native_fn = _compile_native_kernel()
+        _native_fn, _native_reason = _compile_native_kernel()
+        if _native_fn is None:
+            obs.get_logger("engine").info(
+                "native kernel unavailable: %s", _native_reason)
     return _native_fn
+
+
+def native_kernel_status():
+    """``(available, reason)`` for the C sweep kernel.
+
+    *reason* is ``"not attempted"`` until something first asks for the
+    kernel (the batched engine does so on construction).
+    """
+    if _native_fn is _NATIVE_SENTINEL:
+        return False, "not attempted"
+    return _native_fn is not None, _native_reason
+
+
+def native_fallback_warning() -> Optional[str]:
+    """A one-shot warning string when the C kernel *silently* failed.
+
+    Returns a message the first time it is called after the kernel was
+    attempted and failed for a reason other than the user explicitly
+    opting out via ``REPRO_ENGINE_NO_NATIVE``; None otherwise.  The CLI
+    prints it to stderr so "the C kernel silently failed to compile"
+    regressions are visible without --metrics.
+    """
+    global _native_warned
+    available, reason = native_kernel_status()
+    if (available or _native_warned or reason == "not attempted"
+            or os.environ.get("REPRO_ENGINE_NO_NATIVE")):
+        return None
+    _native_warned = True
+    return (f"warning: native C sweep kernel unavailable ({reason}); "
+            f"the batched engine is using the slower pure-Python "
+            f"fallback. Set REPRO_ENGINE_NO_NATIVE=1 to silence.")
 
 
 def _as_i64_ptr(arr):
@@ -161,6 +210,7 @@ class NaiveEngine:
     def cp_length(self, key: Iterable[Target]) -> int:
         """Critical-path length with every target in *key* idealized."""
         key = frozenset(key)
+        obs.count("engine.naive.sweep")
         if key:
             lat = self.idealizer.latencies(key)
             dist = longest_path(self.graph, lat,
@@ -171,7 +221,9 @@ class NaiveEngine:
 
     def cp_lengths(self, keys: Sequence[Iterable[Target]]) -> List[int]:
         """Batch form of :meth:`cp_length`; the oracle has no fast path."""
-        return [self.cp_length(key) for key in keys]
+        with obs.span("engine.cp_batch", engine=self.name, keys=len(keys)):
+            obs.observe("engine.batch_size", len(keys))
+            return [self.cp_length(key) for key in keys]
 
     def close(self) -> None:
         """Engines own no resources by default; pools override this."""
@@ -222,7 +274,14 @@ class BatchedEngine:
             raise RuntimeError("the batched engine requires numpy")
         self.graph = graph
         self.idealizer = idealizer or GraphIdealizer(graph)
-        self._native = native_kernel() if native in (None, True) else None
+        if native in (None, True):
+            self._native = native_kernel()
+            status = native_kernel_status()[1]
+        else:
+            self._native = None
+            status = "forced pure-Python (native=False)"
+        obs.gauge("engine.native_kernel", 1 if self._native is not None else 0)
+        obs.note("engine.native_kernel.status", status)
         self._max_states = max_states
         n = graph.num_nodes
         self._cs = np.ascontiguousarray(graph.csr_start, dtype=np.int64)
@@ -262,11 +321,13 @@ class BatchedEngine:
     def cp_lengths(self, keys: Sequence[Iterable[Target]]) -> List[int]:
         """Measure a batch, smallest target sets first (subset reuse)."""
         keys = [frozenset(key) for key in keys]
-        # subset-reuse scheduling: measure smaller target sets first so
-        # larger unions can be evaluated as one-group deltas
-        for key in sorted(set(keys), key=len):
-            self.cp_length(key)
-        return [self.cp_length(key) for key in keys]
+        with obs.span("engine.cp_batch", engine=self.name, keys=len(keys)):
+            obs.observe("engine.batch_size", len(keys))
+            # subset-reuse scheduling: measure smaller target sets first
+            # so larger unions can be evaluated as one-group deltas
+            for key in sorted(set(keys), key=len):
+                self.cp_length(key)
+            return [self.cp_length(key) for key in keys]
 
     def close(self) -> None:
         """Drop all cached measurement states."""
@@ -280,8 +341,11 @@ class BatchedEngine:
         parent = self._parent_of(key)
         changed = np.nonzero(lat != parent.lat)[0]
         if changed.size == 0 and seed == parent.seed:
+            obs.count("engine.batched.reuse")
             dist = parent.dist
         elif changed.size <= self._incremental_max_edges:
+            obs.count("engine.batched.worklist")
+            obs.observe("engine.batched.delta_edges", int(changed.size))
             dist = self._relax_worklist(parent, lat, seed, changed)
         else:
             dist = self._relax_sweep(parent, lat, seed, changed)
@@ -320,6 +384,7 @@ class BatchedEngine:
     def _sweep(self, lat, seed: int, prefix, v0: int) -> "np.ndarray":
         n = self.graph.num_nodes
         v0 = max(1, v0)
+        obs.count("engine.batched.sweep.full")
         if self._native is not None:
             dist = np.empty(n, dtype=np.int64)
             if prefix is not None and v0 > 1:
@@ -381,6 +446,7 @@ class BatchedEngine:
                 heappop(heap)
             budget -= 1
             if budget < 0:
+                obs.count("engine.batched.worklist.bail")
                 return self._relax_sweep(parent, lat, seed, changed)
             best = 0
             for e in range(cs[v], cs[v + 1]):
@@ -446,16 +512,22 @@ class ParallelEngine:
         keys = [frozenset(key) for key in keys]
         pool = self._ensure_pool() if len(keys) > 1 else None
         if pool is None:
+            obs.count("engine.parallel.fallback_local")
             return self._local.cp_lengths(keys)
         todo = sorted(set(keys), key=len)
-        try:
-            chunk = max(1, len(todo) // (2 * self._workers))
-            lengths = dict(zip(todo, pool.map(_worker_cp_length, todo,
-                                              chunksize=chunk)))
-        except Exception:
-            self.close()
-            self._pool_broken = True
-            return self._local.cp_lengths(keys)
+        with obs.span("engine.pool_dispatch", keys=len(todo),
+                      workers=self._workers):
+            obs.count("engine.parallel.pool_dispatch")
+            obs.observe("engine.batch_size", len(keys))
+            try:
+                chunk = max(1, len(todo) // (2 * self._workers))
+                lengths = dict(zip(todo, pool.map(_worker_cp_length, todo,
+                                                  chunksize=chunk)))
+            except Exception:
+                self.close()
+                self._pool_broken = True
+                obs.count("engine.parallel.pool_error")
+                return self._local.cp_lengths(keys)
         return [lengths[key] for key in keys]
 
     def _ensure_pool(self):
@@ -471,6 +543,7 @@ class ParallelEngine:
                     max_workers=workers, initializer=_init_worker,
                     initargs=(self.graph,))
                 self._workers = workers
+                obs.gauge("engine.pool.workers", workers)
             except Exception:  # pragma: no cover - platform specific
                 self._pool_broken = True
                 self._pool = None

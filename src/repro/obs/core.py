@@ -1,0 +1,178 @@
+"""The observation collector: spans, counters, gauges, histograms.
+
+This is the software analogue of the paper's monitoring hardware
+(Section 5.1): a small, bounded-cost recorder that watches the
+*analysis pipeline itself* run.  A :class:`Collector` accumulates
+
+- **spans** -- timed regions entered with a context manager, nested by
+  wall-clock containment (per thread), exportable as Chrome
+  trace-event JSON (:mod:`repro.obs.tracefile`);
+- **counters** -- monotonically increasing named event counts;
+- **gauges** -- last-written named values;
+- **histograms** -- count/total/min/max summaries of observed values;
+- **notes** -- short named strings (e.g. the native-kernel status).
+
+Nothing here imports anything outside the standard library, and no
+instrumented module pays more than a module-level ``None`` check when
+collection is off (see :mod:`repro.obs` for the no-op fast path and
+:mod:`repro.obs.overhead` for the quantified bill).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Collector", "Span", "NOOP_SPAN", "SpanRecord"]
+
+#: One finished span: (name, ts_us, dur_us, tid, args).
+SpanRecord = Tuple[str, float, float, int, Dict[str, Any]]
+
+
+class Span:
+    """A timed region, used as a context manager.
+
+    Arguments given at creation (and any added later with :meth:`set`)
+    are recorded as the span's ``args`` in the trace file, so a span
+    can carry results computed inside the region::
+
+        with collector.span("graph.build", insns=n) as sp:
+            graph = build(...)
+            sp.set(edges=graph.num_edges)
+    """
+
+    __slots__ = ("_collector", "name", "args", "_start")
+
+    def __init__(self, collector: "Collector", name: str,
+                 args: Dict[str, Any]) -> None:
+        self._collector = collector
+        self.name = name
+        self.args = args
+        self._start = 0
+
+    def set(self, **args: Any) -> None:
+        """Attach (or overwrite) argument values on the span."""
+        self.args.update(args)
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter_ns()
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        self._collector._finish_span(self, self._start, end)
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while collection is off."""
+
+    __slots__ = ()
+
+    def set(self, **args: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+#: Singleton no-op span: entering/exiting it costs two empty calls.
+NOOP_SPAN = _NoopSpan()
+
+
+class Collector:
+    """Accumulates spans, counters, gauges, histograms and notes.
+
+    All mutation paths are guarded by one lock so engines fanning work
+    across threads cannot corrupt the aggregates; worker *processes*
+    (the parallel engine) get their own interpreter and therefore their
+    own -- unobserved -- collector, exactly like per-core hardware
+    counters that are not cross-core coherent.
+    """
+
+    def __init__(self) -> None:
+        self._epoch_ns = time.perf_counter_ns()
+        self._lock = threading.Lock()
+        self.spans: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        #: name -> [count, total, min, max]
+        self.histograms: Dict[str, List[float]] = {}
+        self.notes: Dict[str, str] = {}
+        self.api_calls = 0  # how many instrumentation hits were recorded
+
+    # ---- recording ---------------------------------------------------
+
+    def span(self, name: str, args: Dict[str, Any]) -> Span:
+        """A new (not yet entered) span attached to this collector."""
+        return Span(self, name, args)
+
+    def _finish_span(self, span: Span, start_ns: int, end_ns: int) -> None:
+        ts = (start_ns - self._epoch_ns) / 1000.0
+        dur = (end_ns - start_ns) / 1000.0
+        with self._lock:
+            self.api_calls += 1
+            self.spans.append(
+                (span.name, ts, dur, threading.get_ident(), span.args))
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Increment counter *name* by *n*."""
+        with self._lock:
+            self.api_calls += 1
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        with self._lock:
+            self.api_calls += 1
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold *value* into histogram *name*."""
+        with self._lock:
+            self.api_calls += 1
+            h = self.histograms.get(name)
+            if h is None:
+                self.histograms[name] = [1, value, value, value]
+            else:
+                h[0] += 1
+                h[1] += value
+                if value < h[2]:
+                    h[2] = value
+                if value > h[3]:
+                    h[3] = value
+
+    def note(self, name: str, text: str) -> None:
+        """Record a short named string (statuses, reasons)."""
+        with self._lock:
+            self.api_calls += 1
+            self.notes[name] = str(text)
+
+    # ---- reading -----------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current value of counter *name* (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def span_names(self) -> List[str]:
+        """Distinct span names, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for name, *_ in self.spans:
+            seen.setdefault(name)
+        return list(seen)
+
+    def histogram_mean(self, name: str) -> Optional[float]:
+        """Mean of histogram *name*, or None when empty."""
+        h = self.histograms.get(name)
+        if not h or not h[0]:
+            return None
+        return h[1] / h[0]
+
+    def elapsed_us(self) -> float:
+        """Microseconds since this collector was created."""
+        return (time.perf_counter_ns() - self._epoch_ns) / 1000.0

@@ -1,0 +1,103 @@
+"""Human-readable metrics summary (the ``--metrics`` table).
+
+Renders everything a :class:`~repro.obs.core.Collector` accumulated --
+counters, gauges, histograms, notes, per-span time totals -- plus a
+short derived header answering the questions the instrumentation was
+built for: what fraction of cost queries hit the cache, how many
+measurements ran as full sweeps vs incremental worklist relaxations,
+and whether the native C kernel is actually in use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.core import Collector
+
+__all__ = ["render_metrics_table", "derived_summary"]
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return f"{int(value)}"
+
+
+def derived_summary(collector: Collector) -> List[str]:
+    """The derived headline lines (cache hit rate, sweep mix, kernel)."""
+    lines: List[str] = []
+    hits = collector.counter("icost.cache.hit")
+    misses = collector.counter("icost.cache.miss")
+    if hits or misses:
+        rate = hits / (hits + misses)
+        lines.append(f"cost-query cache hit rate : {rate:.1%} "
+                     f"({_fmt(hits)} hit / {_fmt(misses)} miss)")
+    full = (collector.counter("engine.batched.sweep.full")
+            + collector.counter("engine.naive.sweep"))
+    worklist = collector.counter("engine.batched.worklist")
+    reused = collector.counter("engine.batched.reuse")
+    if full or worklist or reused:
+        lines.append(f"cp measurements           : {_fmt(full)} full sweep, "
+                     f"{_fmt(worklist)} worklist, {_fmt(reused)} reused")
+    bails = collector.counter("engine.batched.worklist.bail")
+    if bails:
+        lines.append(f"worklist cascade bails    : {_fmt(bails)}")
+    status = collector.notes.get("engine.native_kernel.status")
+    if status is not None:
+        lines.append(f"native C kernel           : {status}")
+    return lines
+
+
+def _span_totals(collector: Collector):
+    totals = {}
+    for name, _ts, dur, _tid, _args in collector.spans:
+        count, time_us = totals.get(name, (0, 0.0))
+        totals[name] = (count + 1, time_us + dur)
+    return totals
+
+
+def render_metrics_table(collector: Collector,
+                         title: Optional[str] = "pipeline metrics") -> str:
+    """The full ``--metrics`` table as a string."""
+    out: List[str] = []
+    if title:
+        out.append(f"== {title} ==")
+    out.extend(derived_summary(collector))
+
+    totals = _span_totals(collector)
+    if totals:
+        out.append("")
+        out.append(f"{'span':<32}{'count':>7}{'total ms':>10}")
+        for name, (count, time_us) in sorted(
+                totals.items(), key=lambda kv: -kv[1][1]):
+            out.append(f"{name:<32}{count:>7}{time_us / 1000.0:>10.2f}")
+
+    if collector.counters:
+        out.append("")
+        out.append(f"{'counter':<40}{'value':>10}")
+        for name in sorted(collector.counters):
+            out.append(f"{name:<40}{_fmt(collector.counters[name]):>10}")
+
+    if collector.gauges:
+        out.append("")
+        out.append(f"{'gauge':<40}{'value':>10}")
+        for name in sorted(collector.gauges):
+            out.append(f"{name:<40}{_fmt(collector.gauges[name]):>10}")
+
+    if collector.histograms:
+        out.append("")
+        out.append(f"{'histogram':<32}{'count':>7}{'mean':>9}"
+                   f"{'min':>8}{'max':>8}")
+        for name in sorted(collector.histograms):
+            count, total, lo, hi = collector.histograms[name]
+            mean = total / count if count else 0.0
+            out.append(f"{name:<32}{_fmt(count):>7}{mean:>9.1f}"
+                       f"{_fmt(lo):>8}{_fmt(hi):>8}")
+
+    if collector.notes:
+        out.append("")
+        for name in sorted(collector.notes):
+            if name == "engine.native_kernel.status":
+                continue  # already in the derived header
+            out.append(f"{name}: {collector.notes[name]}")
+    return "\n".join(out)

@@ -1,0 +1,84 @@
+"""Chrome trace-event JSON export (Perfetto / chrome://tracing).
+
+The format is the Trace Event Format's ``traceEvents`` array of
+complete events (``"ph": "X"``) with microsecond timestamps, which
+both https://ui.perfetto.dev and chrome://tracing load directly.
+Counters are appended as one ``"ph": "C"`` event each so they show up
+as counter tracks; gauges, histogram summaries and notes travel in the
+process metadata where Perfetto's info panel displays them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Union
+
+from repro.obs.core import Collector
+
+__all__ = ["trace_events", "dumps", "write"]
+
+_PID = os.getpid()
+
+
+def trace_events(collector: Collector) -> list:
+    """The ``traceEvents`` list for *collector*'s recorded activity."""
+    events = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": _PID,
+        "tid": 0,
+        "args": {"name": "repro-icost analysis pipeline"},
+    }]
+    for name, ts, dur, tid, args in collector.spans:
+        event = {
+            "name": name,
+            "cat": name.split(".", 1)[0],
+            "ph": "X",
+            "ts": round(ts, 3),
+            "dur": round(dur, 3),
+            "pid": _PID,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    end = collector.elapsed_us()
+    for name, value in sorted(collector.counters.items()):
+        events.append({
+            "name": name,
+            "ph": "C",
+            "ts": round(end, 3),
+            "pid": _PID,
+            "tid": 0,
+            "args": {"value": value},
+        })
+    return events
+
+
+def dumps(collector: Collector) -> str:
+    """The complete trace file as a JSON string."""
+    meta = {
+        "gauges": collector.gauges,
+        "notes": collector.notes,
+        "histograms": {
+            name: {"count": h[0], "total": h[1], "min": h[2], "max": h[3]}
+            for name, h in collector.histograms.items()
+        },
+    }
+    doc = {
+        "traceEvents": trace_events(collector),
+        "displayTimeUnit": "ms",
+        "otherData": meta,
+    }
+    return json.dumps(doc, default=str)
+
+
+def write(collector: Collector, dest: Union[str, IO[str]]) -> None:
+    """Write the trace to a path or an open text file."""
+    text = dumps(collector)
+    if hasattr(dest, "write"):
+        dest.write(text)
+    else:
+        with open(dest, "w") as fh:
+            fh.write(text)

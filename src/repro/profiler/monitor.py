@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+import repro.obs as obs
 from repro.profiler.samples import DetailedSample, ProfileData, SignatureSample
 from repro.profiler.signature import signature_stream
 from repro.uarch.events import SimResult
@@ -46,6 +47,14 @@ class HardwareMonitor:
 
     def collect(self, result: SimResult) -> ProfileData:
         """Observe one run and return every sample the hardware took."""
+        with obs.span("profiler.collect",
+                      insns=len(result.trace.insts)) as sp:
+            data = self._collect(result)
+            sp.set(signatures=len(data.signature_samples),
+                   detailed=data.detailed_count)
+        return data
+
+    def _collect(self, result: SimResult) -> ProfileData:
         cfg = self.config
         insts = result.trace.insts
         events = result.events

@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import repro.obs as obs
 from repro.isa.instructions import (
     INST_BYTES,
     REG_ZERO,
@@ -100,6 +101,15 @@ class FragmentReconstructor:
 
     def reconstruct(self, sample: SignatureSample) -> Optional[Fragment]:
         """Build one fragment from *sample*; None when aborted."""
+        fragment = self._reconstruct(sample)
+        if fragment is None:
+            obs.count("profiler.fragment.abort")
+        else:
+            obs.count("profiler.fragment.built")
+            obs.observe("profiler.fragment.len", len(fragment))
+        return fragment
+
+    def _reconstruct(self, sample: SignatureSample) -> Optional[Fragment]:
         self.stats.attempted += 1
         bits = sample.bits
         n = len(bits)

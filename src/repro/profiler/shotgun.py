@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Optional
 
+import repro.obs as obs
 from repro.core.categories import EventSelection, normalize_targets
 from repro.core.icost import Target
 from repro.graph.builder import GraphBuilder
@@ -44,9 +45,11 @@ class ShotgunCostProvider:
             raise ValueError("no fragments were reconstructed")
         self.stats = stats
         builder = GraphBuilder()
-        self._analyzers = [
-            GraphCostAnalyzer(builder.build(fragment)) for fragment in fragments
-        ]
+        with obs.span("profiler.analyze", fragments=len(fragments)):
+            self._analyzers = [
+                GraphCostAnalyzer(builder.build(fragment))
+                for fragment in fragments
+            ]
         self.fragments = fragments
 
     def cost(self, targets: Iterable[Target]) -> float:
@@ -89,10 +92,13 @@ def profile_trace(trace: Trace, config: Optional[MachineConfig] = None,
     built: List[Fragment] = []
     attempts = 0
     max_attempts = fragments * 8
-    while len(built) < fragments and attempts < max_attempts:
-        attempts += 1
-        sample = rng.choice(data.signature_samples)
-        fragment = reconstructor.reconstruct(sample)
-        if fragment is not None and len(fragment) > 0:
-            built.append(fragment)
+    with obs.span("profiler.reconstruct", requested=fragments) as sp:
+        while len(built) < fragments and attempts < max_attempts:
+            attempts += 1
+            sample = rng.choice(data.signature_samples)
+            fragment = reconstructor.reconstruct(sample)
+            if fragment is not None and len(fragment) > 0:
+                built.append(fragment)
+        sp.set(built=len(built), attempts=attempts,
+               abort_rate=round(reconstructor.stats.abort_rate, 4))
     return ShotgunCostProvider(built, reconstructor.stats)

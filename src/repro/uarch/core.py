@@ -35,6 +35,7 @@ import heapq
 from collections import deque
 from typing import Dict, List, Optional
 
+import repro.obs as obs
 from repro.isa.instructions import DynInst, OpClass, Opcode
 from repro.isa.trace import Trace
 from repro.uarch.branch import BranchPredictor
@@ -427,4 +428,8 @@ def _tlb_rate(tlb) -> float:
 def simulate(trace: Trace, config: Optional[MachineConfig] = None,
              ideal: Optional[IdealConfig] = None) -> SimResult:
     """Convenience wrapper: run *trace* once and return the result."""
-    return OutOfOrderCore(config, ideal).run(trace)
+    with obs.span("sim.run", insns=len(trace.insts),
+                  idealized=ideal is not None) as sp:
+        result = OutOfOrderCore(config, ideal).run(trace)
+        sp.set(cycles=result.cycles)
+    return result

@@ -5,6 +5,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Callable, Dict, Tuple
 
+import repro.obs as obs
 from repro.isa.program import Program
 from repro.isa.trace import Trace
 from repro.workloads import spec
@@ -45,13 +46,27 @@ def get_workload_object(name: str, scale: float = 1.0,
 
 
 @lru_cache(maxsize=64)
+def _generate_trace(name: str, scale: float, seed: int) -> Trace:
+    with obs.span("workload.trace", workload=name, scale=scale,
+                  seed=seed) as sp:
+        trace = get_workload_object(name, scale, seed).trace()
+        sp.set(insns=len(trace.insts))
+    return trace
+
+
 def get_workload(name: str, scale: float = 1.0, seed: int = 0) -> Trace:
     """The committed-path dynamic trace of workload *name*.
 
     Traces are deterministic in (name, scale, seed) and cached, since
     benchmark tables re-simulate the same trace many times.
     """
-    return get_workload_object(name, scale, seed).trace()
+    hits_before = _generate_trace.cache_info().hits
+    trace = _generate_trace(name, scale, seed)
+    if _generate_trace.cache_info().hits > hits_before:
+        obs.count("workload.trace.cache_hit")
+    else:
+        obs.count("workload.trace.generated")
+    return trace
 
 
 def get_program(name: str, scale: float = 1.0, seed: int = 0) -> Program:

@@ -1,0 +1,190 @@
+"""The pipeline emits spans/counters when observation is on.
+
+These tests pin the *names* the instrumentation uses -- they are the
+public contract the metrics table, the trace files and future perf
+PRs read.
+"""
+
+import pytest
+
+from repro import obs
+from repro.analysis.graphsim import analyze_trace
+from repro.core import CachingCostProvider, interaction_breakdown
+from repro.core.categories import Category
+from repro.graph import engine as engine_mod
+from repro.profiler import profile_trace
+from repro.workloads import get_workload
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture()
+def collected(small_gzip_trace):
+    """One observed batched-engine breakdown over the gzip fixture."""
+    c = obs.enable()
+    provider = analyze_trace(small_gzip_trace, engine="batched")
+    interaction_breakdown(provider, focus=Category.DL1, workload="gzip")
+    obs.disable()
+    return c
+
+
+class TestPipelineSpans:
+    def test_covers_at_least_five_stages(self, collected):
+        names = set(collected.span_names())
+        expected = {"sim.run", "graph.build", "analysis.analyze_trace",
+                    "engine.cp_batch", "breakdown.interaction"}
+        assert expected <= names
+        assert len(names) >= 5
+
+    def test_workload_generation_span(self):
+        c = obs.enable()
+        get_workload("gzip", scale=0.05, seed=12345)
+        obs.disable()
+        assert "workload.trace" in c.span_names()
+        assert c.counter("workload.trace.generated") == 1
+        c2 = obs.enable()
+        get_workload("gzip", scale=0.05, seed=12345)
+        obs.disable()
+        assert c2.counter("workload.trace.cache_hit") == 1
+
+    def test_span_args_carry_sizes(self, collected):
+        by_name = {s[0]: s[4] for s in collected.spans}
+        assert by_name["graph.build"]["insns"] > 0
+        assert by_name["graph.build"]["edges"] > 0
+        assert by_name["sim.run"]["cycles"] > 0
+
+
+class TestEngineCounters:
+    def test_batched_engine_measurement_mix(self, collected):
+        sweeps = collected.counter("engine.batched.sweep.full")
+        worklist = collected.counter("engine.batched.worklist")
+        assert sweeps + worklist > 0
+        assert collected.histograms["engine.batch_size"][0] >= 1
+
+    def test_native_kernel_status_recorded(self, collected):
+        assert collected.gauges["engine.native_kernel"] in (0, 1)
+        assert collected.notes["engine.native_kernel.status"]
+
+    def test_naive_engine_counts_sweeps(self, miss_result):
+        from repro.analysis.graphsim import GraphCostProvider
+
+        c = obs.enable()
+        provider = GraphCostProvider(miss_result, engine="naive")
+        provider.cost(frozenset({Category.DL1}))
+        obs.disable()
+        assert c.counter("engine.naive.sweep") >= 2  # baseline + dl1
+
+    def test_forced_pure_python_status_note(self, miss_graph):
+        c = obs.enable()
+        engine_mod.BatchedEngine(miss_graph, native=False)
+        obs.disable()
+        assert "pure-Python" in c.notes["engine.native_kernel.status"]
+
+
+class TestNativeKernelStatus:
+    def test_status_tuple_shape(self):
+        available, reason = engine_mod.native_kernel_status()
+        assert isinstance(available, bool)
+        assert isinstance(reason, str) and reason
+
+    def test_fallback_warning_fires_once_on_silent_failure(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_NO_NATIVE", raising=False)
+        monkeypatch.setattr(engine_mod, "_native_fn", None)
+        monkeypatch.setattr(engine_mod, "_native_reason",
+                            "no working C compiler (cc: exit 127)")
+        monkeypatch.setattr(engine_mod, "_native_warned", False)
+        message = engine_mod.native_fallback_warning()
+        assert message is not None
+        assert "no working C compiler" in message
+        assert engine_mod.native_fallback_warning() is None  # once only
+
+    def test_no_warning_when_user_opted_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_NO_NATIVE", "1")
+        monkeypatch.setattr(engine_mod, "_native_fn", None)
+        monkeypatch.setattr(engine_mod, "_native_reason",
+                            "disabled by REPRO_ENGINE_NO_NATIVE")
+        monkeypatch.setattr(engine_mod, "_native_warned", False)
+        assert engine_mod.native_fallback_warning() is None
+
+    def test_no_warning_before_any_attempt(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_NO_NATIVE", raising=False)
+        monkeypatch.setattr(engine_mod, "_native_fn",
+                            engine_mod._NATIVE_SENTINEL)
+        monkeypatch.setattr(engine_mod, "_native_warned", False)
+        assert engine_mod.native_fallback_warning() is None
+
+
+class TestCachingProviderStats:
+    def test_hits_misses_prefetched(self, miss_provider):
+        cached = CachingCostProvider(miss_provider)
+        cached.prefetch([{Category.DL1}, {Category.WIN}])
+        cached.cost({Category.DL1})
+        cached.cost({Category.DL1})
+        cached.cost({Category.WIN})
+        stats = cached.stats()
+        assert stats.misses == 2
+        assert stats.hits == 1
+        assert stats.prefetched == 2
+        assert stats.queries == 3
+        assert stats.hit_rate == pytest.approx(1 / 3)
+        assert cached.calls == 2  # backwards-compatible alias for misses
+
+    def test_stats_snapshot_is_detached(self, miss_provider):
+        cached = CachingCostProvider(miss_provider)
+        snap = cached.stats()
+        cached.cost({Category.DL1})
+        assert snap.misses == 0
+
+    def test_clear_resets_cache_and_stats(self, miss_provider):
+        cached = CachingCostProvider(miss_provider)
+        cached.cost({Category.DL1})
+        cached.cost({Category.DL1})
+        cached.clear()
+        stats = cached.stats()
+        assert (stats.hits, stats.misses, stats.prefetched) == (0, 0, 0)
+        cached.cost({Category.DL1})
+        assert cached.stats().misses == 1  # re-measured after clear
+
+    def test_prefetch_skips_already_cached(self, miss_provider):
+        cached = CachingCostProvider(miss_provider)
+        cached.cost({Category.DL1})
+        cached.prefetch([{Category.DL1}, {Category.WIN}])
+        assert cached.stats().prefetched == 1
+
+    def test_stats_surface_as_obs_gauges(self, miss_provider):
+        cached = CachingCostProvider(miss_provider)
+        cached.cost({Category.DL1})
+        cached.cost({Category.DL1})
+        c = obs.enable()
+        cached.stats()
+        obs.disable()
+        assert c.gauges["icost.cache.hits"] == 1
+        assert c.gauges["icost.cache.misses"] == 1
+
+    def test_cache_counters_reach_collector(self, miss_provider):
+        c = obs.enable()
+        cached = CachingCostProvider(miss_provider)
+        cached.cost({Category.DL1})
+        cached.cost({Category.DL1})
+        obs.disable()
+        assert c.counter("icost.cache.miss") == 1
+        assert c.counter("icost.cache.hit") == 1
+
+
+class TestProfilerInstrumentation:
+    def test_profiler_spans_and_fragment_counters(self, small_gzip_trace):
+        c = obs.enable()
+        profile_trace(small_gzip_trace, fragments=3, seed=0)
+        obs.disable()
+        names = set(c.span_names())
+        assert {"profiler.collect", "profiler.reconstruct",
+                "profiler.analyze"} <= names
+        assert c.counter("profiler.fragment.built") >= 3
+        by_name = {s[0]: s[4] for s in c.spans}
+        assert by_name["profiler.reconstruct"]["built"] == 3
+        assert by_name["profiler.collect"]["signatures"] >= 1

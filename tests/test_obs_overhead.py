@@ -1,0 +1,91 @@
+"""The obs overhead budget (the satellite of ``profiler/overhead.py``).
+
+The paper bills its monitoring hardware quantitatively before trusting
+it; this suite does the same for the software instrumentation.  The
+disabled path of every obs call is a module-level ``None`` check, so
+the total bill of an uninstrumented-feeling run is exactly
+
+    (obs call sites exercised) x (per-call no-op cost)
+
+Both factors are measured -- the call count by replaying the same
+analysis once with a live collector, the per-call cost empirically --
+and the product must stay under 3% of the disabled run's wall-clock.
+Estimating the bill instead of differencing two noisy end-to-end
+timings keeps the test deterministic enough for CI.
+"""
+
+import pytest
+
+from repro import obs
+from repro.analysis.graphsim import analyze_trace
+from repro.core import interaction_breakdown
+from repro.core.categories import Category
+from repro.obs.overhead import (
+    ObsOverheadEstimate,
+    estimate_overhead,
+    measure_noop_call_cost,
+    time_run,
+)
+from repro.workloads import get_workload
+
+#: The acceptance budget: disabled-obs run within 3% of uninstrumented.
+BUDGET = 0.03
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _gcc_breakdown():
+    trace = get_workload("gcc", scale=0.5)
+    provider = analyze_trace(trace, engine="batched")
+    return interaction_breakdown(provider, focus=Category.DL1,
+                                 workload="gcc")
+
+
+class TestEstimateModel:
+    def test_fraction_and_summary(self):
+        est = ObsOverheadEstimate(calls=1000, per_call_seconds=1e-7,
+                                  run_seconds=0.1)
+        assert est.total_seconds == pytest.approx(1e-4)
+        assert est.overhead_fraction == pytest.approx(1e-3)
+        assert "1000 obs calls" in est.summary()
+        assert "%" in est.summary()
+
+    def test_zero_run_time_is_zero_overhead(self):
+        est = ObsOverheadEstimate(calls=10, per_call_seconds=1e-7,
+                                  run_seconds=0.0)
+        assert est.overhead_fraction == 0.0
+
+    def test_noop_cost_requires_disabled_obs(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            measure_noop_call_cost(iterations=10)
+        obs.disable()
+
+    def test_noop_cost_is_positive_and_small(self):
+        per_call = measure_noop_call_cost(iterations=20_000, repeats=2)
+        assert 0 < per_call < 1e-5  # far below 10us per disabled call
+
+
+class TestDisabledOverheadBudget:
+    def test_gcc_breakdown_within_budget(self):
+        get_workload("gcc", scale=0.5)  # warm the trace cache
+
+        # exact call-site count: replay once with a live collector
+        collector = obs.enable()
+        try:
+            _gcc_breakdown()
+        finally:
+            obs.disable()
+        calls = collector.api_calls
+        assert calls > 0, "the pipeline made no obs calls at all"
+
+        run_seconds = time_run(_gcc_breakdown)  # disabled baseline
+        estimate = estimate_overhead(calls, run_seconds)
+        assert estimate.overhead_fraction < BUDGET, estimate.summary()
+        # and not merely under budget: the margin is orders of magnitude
+        assert estimate.overhead_fraction < BUDGET / 10, estimate.summary()
