@@ -22,8 +22,12 @@ from repro.uarch.core import simulate
 _worker_sim = None
 
 
-def _init_sim_worker(trace: Trace, config: MachineConfig) -> None:
+def _init_sim_worker(trace: Trace, config: MachineConfig,
+                     env=None) -> None:
     global _worker_sim
+    from repro.graph.engine import apply_child_env
+
+    apply_child_env(env, seed_tag="multisim-pool")
     _worker_sim = (trace, config)
 
 
@@ -51,24 +55,54 @@ class MultiSimCostProvider:
 
     def __init__(self, trace: Trace,
                  config: Optional[MachineConfig] = None,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 cache=None) -> None:
         self.trace = trace
         self.config = config or MachineConfig()
         self.max_workers = max_workers
+        #: optional :class:`repro.pipeline.artifacts.ArtifactCache`;
+        #: re-simulated cycle counts are content-addressed by workload x
+        #: config x idealization, so repeated sweeps skip the simulator
+        self._cache = cache
         self._cycles: Dict[FrozenSet[Category], int] = {}
         self.base_cycles = self.cycles_with(frozenset())
 
     # ------------------------------------------------------------------
 
     def cycles_with(self, categories: FrozenSet[Category]) -> int:
-        """Execution time with *categories* idealized (memoised)."""
+        """Execution time with *categories* idealized (memoised).
+
+        With an artifact cache attached the cycle count is also
+        content-addressed on disk, so a repeated sweep (sensitivity
+        curves, the EXPERIMENTS suite) skips the simulator entirely.
+        """
         key = frozenset(categories)
         cached = self._cycles.get(key)
         if cached is None:
+            cached = self._disk_get(key)
+        if cached is None:
             ideal = IdealConfig.for_categories(key)
             cached = simulate(self.trace, config=self.config, ideal=ideal).cycles
-            self._cycles[key] = cached
+            self._disk_put(key, cached)
+        self._cycles[key] = cached
         return cached
+
+    def _disk_key(self, key: FrozenSet[Category]) -> str:
+        from repro.pipeline.artifacts import sim_key
+
+        return sim_key(self.trace, self.config, key)
+
+    def _disk_get(self, key: FrozenSet[Category]) -> Optional[int]:
+        if self._cache is None or not self._cache.enabled:
+            return None
+        payload = self._cache.get_json("cycles", self._disk_key(key))
+        return None if payload is None else int(payload["cycles"])
+
+    def _disk_put(self, key: FrozenSet[Category], cycles: int) -> None:
+        if self._cache is None or not self._cache.enabled:
+            return
+        self._cache.put_json("cycles", self._disk_key(key),
+                             {"cycles": int(cycles)})
 
     def cost(self, targets: Iterable[Target]) -> float:
         """Cycles saved, measured by actually re-simulating."""
@@ -89,6 +123,13 @@ class MultiSimCostProvider:
             if key not in self._cycles and key not in seen:
                 seen.add(key)
                 keys.append(key)
+        # drain the on-disk cache first so only genuinely new
+        # configurations are dispatched to the pool
+        for key in list(keys):
+            cycles = self._disk_get(key)
+            if cycles is not None:
+                self._cycles[key] = cycles
+                keys.remove(key)
         if not keys:
             return
         workers = self.max_workers or (os.cpu_count() or 1)
@@ -97,12 +138,16 @@ class MultiSimCostProvider:
             try:
                 from concurrent.futures import ProcessPoolExecutor
 
+                from repro.graph.engine import child_env
+
                 with ProcessPoolExecutor(
                         max_workers=workers, initializer=_init_sim_worker,
-                        initargs=(self.trace, self.config)) as pool:
+                        initargs=(self.trace, self.config,
+                                  child_env())) as pool:
                     for key, cycles in zip(keys, pool.map(
                             _sim_worker_cycles, keys)):
                         self._cycles[key] = cycles
+                        self._disk_put(key, cycles)
                 return
             except Exception:
                 pass  # fall through to the exact serial loop

@@ -4,12 +4,20 @@ Interaction costs *predict* what these sweeps show: a serial
 interaction between the window and a latency loop means enlarging the
 window helps more as the loop gets longer.  These functions run the
 actual many-simulation sweeps so benchmarks can verify the corollary.
+
+The simulations of a sweep are independent, so every sweep here runs
+through :func:`sweep_cycles`: each machine-configuration point is
+content-addressed in the pipeline artifact cache (a repeated sweep
+costs no simulator time at all) and cold points fan out across a
+process pool when ``jobs > 1``.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import repro.obs as obs
 from repro.isa.trace import Trace
 from repro.uarch.config import MachineConfig
 from repro.uarch.core import simulate
@@ -22,11 +30,83 @@ def speedup(base_cycles: int, new_cycles: int) -> float:
     return 100.0 * (base_cycles - new_cycles) / new_cycles
 
 
+# -- the shared sweep engine -------------------------------------------
+
+_worker_trace: Optional[Trace] = None
+
+
+def _init_sweep_worker(trace: Trace, env=None) -> None:
+    global _worker_trace
+    from repro.graph.engine import apply_child_env
+
+    apply_child_env(env, seed_tag="sensitivity-pool")
+    _worker_trace = trace
+
+
+def _sweep_worker_cycles(config: MachineConfig) -> int:
+    return simulate(_worker_trace, config=config).cycles
+
+
+def sweep_cycles(trace: Trace, configs: Sequence[MachineConfig],
+                 jobs: int = 1, cache=None) -> List[int]:
+    """Cycle counts of *trace* under each configuration in *configs*.
+
+    Points already present in *cache* (a
+    :class:`repro.pipeline.artifacts.ArtifactCache`, keyed by workload
+    content x full machine config) are returned without simulating;
+    the remaining cold points run serially, or across a process pool
+    when ``jobs > 1`` -- with the parent environment propagated to the
+    workers.  Pool failures degrade to the serial loop.
+    """
+    from repro.pipeline.artifacts import sim_key
+
+    use_cache = cache is not None and cache.enabled
+    cycles: List[Optional[int]] = [None] * len(configs)
+    keys: List[Optional[str]] = [None] * len(configs)
+    todo: List[int] = []
+    for i, cfg in enumerate(configs):
+        if use_cache:
+            keys[i] = sim_key(trace, cfg)
+            payload = cache.get_json("cycles", keys[i])
+            if payload is not None:
+                cycles[i] = int(payload["cycles"])
+                continue
+        todo.append(i)
+    with obs.span("sensitivity.sweep", points=len(configs),
+                  cold=len(todo), jobs=jobs):
+        if len(todo) > 1 and jobs > 1 and (os.cpu_count() or 1) >= 2:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                from repro.graph.engine import child_env
+
+                with ProcessPoolExecutor(
+                        max_workers=min(jobs, len(todo)),
+                        initializer=_init_sweep_worker,
+                        initargs=(trace, child_env())) as pool:
+                    results = list(pool.map(
+                        _sweep_worker_cycles, [configs[i] for i in todo]))
+                for i, value in zip(todo, results):
+                    cycles[i] = value
+                todo = []
+            except Exception:
+                obs.count("sensitivity.pool_error")
+        for i in todo:
+            cycles[i] = simulate(trace, config=configs[i]).cycles
+    if use_cache:
+        for i, value in enumerate(cycles):
+            if keys[i] is not None:
+                cache.put_json("cycles", keys[i], {"cycles": int(value)})
+    return [int(c) for c in cycles]
+
+
 def window_speedup_curves(
     trace: Trace,
     dl1_latencies: Sequence[int] = (1, 2, 3, 4),
     window_sizes: Sequence[int] = (64, 80, 96, 112, 128),
     config: Optional[MachineConfig] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> Dict[int, List[Tuple[int, float]]]:
     """Figure 3: speedup vs window size, one curve per dl1 latency.
 
@@ -34,15 +114,15 @@ def window_speedup_curves(
     the first window size is the baseline of each curve.
     """
     cfg = config or MachineConfig()
+    grid = [cfg.with_(dl1_latency=lat, window_size=window)
+            for lat in dl1_latencies for window in window_sizes]
+    cycles = sweep_cycles(trace, grid, jobs=jobs, cache=cache)
     curves: Dict[int, List[Tuple[int, float]]] = {}
-    for lat in dl1_latencies:
-        base = simulate(trace, cfg.with_(dl1_latency=lat,
-                                         window_size=window_sizes[0])).cycles
+    for li, lat in enumerate(dl1_latencies):
+        row = cycles[li * len(window_sizes):(li + 1) * len(window_sizes)]
         curve = [(window_sizes[0], 0.0)]
-        for window in window_sizes[1:]:
-            cycles = simulate(trace, cfg.with_(dl1_latency=lat,
-                                               window_size=window)).cycles
-            curve.append((window, speedup(base, cycles)))
+        for window, count in zip(window_sizes[1:], row[1:]):
+            curve.append((window, speedup(row[0], count)))
         curves[lat] = curve
     return curves
 
@@ -52,6 +132,8 @@ def wakeup_window_speedups(
     wakeup_latencies: Sequence[int] = (1, 2),
     window_pair: Tuple[int, int] = (64, 128),
     config: Optional[MachineConfig] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> Dict[int, float]:
     """The Section 4.2 corollary: window 64->128 speedup per issue-wakeup
     latency.
@@ -62,14 +144,11 @@ def wakeup_window_speedups(
     """
     cfg = config or MachineConfig()
     small, large = window_pair
-    result: Dict[int, float] = {}
-    for wakeup in wakeup_latencies:
-        base = simulate(trace, cfg.with_(issue_wakeup=wakeup,
-                                         window_size=small)).cycles
-        grown = simulate(trace, cfg.with_(issue_wakeup=wakeup,
-                                          window_size=large)).cycles
-        result[wakeup] = speedup(base, grown)
-    return result
+    grid = [cfg.with_(issue_wakeup=wakeup, window_size=window)
+            for wakeup in wakeup_latencies for window in (small, large)]
+    cycles = sweep_cycles(trace, grid, jobs=jobs, cache=cache)
+    return {wakeup: speedup(cycles[2 * i], cycles[2 * i + 1])
+            for i, wakeup in enumerate(wakeup_latencies)}
 
 
 def mispredict_window_speedups(
@@ -77,6 +156,8 @@ def mispredict_window_speedups(
     recoveries: Sequence[int] = (7, 15),
     window_pair: Tuple[int, int] = (64, 128),
     config: Optional[MachineConfig] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> Dict[int, float]:
     """Window-growth speedup per mispredict-recovery latency.
 
@@ -86,11 +167,8 @@ def mispredict_window_speedups(
     """
     cfg = config or MachineConfig()
     small, large = window_pair
-    result: Dict[int, float] = {}
-    for recovery in recoveries:
-        base = simulate(trace, cfg.with_(mispredict_recovery=recovery,
-                                         window_size=small)).cycles
-        grown = simulate(trace, cfg.with_(mispredict_recovery=recovery,
-                                          window_size=large)).cycles
-        result[recovery] = speedup(base, grown)
-    return result
+    grid = [cfg.with_(mispredict_recovery=recovery, window_size=window)
+            for recovery in recoveries for window in (small, large)]
+    cycles = sweep_cycles(trace, grid, jobs=jobs, cache=cache)
+    return {recovery: speedup(cycles[2 * i], cycles[2 * i + 1])
+            for i, recovery in enumerate(recoveries)}

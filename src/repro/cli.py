@@ -52,6 +52,46 @@ def _trace(args):
     return get_workload(args.workload, scale=args.scale, seed=args.seed)
 
 
+def _pipeline_requested(args) -> bool:
+    """Whether any pipeline flag (or the cache env default) is engaged."""
+    import os
+
+    return bool(
+        getattr(args, "jobs", 1) > 1
+        or getattr(args, "windows", 1) > 1
+        or getattr(args, "approx", False)
+        or getattr(args, "cache_dir", None)
+        or getattr(args, "no_cache", False)
+        or os.environ.get("REPRO_CACHE_DIR"))
+
+
+def _cost_provider(args, allow_approx: bool = True):
+    """The cost provider behind breakdown/matrix/critical.
+
+    Plain invocations keep the historical monolithic path (naive engine
+    by default); any pipeline flag routes through
+    :func:`repro.pipeline.run_pipeline` -- exact and bit-identical
+    unless ``--approx`` opts into the windowed bounded-error mode.
+    """
+    trace = _trace(args)
+    config = _machine_config(args)
+    if _pipeline_requested(args):
+        from repro.pipeline import PipelineOptions, run_pipeline
+
+        options = PipelineOptions(
+            jobs=getattr(args, "jobs", 1),
+            windows=getattr(args, "windows", 1),
+            cache_dir=getattr(args, "cache_dir", None),
+            no_cache=getattr(args, "no_cache", False),
+            approx=allow_approx and getattr(args, "approx", False),
+            engine=args.engine)
+        return run_pipeline(trace, config=config, options=options)
+    from repro.analysis.graphsim import analyze_trace
+
+    return analyze_trace(trace, config=config,
+                         engine=args.engine or "naive")
+
+
 def cmd_workloads(args) -> int:
     """``workloads``: list the synthetic suite with descriptions."""
     from repro.workloads import WORKLOAD_NAMES, workload_description
@@ -63,7 +103,6 @@ def cmd_workloads(args) -> int:
 
 def cmd_breakdown(args) -> int:
     """``breakdown``: Table 4-style (or power-set) breakdown output."""
-    from repro.analysis.graphsim import analyze_trace
     from repro.core import (
         breakdown_to_json,
         breakdowns_to_csv,
@@ -73,8 +112,7 @@ def cmd_breakdown(args) -> int:
         render_stacked_bar,
     )
 
-    provider = analyze_trace(_trace(args), config=_machine_config(args),
-                             engine=args.engine)
+    provider = _cost_provider(args)
     if args.full:
         cats = [Category(c.strip()) for c in args.full.split(",")]
         bd = full_interaction_breakdown(provider, cats,
@@ -144,11 +182,9 @@ def cmd_profile(args) -> int:
 
 def cmd_matrix(args) -> int:
     """``matrix``: the full pairwise interaction-cost matrix."""
-    from repro.analysis.graphsim import analyze_trace
     from repro.analysis.matrix import interaction_matrix
 
-    provider = analyze_trace(_trace(args), config=_machine_config(args),
-                             engine=args.engine)
+    provider = _cost_provider(args)
     matrix = interaction_matrix(provider, workload=args.workload)
     print(matrix.render())
     a, b, value = matrix.strongest_serial()
@@ -173,11 +209,14 @@ def cmd_report(args) -> int:
 def cmd_sensitivity(args) -> int:
     """``sensitivity``: the Figure 3 window-size sweep."""
     from repro.analysis.sensitivity import window_speedup_curves
+    from repro.pipeline import open_cache
 
     latencies = [int(x) for x in args.dl1.split(",")]
     windows = [int(x) for x in args.windows.split(",")]
+    cache = open_cache(args.cache_dir, args.no_cache)
     curves = window_speedup_curves(_trace(args), latencies, windows,
-                                   config=_machine_config(args))
+                                   config=_machine_config(args),
+                                   jobs=args.jobs, cache=cache)
     print(f"{args.workload}: window-size speedup (%) per dl1 latency")
     print(f"{'window':>8}" + "".join(f"  lat={lat}" for lat in latencies))
     for i, window in enumerate(windows):
@@ -209,12 +248,11 @@ def cmd_phases(args) -> int:
 
 def cmd_critical(args) -> int:
     """``critical``: costliest instructions + critical-path profile."""
-    from repro.analysis.graphsim import analyze_trace
     from repro.graph.critical_path import edge_kind_profile
     from repro.graph.slack import top_critical_instructions
 
-    provider = analyze_trace(_trace(args), config=_machine_config(args),
-                             engine=args.engine)
+    # critical needs the monolithic graph -- always exact mode
+    provider = _cost_provider(args, allow_approx=False)
     result = provider.result
     ranked = top_critical_instructions(
         provider.analyzer, range(len(result.events)), top=args.top)
@@ -268,11 +306,37 @@ def build_parser() -> argparse.ArgumentParser:
     def engine_flag(p):
         from repro.graph.engine import ENGINE_NAMES
 
-        p.add_argument("--engine", choices=ENGINE_NAMES, default="naive",
+        p.add_argument("--engine", choices=ENGINE_NAMES, default=None,
                        help="cost engine for graph measurements: the "
                             "naive reference sweep, the batched "
                             "vectorized/incremental kernel, or the "
-                            "process-pool fan-out (default: naive)")
+                            "process-pool fan-out (default: naive, or "
+                            "batched when the pipeline is engaged)")
+
+    def pipeline_flags(p, windows=True, approx=False):
+        group = p.add_argument_group(
+            "pipeline (docs/PIPELINE.md)")
+        group.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes for sharded "
+                                "build/analysis (default 1)")
+        if windows:
+            group.add_argument("--windows", type=int, default=1,
+                               metavar="N",
+                               help="shard the run into N contiguous "
+                                    "windows (default 1; exact either "
+                                    "way)")
+        group.add_argument("--cache-dir", metavar="DIR", default=None,
+                           help="content-addressed artifact cache "
+                                "directory (default: $REPRO_CACHE_DIR)")
+        group.add_argument("--no-cache", action="store_true",
+                           help="disable the artifact cache even if "
+                                "$REPRO_CACHE_DIR is set")
+        if approx:
+            group.add_argument("--approx", action="store_true",
+                               help="bounded-error windowed analysis: "
+                                    "sum per-window costs over "
+                                    "truncated window graphs instead "
+                                    "of stitching an exact graph")
 
     add_command("workloads", help="list the synthetic suite") \
         .set_defaults(func=cmd_workloads)
@@ -291,6 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the breakdown as JSON")
     p.add_argument("--csv", action="store_true",
                    help="emit the breakdown as CSV")
+    pipeline_flags(p, approx=True)
     p.set_defaults(func=cmd_breakdown)
 
     p = add_command("characterize",
@@ -312,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_command("matrix", help="pairwise interaction-cost matrix")
     common(p)
     engine_flag(p)
+    pipeline_flags(p, approx=True)
     p.set_defaults(func=cmd_matrix)
 
     p = add_command("report", help="self-contained HTML analysis report")
@@ -326,6 +392,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dl1 latencies, comma separated")
     p.add_argument("--windows", default="64,80,96,112,128",
                    help="window sizes, comma separated")
+    # note: --windows here means *machine* window sizes (the Figure 3
+    # sweep axis), so the pipeline sharding flag is omitted
+    pipeline_flags(p, windows=False)
     p.set_defaults(func=cmd_sensitivity)
 
     p = add_command("phases", help="segment cost vectors + phase changes")
@@ -339,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_command("critical", help="costliest instructions + CP profile")
     common(p)
     engine_flag(p)
+    pipeline_flags(p)
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_critical)
 

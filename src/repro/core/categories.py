@@ -102,3 +102,34 @@ def normalize_targets(targets: Iterable[EventSetLike]) -> FrozenSet[EventSetLike
         if not isinstance(t, (Category, EventSelection)):
             raise TypeError(f"not a cost target: {t!r}")
     return frozen
+
+
+def target_key(target: EventSetLike) -> str:
+    """A stable string identity for one cost target.
+
+    Two targets that denote the same measurement get the same key: a
+    selection's *display name* is excluded (it does not change which
+    events are idealized), and its sequence set is serialised sorted.
+    Unlike enum/frozenset iteration order -- which varies across
+    processes because enum hashing is identity-based -- these keys sort
+    identically everywhere, so they are safe to feed into persistent
+    cache digests.
+    """
+    if isinstance(target, Category):
+        return f"cat:{target.value}"
+    if isinstance(target, EventSelection):
+        seqs = ",".join(str(s) for s in sorted(target.seqs))
+        return f"sel:{target.category.value}:{seqs}"
+    raise TypeError(f"not a cost target: {target!r}")
+
+
+def canonical_target_keys(targets: Iterable[EventSetLike]) -> Tuple[str, ...]:
+    """The sorted :func:`target_key` tuple of a target set.
+
+    This is *the* canonical identity of a set of cost targets:
+    ``{a, b}`` and ``{b, a}`` (and any iteration order a frozenset
+    happens to produce) map to the same tuple, so memo dictionaries and
+    on-disk cache keys built from it can never split one logical entry
+    in two.
+    """
+    return tuple(sorted(target_key(t) for t in normalize_targets(targets)))

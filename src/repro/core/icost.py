@@ -22,7 +22,12 @@ from itertools import chain, combinations
 from typing import Dict, FrozenSet, Iterable, Protocol, Union
 
 import repro.obs as obs
-from repro.core.categories import Category, EventSelection, normalize_targets
+from repro.core.categories import (
+    Category,
+    EventSelection,
+    canonical_target_keys,
+    normalize_targets,
+)
 
 Target = Union[Category, EventSelection]
 Group = FrozenSet[Target]
@@ -67,7 +72,8 @@ class CachingCostProvider:
 
     def __init__(self, provider: CostProvider) -> None:
         self._provider = provider
-        self._cache: Dict[FrozenSet[Target], float] = {}
+        # keyed by canonical_target_keys(...) -- order/name independent
+        self._cache: Dict[tuple, float] = {}
         self._stats = CacheStats()
 
     @property
@@ -89,16 +95,23 @@ class CachingCostProvider:
         self._stats = CacheStats()
 
     def cost(self, targets: Iterable[Target]) -> float:
-        """Memoised pass-through to the wrapped provider."""
+        """Memoised pass-through to the wrapped provider.
+
+        Memo entries are keyed by the *canonical* target identity
+        (:func:`repro.core.categories.canonical_target_keys`), so any
+        ordering or renaming of the same logical target set hits the
+        same entry.
+        """
         key = normalize_targets(targets)
-        if key not in self._cache:
+        ckey = canonical_target_keys(key)
+        if ckey not in self._cache:
             self._stats.misses += 1
             obs.count("icost.cache.miss")
-            self._cache[key] = self._provider.cost(key)
+            self._cache[ckey] = self._provider.cost(key)
         else:
             self._stats.hits += 1
             obs.count("icost.cache.hit")
-        return self._cache[key]
+        return self._cache[ckey]
 
     def prefetch(self, target_sets: Iterable[Iterable[Target]]) -> None:
         """Forward a batch hint to providers that can exploit it.
@@ -113,7 +126,10 @@ class CachingCostProvider:
         if fn is None:
             return
         keys = [normalize_targets(ts) for ts in target_sets]
-        todo = [key for key in keys if key not in self._cache]
+        todo = [key for key in keys
+                if canonical_target_keys(key) not in self._cache]
+        if not todo:
+            return
         self._stats.prefetched += len(todo)
         obs.count("icost.cache.prefetch", len(todo))
         fn(todo)

@@ -10,6 +10,13 @@ sharing edges.
 
 from __future__ import annotations
 
+import operator
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # numpy backs the vectorized fast path; the loop is the fallback
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    np = None
 
 import repro.obs as obs
 from repro.core.categories import Category
@@ -20,7 +27,14 @@ from repro.graph.model import (
     NodeKind,
     node_id,
 )
+from repro.isa.instructions import Opcode
 from repro.uarch.events import SimResult
+
+#: Version of the graph-construction model.  Participates in the
+#: content-addressed artifact-cache key (:mod:`repro.pipeline.artifacts`);
+#: bump it whenever the emitted edges change meaning or shape, so stale
+#: cached graphs can never be mistaken for current ones.
+GRAPH_MODEL_VERSION = 1
 
 _DL1 = Category.DL1.index
 _BW = Category.BW.index
@@ -28,6 +42,23 @@ _DMISS = Category.DMISS.index
 _SHALU = Category.SHALU.index
 _LGALU = Category.LGALU.index
 _IMISS = Category.IMISS.index
+
+# the per-event and per-instruction fields vectorized emission gathers,
+# pulled through one tuple attrgetter per object (a single pass through
+# the Python attribute machinery instead of one per field)
+_EV_FIELDS = operator.attrgetter(
+    "icache_delay", "mispredicted", "fu_contention", "store_bw_delay",
+    "pp_partner", "dl1_component", "miss_component", "exec_latency")
+_INST_FIELDS = operator.attrgetter("static.opcode", "taken")
+
+# opclass groups driving the EP edge: 0 memory, 1 short ALU, 2 long
+# ALU, 3 everything else (branches)
+_OPGROUP = {}
+for _op in Opcode:
+    _cls = _op.opclass
+    _OPGROUP[_op] = (0 if _cls.is_mem else
+                     1 if _cls.is_short_alu else
+                     2 if _cls.is_long_alu else 3)
 
 
 class GraphBuilder:
@@ -43,15 +74,31 @@ class GraphBuilder:
         first taken branch).
     """
 
-    def __init__(self, model_taken_branch_breaks: bool = True) -> None:
+    def __init__(self, model_taken_branch_breaks: bool = True,
+                 vectorized: Optional[bool] = None) -> None:
         self.model_taken_branch_breaks = model_taken_branch_breaks
+        # None = auto: use the numpy fast path when numpy is importable.
+        # The reference loop stays available (vectorized=False) and the
+        # differential suite pins the two paths edge-for-edge identical.
+        self.vectorized = (np is not None) if vectorized is None else vectorized
 
     def build(self, result: SimResult) -> DependenceGraph:
         """Construct the Table 3 graph of one simulated run."""
         with obs.span("graph.build", insns=len(result.trace.insts)) as sp:
-            graph = self._build(result)
+            if self.vectorized and np is not None:
+                graph = self._build_vectorized(result)
+            else:
+                graph = self._build(result)
             sp.set(edges=graph.num_edges)
         return graph
+
+    def _build_vectorized(self, result: SimResult) -> DependenceGraph:
+        """Array-at-a-time construction; identical output to :meth:`_build`."""
+        insts = result.trace.insts
+        cols, seed = emit_edge_arrays(
+            insts, result.events, result.config,
+            breaks=self.model_taken_branch_breaks)
+        return graph_from_arrays(len(insts), cols, seed)
 
     def _build(self, result: SimResult) -> DependenceGraph:
         trace = result.trace
@@ -172,3 +219,307 @@ def build_graph(result: SimResult,
                 model_taken_branch_breaks: bool = True) -> DependenceGraph:
     """Convenience wrapper around :class:`GraphBuilder`."""
     return GraphBuilder(model_taken_branch_breaks).build(result)
+
+
+# ----------------------------------------------------------------------
+# Vectorized edge emission (the fast path, and the segment builder the
+# parallel pipeline shards across worker processes)
+# ----------------------------------------------------------------------
+
+#: Column names of one emitted edge block, in DependenceGraph order.
+EDGE_COLUMNS = ("src", "dst", "kind", "lat", "cat1", "val1", "cat2", "val2")
+
+
+def emit_edge_arrays(insts: Sequence, events: Sequence, cfg,
+                     breaks: bool = True, *,
+                     start: int = 0,
+                     global_ids: bool = False,
+                     truncate: bool = False,
+                     prev_inst=None,
+                     prev_event=None) -> Tuple[Dict[str, "np.ndarray"],
+                                               Optional[Tuple[int, int, int]]]:
+    """Emit the Table 3 edges of a contiguous instruction range as arrays.
+
+    *insts*/*events* cover instructions ``start .. start+len-1`` of a
+    run.  Three call shapes share this function:
+
+    - whole run (``start=0``): exactly :meth:`GraphBuilder._build`;
+    - truncating window (``truncate=True``): a profiler-fragment-style
+      local graph -- producers, fill partners and mispredict sources
+      before *start* fall out of trace, node ids are window-local, and
+      structural guards (fetch/commit bandwidth, window occupancy) use
+      window-local positions, matching
+      :class:`repro.analysis.sampled.WindowedRun` semantics edge for
+      edge;
+    - exact segment (``global_ids=True``): node ids, guards and
+      cross-segment references stay global, and *prev_inst*/*prev_event*
+      supply the one instruction of left context the first DD/PD edges
+      need, so concatenating consecutive segments reproduces the
+      monolithic build bit for bit (see :func:`stitch_graph`).
+
+    Returns ``(columns, seed)`` where *columns* maps
+    :data:`EDGE_COLUMNS` to int64 arrays sorted in CSR (destination,
+    emission-slot) order, and *seed* is the ``(latency, category,
+    value)`` start seed of node 0, or None when this segment does not
+    own node 0.
+    """
+    if np is None:  # pragma: no cover - numpy ships with the package
+        raise RuntimeError("vectorized edge emission requires numpy")
+    n = len(insts)
+    empty = {c: np.zeros(0, dtype=np.int64) for c in EDGE_COLUMNS}
+    if n == 0:
+        return empty, None
+
+    fbw = cfg.fetch_width
+    cbw = cfg.commit_width
+    window = cfg.window_size
+    recovery = cfg.mispredict_recovery
+    wakeup_extra = cfg.issue_wakeup - 1
+    c2c = cfg.complete_to_commit
+
+    # which producer references survive, and how they map to node space
+    keep_floor = start if truncate else 0
+    src_rebase = 0 if global_ids else start
+    node_off = start if global_ids else 0
+
+    local = np.arange(n, dtype=np.int64)
+    guard = local + (start if global_ids else 0)
+    abs_idx = local + start
+    nid5 = (local + node_off) * 5
+
+    # one attribute-gathering pass per object stream: a single tuple
+    # attrgetter amortizes the Python attribute machinery across all
+    # fields at once (it is the dominant cost of vectorized emission)
+    ev_mat = np.array([_EV_FIELDS(ev) for ev in events], dtype=np.int64)
+    icache, misp_i, fu, sbw, pp, dl1c, missc, execl = ev_mat.T
+    misp = misp_i.astype(np.bool_)
+    op_tk = [_INST_FIELDS(inst) for inst in insts]
+    opgroup = np.fromiter((_OPGROUP[op] for op, _ in op_tk), np.int64, n)
+    taken = np.fromiter((bool(t) for _, t in op_tk), np.bool_, n)
+    taken_br = (opgroup == 3) & taken  # group 3 == OpClass.BRANCH
+
+    blocks: List[Tuple["np.ndarray", ...]] = []
+
+    def block(src, dst, kind, lat, slot, cat1=None, val1=None,
+              cat2=None, val2=None):
+        m = len(src)
+        if m == 0:
+            return
+        zeros = np.zeros(m, dtype=np.int64)
+        none = np.full(m, NO_CATEGORY, dtype=np.int64)
+        blocks.append((
+            np.asarray(src, dtype=np.int64),
+            np.asarray(dst, dtype=np.int64),
+            np.full(m, int(kind), dtype=np.int64),
+            np.asarray(lat, dtype=np.int64),
+            none if cat1 is None else np.asarray(cat1, dtype=np.int64),
+            zeros if val1 is None else np.asarray(val1, dtype=np.int64),
+            none if cat2 is None else np.asarray(cat2, dtype=np.int64),
+            zeros if val2 is None else np.asarray(val2, dtype=np.int64),
+            np.full(m, slot, dtype=np.int64),
+        ))
+
+    D, R, E, P, C = range(5)
+
+    # ---- edges into D: DD(0), FBW(1), CD(2), PD(3) ----
+    if n > 1:
+        break_lat = (taken_br[:-1].astype(np.int64) if breaks
+                     else np.zeros(n - 1, dtype=np.int64))
+        ic = icache[1:]
+        block(nid5[:-1] + D, nid5[1:] + D, EdgeKind.DD, ic + break_lat, 0,
+              cat1=np.where(ic > 0, _IMISS, NO_CATEGORY), val1=ic,
+              cat2=np.where(break_lat > 0, _BW, NO_CATEGORY), val2=break_lat)
+    if global_ids and start > 0 and prev_inst is not None:
+        prev_break = 1 if (breaks and prev_inst.is_branch
+                           and prev_inst.taken) else 0
+        ic0 = int(icache[0])
+        block([(start - 1) * 5 + D], [nid5[0] + D], EdgeKind.DD,
+              [ic0 + prev_break], 0,
+              cat1=[_IMISS if ic0 else NO_CATEGORY], val1=[ic0],
+              cat2=[_BW if prev_break else NO_CATEGORY], val2=[prev_break])
+    sel = np.nonzero(guard >= fbw)[0]
+    block(nid5[sel] + D - 5 * fbw, nid5[sel] + D, EdgeKind.FBW,
+          np.ones(len(sel), dtype=np.int64), 1)
+    sel = np.nonzero(guard >= window)[0]
+    block(nid5[sel] + C - 5 * window, nid5[sel] + D, EdgeKind.CD,
+          np.zeros(len(sel), dtype=np.int64), 2)
+    sel = np.nonzero(misp[:-1])[0] + 1 if n > 1 else np.zeros(0, dtype=np.int64)
+    block(nid5[sel - 1] + P, nid5[sel] + D, EdgeKind.PD,
+          np.full(len(sel), recovery, dtype=np.int64), 3)
+    if global_ids and start > 0 and prev_event is not None \
+            and prev_event.mispredicted:
+        block([(start - 1) * 5 + P], [nid5[0] + D], EdgeKind.PD, [recovery], 3)
+
+    # ---- edges into R: DR(0), PR (producer order, then the memory
+    # producer); the tight loop only touches instructions' producer
+    # tuples, so it stays cheap relative to the array work ----
+    block(nid5 + D, nid5 + R, EdgeKind.DR, np.ones(n, dtype=np.int64), 0)
+    pr_src: List[int] = []
+    pr_dst: List[int] = []
+    pr_lat: List[int] = []
+    pr_slot: List[int] = []
+    for i, inst in enumerate(insts):
+        slot = 1
+        seen = set()
+        r_node = int(nid5[i]) + R
+        for j in inst.src_producers:
+            if j >= keep_floor and j not in seen:
+                seen.add(j)
+                pr_src.append((j - src_rebase) * 5 + P)
+                pr_dst.append(r_node)
+                pr_lat.append(wakeup_extra)
+                pr_slot.append(slot)
+                slot += 1
+        mem = inst.mem_producer
+        if inst.is_load and mem >= keep_floor and mem not in seen:
+            pr_src.append((mem - src_rebase) * 5 + P)
+            pr_dst.append(r_node)
+            pr_lat.append(0)
+            pr_slot.append(slot)
+    if pr_src:
+        m = len(pr_src)
+        blocks.append((
+            np.asarray(pr_src, dtype=np.int64),
+            np.asarray(pr_dst, dtype=np.int64),
+            np.full(m, int(EdgeKind.PR), dtype=np.int64),
+            np.asarray(pr_lat, dtype=np.int64),
+            np.full(m, NO_CATEGORY, dtype=np.int64),
+            np.zeros(m, dtype=np.int64),
+            np.full(m, NO_CATEGORY, dtype=np.int64),
+            np.zeros(m, dtype=np.int64),
+            np.asarray(pr_slot, dtype=np.int64),
+        ))
+
+    # ---- edge into E: RE(0) ----
+    block(nid5 + R, nid5 + E, EdgeKind.RE, fu, 0,
+          cat1=np.full(n, _BW, dtype=np.int64), val1=fu)
+
+    # ---- edges into P: EP(0), PP(1) ----
+    is_mem = opgroup == 0
+    ep_lat = np.where(is_mem, dl1c + missc, execl)
+    ep_cat1 = np.select(
+        [is_mem, opgroup == 1, opgroup == 2],
+        [_DL1, _SHALU, _LGALU], NO_CATEGORY)
+    ep_val1 = np.where(is_mem, dl1c, np.where(opgroup == 3, 0, execl))
+    ep_cat2 = np.where(is_mem, _DMISS, NO_CATEGORY)
+    ep_val2 = np.where(is_mem, missc, 0)
+    block(nid5 + E, nid5 + P, EdgeKind.EP, ep_lat, 0,
+          cat1=ep_cat1, val1=ep_val1, cat2=ep_cat2, val2=ep_val2)
+    sel = np.nonzero((pp >= keep_floor) & (pp < abs_idx))[0]
+    block((pp[sel] - src_rebase) * 5 + P, nid5[sel] + P, EdgeKind.PP,
+          np.zeros(len(sel), dtype=np.int64), 1)
+
+    # ---- edges into C: PC(0), CC(1), CBW(2) ----
+    block(nid5 + P, nid5 + C, EdgeKind.PC,
+          np.full(n, c2c, dtype=np.int64), 0)
+    sel = np.nonzero(guard >= 1)[0]
+    block(nid5[sel] + C - 5, nid5[sel] + C, EdgeKind.CC, sbw[sel], 1,
+          cat1=np.full(len(sel), _BW, dtype=np.int64), val1=sbw[sel])
+    sel = np.nonzero(guard >= cbw)[0]
+    block(nid5[sel] + C - 5 * cbw, nid5[sel] + C, EdgeKind.CBW,
+          np.ones(len(sel), dtype=np.int64), 2)
+
+    if not blocks:
+        return empty, None
+    stacked = [np.concatenate([b[i] for b in blocks])
+               for i in range(len(EDGE_COLUMNS) + 1)]
+    order = np.lexsort((stacked[-1], stacked[1]))  # by (dst, slot)
+    cols = {name: stacked[i][order] for i, name in enumerate(EDGE_COLUMNS)}
+
+    seed = None
+    owns_node_zero = truncate or start == 0
+    if owns_node_zero and int(icache[0]):
+        seed = (int(icache[0]), _IMISS, int(icache[0]))
+    return cols, seed
+
+
+def graph_from_arrays(num_insts: int, cols: Dict[str, "np.ndarray"],
+                      seed: Optional[Tuple[int, int, int]]) -> DependenceGraph:
+    """Assemble a finalized :class:`DependenceGraph` from edge columns.
+
+    *cols* must already be in CSR (destination, emission) order --
+    exactly what :func:`emit_edge_arrays` and :func:`stitch_graph`
+    produce.
+    """
+    graph = DependenceGraph(num_insts)
+    dst = cols["dst"]
+    graph.edge_src = cols["src"].tolist()
+    graph.edge_kind = cols["kind"].tolist()
+    graph.edge_lat = cols["lat"].tolist()
+    graph.edge_cat1 = cols["cat1"].tolist()
+    graph.edge_val1 = cols["val1"].tolist()
+    graph.edge_cat2 = cols["cat2"].tolist()
+    graph.edge_val2 = cols["val2"].tolist()
+    csr = np.searchsorted(
+        dst, np.arange(graph.num_nodes + 1, dtype=np.int64),
+        side="left")
+    graph.csr_start = csr.tolist()
+    # keep the columns as int64 arrays too: array consumers (the
+    # batched engine, the idealizer, the artifact cache) read them via
+    # DependenceGraph.column_data and skip a list -> array round trip
+    graph._col_arrays = {
+        name: np.ascontiguousarray(cols[name], dtype=np.int64)
+        for name in ("src", "kind", "lat", "cat1", "val1", "cat2", "val2")
+    }
+    graph._col_arrays["csr"] = np.ascontiguousarray(csr, dtype=np.int64)
+    graph._cur_dst = graph.num_nodes
+    graph._finalized = True
+    if seed is not None:
+        graph.set_seed(*seed)
+    return graph
+
+
+def build_window_graph(result: SimResult, start: int, length: int,
+                       model_taken_branch_breaks: bool = True
+                       ) -> DependenceGraph:
+    """The truncating window graph of ``result[start:start+length]``.
+
+    Semantically identical to
+    ``GraphBuilder().build(WindowedRun(result, start, length))`` --
+    cross-window producers, fill partners and mispredict recoveries
+    become out-of-trace -- but built directly from the original arrays,
+    without materialising re-indexed instruction copies.
+    """
+    end = min(start + length, len(result.events))
+    insts = result.trace.insts[start:end]
+    events = result.events[start:end]
+    cols, seed = emit_edge_arrays(
+        insts, events, result.config, breaks=model_taken_branch_breaks,
+        start=start, truncate=True)
+    return graph_from_arrays(len(insts), cols, seed)
+
+
+def emit_graph_segment(insts: Sequence, events: Sequence, cfg, start: int,
+                       model_taken_branch_breaks: bool = True,
+                       prev_inst=None, prev_event=None):
+    """One global-indexed segment of the monolithic graph (for stitching).
+
+    The caller supplies the instruction before *start* as left context
+    (None at the very beginning).  The returned ``(columns, seed)``
+    block covers exactly the edges whose destination instruction lies in
+    ``start .. start+len(insts)-1`` of the full build.
+    """
+    return emit_edge_arrays(
+        insts, events, cfg, breaks=model_taken_branch_breaks,
+        start=start, global_ids=True,
+        prev_inst=prev_inst, prev_event=prev_event)
+
+
+def stitch_graph(num_insts: int,
+                 segments: Sequence[Tuple[Dict[str, "np.ndarray"],
+                                          Optional[Tuple[int, int, int]]]]
+                 ) -> DependenceGraph:
+    """Concatenate consecutive :func:`emit_graph_segment` blocks.
+
+    Segments cover contiguous, disjoint instruction ranges in order, so
+    their destination-sorted edge columns concatenate into the global
+    CSR ordering directly; the result is bit-identical to the
+    monolithic build (pinned by ``tests/test_graph_builder_vectorized``).
+    """
+    cols = {
+        name: np.concatenate([seg[0][name] for seg in segments])
+        if segments else np.zeros(0, dtype=np.int64)
+        for name in EDGE_COLUMNS
+    }
+    seed = next((seg[1] for seg in segments if seg[1] is not None), None)
+    return graph_from_arrays(num_insts, cols, seed)

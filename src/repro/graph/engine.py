@@ -44,6 +44,7 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import random
 import subprocess
 import tempfile
 from heapq import heappop, heappush
@@ -284,10 +285,13 @@ class BatchedEngine:
         obs.note("engine.native_kernel.status", status)
         self._max_states = max_states
         n = graph.num_nodes
-        self._cs = np.ascontiguousarray(graph.csr_start, dtype=np.int64)
-        self._src = np.ascontiguousarray(graph.edge_src, dtype=np.int64) \
+        self._cs = np.ascontiguousarray(graph.column_data("csr"),
+                                        dtype=np.int64)
+        self._src = np.ascontiguousarray(graph.column_data("src"),
+                                         dtype=np.int64) \
             if graph.num_edges else np.zeros(0, dtype=np.int64)
-        self._base_lat = np.ascontiguousarray(graph.edge_lat, dtype=np.int64) \
+        self._base_lat = np.ascontiguousarray(graph.column_data("lat"),
+                                              dtype=np.int64) \
             if graph.num_edges else np.zeros(0, dtype=np.int64)
         self._dst = np.repeat(np.arange(n, dtype=np.int64),
                               np.diff(self._cs)) if n else self._src[:0]
@@ -466,10 +470,70 @@ class BatchedEngine:
 
 _worker_engine: Optional[BatchedEngine] = None
 
+#: Environment that must survive into pool children.  ``fork`` children
+#: inherit the parent's environment for free, but ``spawn``/``forkserver``
+#: children re-import the module and may race a parent that changed
+#: these variables after startup, so every pool in this repository
+#: captures them explicitly at submission time and re-applies them in
+#: the worker initializer.
+CHILD_ENV_VARS = ("REPRO_ENGINE_NO_NATIVE", "REPRO_ENGINE",
+                  "REPRO_CACHE_DIR")
 
-def _init_worker(graph: DependenceGraph) -> None:
+
+def derive_seed(tag: str, index: int = 0) -> int:
+    """A deterministic per-worker seed.
+
+    Derived by hashing rather than Python's ``hash`` builtin (which is
+    salted per process via ``PYTHONHASHSEED``), so the same *(tag,
+    index)* always yields the same seed in every process on every run.
+    """
+    blob = f"{tag}:{index}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+def child_env() -> Dict[str, Optional[str]]:
+    """Snapshot of :data:`CHILD_ENV_VARS` to ship to pool children.
+
+    Unset variables are recorded as ``None`` so the child can *unset*
+    them too -- propagation must be able to clear a stale setting, not
+    just add ones.
+    """
+    return {name: os.environ.get(name) for name in CHILD_ENV_VARS}
+
+
+def apply_child_env(env: Optional[Dict[str, Optional[str]]],
+                    seed_tag: str = "pool", seed_index: int = 0) -> None:
+    """Apply a parent environment snapshot inside a worker process.
+
+    Re-arms the native-kernel decision (so a child honours a
+    ``REPRO_ENGINE_NO_NATIVE`` it did not inherit) and seeds
+    :mod:`random` with a deterministic derived seed.
+    """
+    global _native_fn, _native_reason
+    if env:
+        for name, value in env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    # the compile-at-most-once cache must re-decide under the applied
+    # environment, not under whatever this process saw at import time
+    _native_fn = _NATIVE_SENTINEL
+    _native_reason = "not attempted"
+    random.seed(derive_seed(seed_tag, seed_index))
+
+
+def _init_worker(graph: DependenceGraph,
+                 env: Optional[Dict[str, Optional[str]]] = None,
+                 counter=None) -> None:
     """Build one batched engine per worker process (payload ships once)."""
     global _worker_engine
+    index = 0
+    if counter is not None:
+        with counter.get_lock():
+            index = counter.value
+            counter.value += 1
+    apply_child_env(env, seed_tag="engine-pool", seed_index=index)
     _worker_engine = BatchedEngine(graph)
 
 
@@ -539,9 +603,12 @@ class ParallelEngine:
                 if workers < 2:
                     self._pool_broken = True
                     return None
+                import multiprocessing
+
+                counter = multiprocessing.Value("i", 0)
                 self._pool = ProcessPoolExecutor(
                     max_workers=workers, initializer=_init_worker,
-                    initargs=(self.graph,))
+                    initargs=(self.graph, child_env(), counter))
                 self._workers = workers
                 obs.gauge("engine.pool.workers", workers)
             except Exception:  # pragma: no cover - platform specific

@@ -47,15 +47,16 @@ class GraphIdealizer:
 
     def __init__(self, graph: DependenceGraph) -> None:
         self.graph = graph
-        self._lat = np.asarray(graph.edge_lat, dtype=np.int64)
-        self._kind = np.asarray(graph.edge_kind, dtype=np.int16)
-        self._cat1 = np.asarray(graph.edge_cat1, dtype=np.int16)
-        self._val1 = np.asarray(graph.edge_val1, dtype=np.int64)
-        self._cat2 = np.asarray(graph.edge_cat2, dtype=np.int16)
-        self._val2 = np.asarray(graph.edge_val2, dtype=np.int64)
+        col = graph.column_data
+        self._lat = np.asarray(col("lat"), dtype=np.int64)
+        self._kind = np.asarray(col("kind"), dtype=np.int16)
+        self._cat1 = np.asarray(col("cat1"), dtype=np.int16)
+        self._val1 = np.asarray(col("val1"), dtype=np.int64)
+        self._cat2 = np.asarray(col("cat2"), dtype=np.int16)
+        self._val2 = np.asarray(col("val2"), dtype=np.int64)
         # owning instruction of each edge, by destination and by source
         # (edges are CSR-sorted by destination, so this is one repeat)
-        csr = np.asarray(graph.csr_start, dtype=np.int64)
+        csr = np.asarray(col("csr"), dtype=np.int64)
         self._dst_owner = np.repeat(
             np.arange(graph.num_nodes, dtype=np.int64) // NODES_PER_INST,
             np.diff(csr))
@@ -63,7 +64,8 @@ class GraphIdealizer:
         # whole-category idealization then costs one subtract + one OR
         self._cat_delta: dict = {}
         self._cat_removed: dict = {}
-        self._src_owner = np.asarray(graph.edge_src, dtype=np.int64) // NODES_PER_INST
+        self._src_owner = np.asarray(col("src"),
+                                     dtype=np.int64) // NODES_PER_INST
 
     # ------------------------------------------------------------------
 

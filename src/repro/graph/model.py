@@ -129,6 +129,26 @@ class DependenceGraph:
         self.seed_lat = 0
         self.seed_cat = NO_CATEGORY
         self.seed_val = 0
+        # optional int64 column cache, populated when the graph was
+        # materialised from arrays (vectorized build, stitched segments,
+        # cache loads); see column_data
+        self._col_arrays = None
+
+    def column_data(self, name: str):
+        """One edge column for array consumers.
+
+        Returns the cached int64 numpy column when the graph was
+        materialised from arrays, else the backing python list --
+        either way something ``np.asarray(..., dtype=...)`` accepts.
+        *name* is one of ``src``/``kind``/``lat``/``cat1``/``val1``/
+        ``cat2``/``val2``/``csr``.
+        """
+        cols = self._col_arrays
+        if cols is not None and name in cols:
+            return cols[name]
+        if name == "csr":
+            return self.csr_start
+        return getattr(self, "edge_" + name)
 
     def set_seed(self, latency: int, cat: int = NO_CATEGORY,
                  val: int = 0) -> None:

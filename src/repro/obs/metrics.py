@@ -45,6 +45,47 @@ def derived_summary(collector: Collector) -> List[str]:
     status = collector.notes.get("engine.native_kernel.status")
     if status is not None:
         lines.append(f"native C kernel           : {status}")
+    lines.extend(_pipeline_summary(collector))
+    return lines
+
+
+def _pipeline_summary(collector: Collector) -> List[str]:
+    """Derived pipeline lines: cache warmth, hit rate, shard timing."""
+    lines: List[str] = []
+    state = collector.notes.get("pipeline.cache.state")
+    art_hits = art_misses = 0.0
+    for kind in ("sim", "graph", "meta", "cycles"):
+        art_hits += collector.counter(f"pipeline.cache.{kind}.hit")
+        art_misses += collector.counter(f"pipeline.cache.{kind}.miss")
+    if state is None and (art_hits or art_misses):
+        # paths that use the cache without the full pipeline (e.g.
+        # sensitivity sweeps) derive warmth from the counters
+        state = "warm" if not art_misses else \
+            ("cold" if not art_hits else "mixed")
+    if state is not None or art_hits or art_misses:
+        rate = art_hits / (art_hits + art_misses) \
+            if (art_hits or art_misses) else 0.0
+        lines.append(f"artifact cache            : {state or 'off'} "
+                     f"({rate:.0%} hit rate, {_fmt(art_hits)} hit / "
+                     f"{_fmt(art_misses)} miss)")
+    built = collector.counter("pipeline.window.built")
+    hist = collector.histograms.get("pipeline.window_ms")
+    if built and hist:
+        count, total, lo, hi = hist
+        mean = total / count if count else 0.0
+        windows = collector.gauges.get("pipeline.windows", built)
+        jobs = collector.gauges.get("pipeline.jobs", 1)
+        lines.append(f"pipeline shards           : {_fmt(built)} window(s) "
+                     f"built ({_fmt(windows)} configured, "
+                     f"{_fmt(jobs)} job(s)), "
+                     f"{mean:.1f} ms/window (min {lo:.1f}, max {hi:.1f})")
+    util = collector.gauges.get("pipeline.shard_utilization")
+    if util is not None:
+        lines.append(f"shard utilization         : {util:.0%}")
+    fallback = collector.counter("pipeline.fallback_local")
+    if fallback:
+        lines.append(f"pipeline pool fallbacks   : {_fmt(fallback)} "
+                     f"(ran serially in-process)")
     return lines
 
 

@@ -1,0 +1,42 @@
+"""Segmented parallel analysis pipeline with a content-addressed cache.
+
+Public surface:
+
+- :func:`run_pipeline` / :class:`PipelineOptions` -- the staged
+  simulate -> build -> analyze pipeline (exact by default, opt-in
+  bounded-error windowed mode).
+- :class:`ArtifactCache` and the key helpers -- the content-addressed
+  on-disk store of simulation results and built graphs.
+
+See ``docs/PIPELINE.md`` for the stage/windowing/caching model.
+"""
+
+from repro.pipeline.artifacts import (
+    ArtifactCache,
+    config_fingerprint,
+    graph_key,
+    sim_key,
+    trace_fingerprint,
+)
+from repro.pipeline.runner import (
+    PipelineCostProvider,
+    PipelineOptions,
+    PipelineStats,
+    WindowedCostProvider,
+    open_cache,
+    run_pipeline,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "PipelineCostProvider",
+    "PipelineOptions",
+    "PipelineStats",
+    "WindowedCostProvider",
+    "config_fingerprint",
+    "graph_key",
+    "open_cache",
+    "run_pipeline",
+    "sim_key",
+    "trace_fingerprint",
+]

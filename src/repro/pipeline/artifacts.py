@@ -1,0 +1,345 @@
+"""Content-addressed on-disk artifact cache for the analysis pipeline.
+
+Artifacts are addressed purely by the content of what produced them:
+the key of a cached ``SimResult`` is a digest of the dynamic trace and
+the full :class:`MachineConfig`; the key of a cached graph additionally
+covers the builder options and :data:`GRAPH_MODEL_VERSION`.  Equal
+inputs therefore always hit, and *any* change to a config field, the
+workload spec, or the graph model changes the key -- stale artifacts
+can never be returned, and invalidation is automatic (old entries are
+simply never addressed again).
+
+Layout on disk::
+
+    <root>/<kind>/<key[:2]>/<key>.<ext>
+
+with ``kind`` one of ``sim`` (gzip JSON via :mod:`repro.uarch.persist`),
+``graph`` (``.npz`` edge arrays), ``meta`` (JSON: cycles + instruction
+count, so a warm run can skip loading the full result), and ``cycles``
+(JSON: re-simulated cycle counts for :mod:`repro.analysis.multisim`).
+Writes go through a temporary file in the destination directory and an
+atomic ``os.replace``, so concurrent runs sharing one cache directory
+can only ever observe complete artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import operator
+import os
+import tempfile
+from dataclasses import fields
+from typing import Any, Dict, Optional
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    np = None
+
+import repro.obs as obs
+import repro.graph.builder
+from repro.graph.model import DependenceGraph
+from repro.uarch.config import IdealConfig, MachineConfig
+from repro.uarch.events import InstEvents, SimResult
+from repro.uarch.persist import FORMAT_VERSION, _static_to_dict
+
+#: Environment variable supplying a default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_EXT = {"sim": ".npz", "graph": ".npz", "meta": ".json",
+        "cycles": ".json"}
+
+#: InstEvents columns of the columnar sim artifact, in dataclass order.
+_EVENT_FIELDS = tuple(f.name for f in fields(InstEvents))
+_EVENT_BOOLS = frozenset(f.name for f in fields(InstEvents)
+                         if isinstance(f.default, bool))
+_EVENT_GETTER = operator.attrgetter(*_EVENT_FIELDS)
+
+
+def _digest(payload: Any) -> str:
+    """sha256 hex digest of *payload* rendered as canonical JSON."""
+    blob = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def trace_fingerprint(trace) -> str:
+    """Content digest of a dynamic trace (the workload spec).
+
+    Covers the static program (opcodes, operands, immediates, branch
+    targets) and every dynamic fact graph construction consumes:
+    producers, memory producer, branch outcome, memory address, and the
+    trace's warming annotations.  Memoized on the trace object -- the
+    pipeline fingerprints the same trace at several stages.
+    """
+    cached = getattr(trace, "_repro_fingerprint", None)
+    if cached is not None:
+        return cached
+    header = {
+        "name": trace.name,
+        "program": [_static_to_dict(s) for s in trace.program],
+        "warm_l1": sorted(getattr(trace, "warm_l1_ranges", []) or []),
+        "warm_l2": sorted(getattr(trace, "warm_l2_ranges", []) or []),
+    }
+    hasher = hashlib.sha256()
+    hasher.update(json.dumps(header, sort_keys=True,
+                             separators=(",", ":")).encode())
+    # the per-instruction dynamic facts are hashed as fixed-endian
+    # int64 bytes -- orders of magnitude cheaper than rendering tens of
+    # thousands of rows to JSON, and just as content-defined.  Variable
+    # -length producer tuples are flattened with explicit counts so the
+    # encoding stays unambiguous.
+    rows = []
+    prods = []
+    for dyn in trace.insts:
+        rows.append((dyn.pc, dyn.next_pc, int(dyn.taken),
+                     -1 if dyn.mem_addr is None else dyn.mem_addr,
+                     dyn.mem_producer, len(dyn.src_producers)))
+        prods.extend(dyn.src_producers)
+    if np is not None:
+        hasher.update(np.asarray(rows, dtype="<i8").tobytes())
+        hasher.update(np.asarray(prods, dtype="<i8").tobytes())
+    else:  # pragma: no cover - numpy ships with the package
+        hasher.update(json.dumps([rows, prods],
+                                 separators=(",", ":")).encode())
+    digest = hasher.hexdigest()
+    try:
+        trace._repro_fingerprint = digest
+    except AttributeError:  # pragma: no cover - slotted trace stand-ins
+        pass
+    return digest
+
+
+def config_fingerprint(config: MachineConfig) -> str:
+    """Digest over *every* field of the machine configuration."""
+    return _digest({f.name: getattr(config, f.name)
+                    for f in fields(MachineConfig)})
+
+
+def sim_key(trace, config: MachineConfig,
+            ideal_categories=()) -> str:
+    """Cache key of one simulation: workload x machine x idealization."""
+    return _digest({
+        "kind": "sim",
+        "format": FORMAT_VERSION,
+        "trace": trace_fingerprint(trace),
+        "config": config_fingerprint(config),
+        "ideal": sorted(str(c) for c in ideal_categories),
+    })
+
+
+def graph_key(trace, config: MachineConfig, *,
+              breaks: bool = True,
+              window: Optional[tuple] = None,
+              ideal_categories=()) -> str:
+    """Cache key of a built graph (monolithic or one window of it)."""
+    return _digest({
+        "kind": "graph",
+        # read through the module so a version bump (even a
+        # monkeypatched one) always reaches the key
+        "model": repro.graph.builder.GRAPH_MODEL_VERSION,
+        "sim": sim_key(trace, config, ideal_categories),
+        "breaks": bool(breaks),
+        "window": list(window) if window else None,
+    })
+
+
+class ArtifactCache:
+    """Content-addressed store of pipeline artifacts.
+
+    *root* is the cache directory; ``None`` consults the
+    :data:`CACHE_DIR_ENV` environment variable, and a cache with no
+    root is *disabled*: every lookup misses and every store is a no-op,
+    so callers never need to special-case ``--no-cache``.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or None
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    # -- pathing -------------------------------------------------------
+
+    def path_for(self, kind: str, key: str) -> str:
+        """On-disk location of the *kind* artifact addressed by *key*."""
+        if not self.enabled:
+            raise RuntimeError("artifact cache is disabled")
+        return os.path.join(self.root, kind, key[:2], key + _EXT[kind])
+
+    def _lookup(self, kind: str, key: str) -> Optional[str]:
+        if not self.enabled:
+            return None
+        path = self.path_for(kind, key)
+        if os.path.exists(path):
+            self.hits += 1
+            obs.count(f"pipeline.cache.{kind}.hit")
+            return path
+        self.misses += 1
+        obs.count(f"pipeline.cache.{kind}.miss")
+        return None
+
+    def _store(self, kind: str, key: str, writer) -> None:
+        """Atomically publish one artifact via tmp-file + rename."""
+        if not self.enabled:
+            return
+        path = self.path_for(kind, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        os.close(fd)
+        try:
+            writer(tmp)
+            os.replace(tmp, path)
+            self.stores += 1
+            obs.count(f"pipeline.cache.{kind}.store")
+        finally:
+            if os.path.exists(tmp):  # writer failed before replace
+                os.unlink(tmp)
+
+    # -- simulation results --------------------------------------------
+    #
+    # Stored columnar (one int64 matrix of InstEvents fields) rather
+    # than through repro.uarch.persist's self-contained gzip JSON: the
+    # cache caller always holds the trace and config -- they are in the
+    # key -- so the artifact only needs the timing events, and a cold
+    # store costs milliseconds instead of rivalling the simulation it
+    # is saving.
+
+    def get_sim(self, key: str, trace=None,
+                config: Optional[MachineConfig] = None
+                ) -> Optional[SimResult]:
+        """Reattach a cached simulation to *trace* x *config*.
+
+        Both must be the objects the key was derived from (content
+        addressing guarantees they describe the same run).
+        """
+        if np is None:
+            return None
+        path = self._lookup("sim", key)
+        if path is None:
+            return None
+        if trace is None or config is None:
+            raise TypeError("get_sim needs the trace and config the "
+                            "key was derived from")
+        with np.load(path) as data:
+            head = json.loads(bytes(bytearray(data["head"])).decode())
+            mat = data["events"]
+        names = head["fields"]
+        columns = []
+        for j, name in enumerate(names):
+            col = mat[:, j]
+            columns.append(col.astype(bool).tolist()
+                           if name in _EVENT_BOOLS else col.tolist())
+        if tuple(names) == _EVENT_FIELDS:  # fast positional path
+            events = [InstEvents(*row) for row in zip(*columns)]
+        else:  # field set evolved since the artifact was written
+            events = [InstEvents(**dict(zip(names, row)))
+                      for row in zip(*columns)]
+        ideal = IdealConfig.for_categories(head["ideal"]) \
+            if head["ideal"] else IdealConfig()
+        return SimResult(trace=trace, config=config, ideal=ideal,
+                         events=events, cycles=head["cycles"],
+                         stats=dict(head["stats"]))
+
+    def put_sim(self, key: str, result: SimResult) -> None:
+        """Store *result*'s timing events columnar under *key*."""
+        if np is None or not self.enabled:
+            return
+
+        def writer(tmp: str) -> None:
+            mat = np.asarray(
+                [_EVENT_GETTER(ev) for ev in result.events],
+                dtype=np.int64).reshape(-1, len(_EVENT_FIELDS))
+            head = json.dumps({
+                "format": FORMAT_VERSION,
+                "fields": list(_EVENT_FIELDS),
+                "cycles": result.cycles,
+                "stats": dict(result.stats),
+                "ideal": list(result.ideal.active()) if result.ideal
+                else [],
+            }, sort_keys=True, separators=(",", ":")).encode()
+            with open(tmp, "wb") as handle:
+                np.savez(handle, events=mat,
+                         head=np.frombuffer(head, dtype=np.uint8))
+
+        self._store("sim", key, writer)
+
+    # -- built graphs --------------------------------------------------
+
+    def get_graph(self, key: str) -> Optional[DependenceGraph]:
+        """Rebuild the cached dependence graph under *key*, or None."""
+        if np is None:
+            return None
+        path = self._lookup("graph", key)
+        if path is None:
+            return None
+        with np.load(path) as data:
+            graph = DependenceGraph(int(data["num_insts"]))
+            cols = {name: np.ascontiguousarray(data[name], dtype=np.int64)
+                    for name in ("src", "kind", "lat", "cat1", "val1",
+                                 "cat2", "val2", "csr")}
+            graph.edge_src = cols["src"].tolist()
+            graph.edge_kind = cols["kind"].tolist()
+            graph.edge_lat = cols["lat"].tolist()
+            graph.edge_cat1 = cols["cat1"].tolist()
+            graph.edge_val1 = cols["val1"].tolist()
+            graph.edge_cat2 = cols["cat2"].tolist()
+            graph.edge_val2 = cols["val2"].tolist()
+            graph.csr_start = cols["csr"].tolist()
+            graph._col_arrays = cols
+            seed = data["seed"]
+            graph.set_seed(int(seed[0]), int(seed[1]), int(seed[2]))
+        graph._cur_dst = graph.num_nodes
+        graph._finalized = True
+        return graph
+
+    def put_graph(self, key: str, graph: DependenceGraph) -> None:
+        """Store *graph*'s edge columns and seed under *key*."""
+        if np is None or not self.enabled:
+            return
+
+        def writer(tmp: str) -> None:
+            col = graph.column_data
+            arrays = {
+                "num_insts": np.int64(graph.num_insts),
+                "seed": np.asarray(
+                    [graph.seed_lat, graph.seed_cat, graph.seed_val],
+                    dtype=np.int64),
+            }
+            for name in ("src", "kind", "lat", "cat1", "val1", "cat2",
+                         "val2", "csr"):
+                arrays[name] = np.asarray(col(name), dtype=np.int64)
+            # uncompressed: store time must stay small next to the
+            # build it is caching.  np.savez appends .npz when missing;
+            # write through a handle so the tmp path is honoured exactly
+            with open(tmp, "wb") as handle:
+                np.savez(handle, **arrays)
+
+        self._store("graph", key, writer)
+
+    # -- small JSON artifacts (meta, multisim cycles) ------------------
+
+    def get_json(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
+        """Load the small JSON artifact of *kind* under *key*, or None."""
+        path = self._lookup(kind, key)
+        if path is None:
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def put_json(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
+        """Store *payload* as the JSON artifact of *kind* under *key*."""
+        def writer(tmp: str) -> None:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True,
+                          separators=(",", ":"))
+
+        self._store(kind, key, writer)

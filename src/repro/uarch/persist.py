@@ -114,11 +114,15 @@ def result_from_dict(data: dict) -> SimResult:
                      stats=dict(data["stats"]))
 
 
-def save_result(result: SimResult, path) -> None:
-    """Write *result* to *path* (gzip-compressed JSON)."""
+def save_result(result: SimResult, path, compresslevel: int = 9) -> None:
+    """Write *result* to *path* (gzip-compressed JSON).
+
+    *compresslevel* trades disk for time; the artifact cache writes at
+    level 1, where compression is a small fraction of a cold store.
+    """
     payload = json.dumps(result_to_dict(result),
                          separators=(",", ":")).encode()
-    with gzip.open(path, "wb") as handle:
+    with gzip.open(path, "wb", compresslevel=compresslevel) as handle:
         handle.write(payload)
 
 

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.analysis.graphsim import analyze_trace
-from repro.analysis.sampled import SampledGraphProvider, analyze_trace_sampled
+from repro.analysis.sampled import (SampledGraphProvider, WindowedRun,
+                                   analyze_trace_sampled)
 from repro.core import Category, interaction_breakdown
 from repro.core.categories import EventSelection
 from repro.uarch import MachineConfig, simulate
@@ -90,3 +91,74 @@ class TestAccuracy:
         b = analyze_trace_sampled(trace, cfg, seed=4)
         assert a.total == b.total
         assert a.cost([Category.WIN]) == b.cost([Category.WIN])
+
+
+class TestWindowBorders:
+    """WindowedRun border semantics: everything referring to before the
+    window becomes out-of-trace (-1); on-boundary references survive,
+    rebased to zero.  The pipeline's bounded-error mode (and the
+    profiler's fragments) rely on exactly these rules."""
+
+    def test_producers_rebased_or_clamped(self, gzip_run):
+        __, __, result = gzip_run
+        start, length = 30, 200
+        window = WindowedRun(result, start, length)
+        for i, inst in enumerate(window.insts):
+            orig = result.trace.insts[start + i]
+            assert inst.seq == orig.seq - start
+            assert inst.src_producers == tuple(
+                p - start if p >= start else -1
+                for p in orig.src_producers)
+
+    def test_mem_producer_before_window_is_out_of_trace(self):
+        from repro.isa import Executor, ProgramBuilder
+
+        # a fixed-address store/load loop: every iteration's load
+        # forwards from the previous iteration's store
+        b = ProgramBuilder("mem-forwarding-loop")
+        b.addi(1, 0, 0x2000)
+        b.addi(2, 0, 30)
+        b.label("top")
+        b.ld(3, 1, 0)
+        b.addi(3, 3, 1)
+        b.st(3, 1, 0)
+        b.addi(2, 2, -1)
+        b.bne(2, 0, "top")
+        b.halt()
+        result = simulate(Executor(b.build()).run(), MachineConfig())
+        crossings = [i for i, inst in enumerate(result.trace.insts)
+                     if 0 <= inst.mem_producer < i]
+        assert crossings, "fixture run has no memory producers"
+        consumer = crossings[-1]
+        partner = result.trace.insts[consumer].mem_producer
+        window = WindowedRun(result, partner + 1, 100)
+        assert window.insts[consumer - partner - 1].mem_producer == -1
+        # same consumer, window starting ON the producer: it survives at 0
+        window = WindowedRun(result, partner, 100)
+        assert window.insts[consumer - partner].mem_producer == 0
+
+    def test_pp_partner_before_window_is_out_of_trace(self, gzip_run):
+        __, __, result = gzip_run
+        pairs = [(i, ev.pp_partner) for i, ev in enumerate(result.events)
+                 if ev.pp_partner >= 0]
+        assert pairs, "fixture run has no cache-line sharing pairs"
+        consumer, partner = pairs[0]
+        window = WindowedRun(result, partner + 1, 100)
+        assert window.events[consumer - partner - 1].pp_partner == -1
+
+    def test_pp_partner_on_window_boundary_survives(self, gzip_run):
+        __, __, result = gzip_run
+        pairs = [(i, ev.pp_partner) for i, ev in enumerate(result.events)
+                 if ev.pp_partner >= 0]
+        assert pairs, "fixture run has no cache-line sharing pairs"
+        consumer, partner = pairs[0]
+        window = WindowedRun(result, partner, 100)
+        assert window.events[consumer - partner].pp_partner == 0
+
+    def test_window_clips_at_run_end(self, gzip_run):
+        __, __, result = gzip_run
+        n = len(result.events)
+        window = WindowedRun(result, n - 10, 100)
+        assert len(window) == 10
+        assert len(window.events) == len(window.insts)
+        assert window.trace is window

@@ -59,3 +59,29 @@ class TestNormalizeTargets:
     def test_rejects_strings(self):
         with pytest.raises(TypeError):
             normalize_targets(["dl1"])
+
+
+class TestCanonicalTargetKeys:
+    def test_order_independent(self):
+        from repro.core.categories import canonical_target_keys
+
+        a = canonical_target_keys([Category.DL1, Category.WIN])
+        b = canonical_target_keys([Category.WIN, Category.DL1])
+        assert a == b
+        assert canonical_target_keys([Category.DL1]) != a
+
+    def test_selection_key_sorts_seqs_and_drops_name(self):
+        from repro.core.categories import target_key
+
+        a = target_key(EventSelection(Category.DMISS, frozenset({5, 1, 9}),
+                                      name="x"))
+        b = target_key(EventSelection(Category.DMISS, frozenset({9, 5, 1}),
+                                      name="y"))
+        assert a == b
+        assert "x" not in a and "y" not in a
+
+    def test_rejects_unknown_targets(self):
+        from repro.core.categories import target_key
+
+        with pytest.raises(TypeError):
+            target_key("dl1")

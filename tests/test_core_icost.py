@@ -158,3 +158,51 @@ class TestGroupNormalisation:
     def test_invalid_member_rejected(self):
         with pytest.raises(TypeError):
             as_group(["dl1"])
+
+
+class TestCanonicalCacheKeys:
+    """The memo key is order- and name-insensitive: {a, b} == {b, a}.
+
+    frozenset iteration order for enums is id-based and varies across
+    processes, so without canonicalisation the same target set could
+    miss its own cache entry (docs/PIPELINE.md, "Key definition").
+    """
+
+    class _CountingProvider:
+        def __init__(self):
+            self.calls = 0
+
+        def cost(self, targets):
+            self.calls += 1
+            return 7.0
+
+        @property
+        def total(self):
+            return 100.0
+
+    def test_reordered_set_hits_the_memo(self):
+        inner = self._CountingProvider()
+        provider = CachingCostProvider(inner)
+        assert provider.cost([DL1, WIN, DMISS]) == 7.0
+        assert provider.cost([DMISS, DL1, WIN]) == 7.0
+        assert provider.cost([WIN, DMISS, DL1]) == 7.0
+        assert inner.calls == 1
+
+    def test_selection_name_is_not_part_of_the_key(self):
+        from repro.core.categories import EventSelection
+
+        inner = self._CountingProvider()
+        provider = CachingCostProvider(inner)
+        a = EventSelection(DMISS, frozenset({3, 1, 2}), name="first")
+        b = EventSelection(DMISS, frozenset({2, 3, 1}), name="second")
+        assert provider.cost([a]) == provider.cost([b])
+        assert inner.calls == 1
+
+    def test_prefetch_skips_canonically_cached_sets(self):
+        inner = self._CountingProvider()
+        inner.prefetch = lambda keys: pytest.fail(
+            "prefetch should have been empty")
+        provider = CachingCostProvider(inner)
+        provider.cost([DL1, WIN])
+        provider.prefetch([[WIN, DL1]])  # already cached, reordered
+        assert inner.calls == 1
