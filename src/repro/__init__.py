@@ -60,12 +60,15 @@ def quick_breakdown(trace, focus=None, config=None):
 
     *focus* may be a :class:`Category` or its string value (e.g.
     ``"dl1"``); when given, pairwise interaction rows with every other
-    base category are included.
+    base category are included.  Runs through an ephemeral
+    :class:`repro.session.AnalysisSession`, so a configured artifact
+    cache (``$REPRO_CACHE_DIR``) applies here too.
     """
-    from repro.graph import GraphCostAnalyzer, build_graph
+    from repro.session import AnalysisSession
 
     if isinstance(focus, str):
         focus = Category(focus)
-    result = simulate(trace, config=config)
-    analyzer = GraphCostAnalyzer(build_graph(result))
-    return interaction_breakdown(analyzer, focus=focus, workload=trace.name)
+    session = AnalysisSession.for_trace(trace, config=config)
+    provider = session.graph_provider()
+    return interaction_breakdown(provider.analyzer, focus=focus,
+                                 workload=trace.name)

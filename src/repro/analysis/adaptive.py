@@ -27,7 +27,6 @@ from repro.analysis.graphsim import GraphCostProvider
 from repro.core.categories import Category
 from repro.isa.trace import Trace
 from repro.uarch.config import MachineConfig
-from repro.uarch.core import simulate
 
 
 def slice_trace(trace: Trace, start: int, length: int) -> Trace:
@@ -123,7 +122,7 @@ def _power_proxy(config: MachineConfig, cycles: int) -> float:
 
 
 def _graph_measure(segment: Trace, config: MachineConfig,
-                   result) -> Tuple[float, float]:
+                   result, session=None) -> Tuple[float, float]:
     """(win %, bw %) of a segment via the in-simulator graph."""
     provider = GraphCostProvider(result)
     total = provider.total
@@ -132,7 +131,7 @@ def _graph_measure(segment: Trace, config: MachineConfig,
 
 
 def _profiler_measure(segment: Trace, config: MachineConfig,
-                      result) -> Tuple[float, float]:
+                      result, session=None) -> Tuple[float, float]:
     """(win %, bw %) via the shotgun profiler -- what real hardware has.
 
     A deployed controller would read performance-monitor samples; here
@@ -144,7 +143,8 @@ def _profiler_measure(segment: Trace, config: MachineConfig,
 
     monitor = MonitorConfig(signature_length=min(400, len(segment.insts)),
                             signature_interval=200)
-    provider = profile_trace(segment, config, monitor=monitor, fragments=4)
+    provider = profile_trace(segment, config, monitor=monitor, fragments=4,
+                             session=session)
     total = provider.total
     return (100.0 * provider.cost([Category.WIN]) / total,
             100.0 * provider.cost([Category.BW]) / total)
@@ -155,13 +155,19 @@ MEASURES = {"graph": _graph_measure, "profiler": _profiler_measure}
 
 def run_adaptive(trace: Trace, controller: Optional[AdaptiveController] = None,
                  segment_length: int = 400,
-                 measure: str = "graph") -> AdaptiveResult:
+                 measure: str = "graph", session=None) -> AdaptiveResult:
     """Run *trace* under the adaptive policy and under the fixed machine.
 
     *measure* selects the cost source the controller reads: ``"graph"``
     (in-simulator) or ``"profiler"`` (shotgun samples only -- the
-    deployable version).
+    deployable version).  Segment simulations are content-addressed in
+    the session, so a segment the adaptive run executed at the baseline
+    configuration is not re-simulated by the baseline loop.
     """
+    if session is None:
+        from repro.session import AnalysisSession
+
+        session = AnalysisSession.for_trace(trace)
     controller = controller or AdaptiveController()
     measure_fn = MEASURES[measure]
     base = controller.base
@@ -175,8 +181,9 @@ def run_adaptive(trace: Trace, controller: Optional[AdaptiveController] = None,
         segment = slice_trace(trace, start, segment_length)
         config = base.with_(window_size=window, issue_width=width,
                             fetch_width=width, commit_width=width)
-        result = simulate(segment, config)
-        win_pct, bw_pct = measure_fn(segment, config, result)
+        result = session.simulate(config=config, trace=segment)
+        win_pct, bw_pct = measure_fn(segment, config, result,
+                                     session=session)
         next_window, next_width = controller.decide(
             win_pct, bw_pct, window, width)
         segments.append(SegmentDecision(
@@ -191,7 +198,7 @@ def run_adaptive(trace: Trace, controller: Optional[AdaptiveController] = None,
     baseline_power = 0.0
     for start in range(0, n, segment_length):
         segment = slice_trace(trace, start, segment_length)
-        result = simulate(segment, base)
+        result = session.simulate(config=base, trace=segment)
         baseline_cycles += result.cycles
         baseline_power += _power_proxy(base, result.cycles)
 

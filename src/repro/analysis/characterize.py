@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.graphsim import analyze_trace
 from repro.core.categories import BASE_CATEGORIES, Category
 from repro.core.icost import CachingCostProvider, icost_pair
 from repro.uarch.config import MachineConfig
@@ -52,9 +51,14 @@ class Characterization:
 
 
 def characterize_trace(trace, config: Optional[MachineConfig] = None,
-                       ) -> Characterization:
+                       session=None) -> Characterization:
     """Fingerprint one trace: dominant bottleneck plus its partners."""
-    provider = CachingCostProvider(analyze_trace(trace, config))
+    if session is None:
+        from repro.session import AnalysisSession
+
+        session = AnalysisSession.for_trace(trace, config=config)
+    provider = CachingCostProvider(
+        session.graph_provider(config=config, trace=trace))
     total = provider.total
     costs = {c.value: 100.0 * provider.cost([c]) / total
              for c in BASE_CATEGORIES}
@@ -83,10 +87,16 @@ def characterize_trace(trace, config: Optional[MachineConfig] = None,
 def characterize_suite(names: Sequence[str] = WORKLOAD_NAMES,
                        config: Optional[MachineConfig] = None,
                        scale: float = 1.0,
-                       seed: int = 0) -> List[Characterization]:
-    """Fingerprint every workload in *names*."""
+                       seed: int = 0,
+                       session=None) -> List[Characterization]:
+    """Fingerprint every workload in *names* (sharing one session)."""
+    if session is None:
+        from repro.session import AnalysisSession, RunConfig
+
+        session = AnalysisSession(RunConfig(machine=config, scale=scale,
+                                            seed=seed))
     return [characterize_trace(get_workload(name, scale=scale, seed=seed),
-                               config)
+                               config, session=session)
             for name in names]
 
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.graphsim import analyze_trace
 from repro.core.breakdown import Breakdown, interaction_breakdown
 from repro.core.categories import Category
 from repro.isa.trace import Trace
@@ -79,16 +78,23 @@ def diff_breakdowns(before: Breakdown, after: Breakdown) -> BreakdownDelta:
 
 def compare_configs(trace: Trace, before: MachineConfig,
                     after: MachineConfig,
-                    focus: Optional[Category] = None) -> BreakdownDelta:
+                    focus: Optional[Category] = None,
+                    session=None) -> BreakdownDelta:
     """Analyse *trace* under two machines and diff the breakdowns.
 
     The classic check: after applying the fix an icost analysis
     recommended, did the targeted category's cycles actually leave --
     and where did the freed time reappear (the secondary bottleneck the
-    paper says cost analysis reveals)?
+    paper says cost analysis reveals)?  Both analyses share one
+    session, so a configuration already simulated (e.g. the baseline of
+    an earlier breakdown) is reused.
     """
-    a = interaction_breakdown(analyze_trace(trace, before), focus=focus,
-                              workload=trace.name)
-    b = interaction_breakdown(analyze_trace(trace, after), focus=focus,
-                              workload=trace.name)
+    if session is None:
+        from repro.session import AnalysisSession
+
+        session = AnalysisSession.for_trace(trace)
+    a = interaction_breakdown(session.graph_provider(config=before),
+                              focus=focus, workload=trace.name)
+    b = interaction_breakdown(session.graph_provider(config=after),
+                              focus=focus, workload=trace.name)
     return diff_breakdowns(a, b)

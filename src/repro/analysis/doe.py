@@ -26,7 +26,15 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.isa.trace import Trace
 from repro.uarch.config import MachineConfig
-from repro.uarch.core import simulate
+
+
+def _session_for(trace: Trace, session):
+    """The session a design runs through (ephemeral when none given)."""
+    if session is None:
+        from repro.session import AnalysisSession
+
+        session = AnalysisSession.for_trace(trace)
+    return session
 
 
 @dataclass(frozen=True)
@@ -74,18 +82,28 @@ class FactorialResult:
 
 
 def full_factorial(trace: Trace, factors: Sequence[Factor],
-                   config: Optional[MachineConfig] = None) -> FactorialResult:
-    """Run the 2^k design and compute effects and variance components."""
+                   config: Optional[MachineConfig] = None,
+                   session=None) -> FactorialResult:
+    """Run the 2^k design and compute effects and variance components.
+
+    The design's simulations go through the session sweep, so factor
+    settings that collapse onto the same machine configuration (and
+    points shared with other designs on the same session) are simulated
+    once.
+    """
     if not factors:
         raise ValueError("need at least one factor")
     base = config or MachineConfig()
     factors = tuple(factors)
-    runs: Dict[Tuple[int, ...], int] = {}
-    for levels in product((-1, 1), repeat=len(factors)):
+    rows = list(product((-1, 1), repeat=len(factors)))
+    grid = []
+    for levels in rows:
         cfg = base
         for factor, level in zip(factors, levels):
             cfg = factor.apply(cfg, level)
-        runs[levels] = simulate(trace, cfg).cycles
+        grid.append(cfg)
+    cycles = _session_for(trace, session).sweep(grid, trace=trace)
+    runs: Dict[Tuple[int, ...], int] = dict(zip(rows, cycles))
 
     result = FactorialResult(factors=factors, runs=runs)
     n = len(runs)
@@ -115,8 +133,8 @@ def full_factorial(trace: Trace, factors: Sequence[Factor],
 
 
 def plackett_burman_fraction(trace: Trace, factors: Sequence[Factor],
-                             config: Optional[MachineConfig] = None
-                             ) -> Dict[str, float]:
+                             config: Optional[MachineConfig] = None,
+                             session=None) -> Dict[str, float]:
     """A resolution-III fraction: main effects from k+1-ish runs.
 
     For up to three factors this uses the classic half-fraction
@@ -131,12 +149,14 @@ def plackett_burman_fraction(trace: Trace, factors: Sequence[Factor],
     # half fraction: keep runs where the product of levels is +1
     rows = [levels for levels in product((-1, 1), repeat=3)
             if levels[0] * levels[1] * levels[2] == 1]
-    runs = {}
+    grid = []
     for levels in rows:
         cfg = base
         for factor, level in zip(factors, levels):
             cfg = factor.apply(cfg, level)
-        runs[levels] = simulate(trace, cfg).cycles
+        grid.append(cfg)
+    cycles = _session_for(trace, session).sweep(grid, trace=trace)
+    runs = dict(zip(rows, cycles))
     effects = {}
     for i, factor in enumerate(factors):
         contrast = sum(levels[i] * y for levels, y in runs.items())

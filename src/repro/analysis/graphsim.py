@@ -2,7 +2,10 @@
 
 Simulates once, builds the microexecution graph, and answers every
 cost query by graph idealization -- the efficient methodology the paper
-advocates over 2^n re-simulations.
+advocates over 2^n re-simulations.  Simulation goes through an
+:class:`repro.session.AnalysisSession`, so repeated analyses of the
+same (trace, config) pair share one simulator run and the artifact
+cache applies automatically.
 """
 
 from __future__ import annotations
@@ -11,11 +14,10 @@ from typing import Iterable, Optional
 
 import repro.obs as obs
 from repro.core.icost import Target
-from repro.graph.builder import build_graph
+from repro.graph.builder import GraphBuilder
 from repro.graph.cost import GraphCostAnalyzer
 from repro.isa.trace import Trace
 from repro.uarch.config import MachineConfig
-from repro.uarch.core import simulate
 from repro.uarch.events import SimResult
 
 
@@ -30,7 +32,7 @@ class GraphCostProvider:
                  model_taken_branch_breaks: bool = True,
                  engine=None) -> None:
         self.result = result
-        self.graph = build_graph(result, model_taken_branch_breaks)
+        self.graph = GraphBuilder(model_taken_branch_breaks).build(result)
         self._analyzer = GraphCostAnalyzer(self.graph, engine=engine)
 
     def cost(self, targets: Iterable[Target]) -> float:
@@ -57,15 +59,28 @@ class GraphCostProvider:
 
     @property
     def analyzer(self) -> GraphCostAnalyzer:
+        """The underlying :class:`GraphCostAnalyzer`."""
         return self._analyzer
 
 
 def analyze_trace(trace: Trace, config: Optional[MachineConfig] = None,
                   model_taken_branch_breaks: bool = True,
-                  engine=None) -> GraphCostProvider:
-    """Simulate *trace* on *config* and wrap it in a graph cost provider."""
+                  engine=None, session=None) -> GraphCostProvider:
+    """Simulate *trace* on *config* and wrap it in a graph cost provider.
+
+    *session* optionally supplies the :class:`repro.session.AnalysisSession`
+    whose memo/artifact cache the simulation goes through; without one an
+    ephemeral session is created, which preserves the historical one-shot
+    behaviour.
+    """
     with obs.span("analysis.analyze_trace",
                   engine=getattr(engine, "name", engine) or "naive"):
-        result = simulate(trace, config=config)
+        if session is None:
+            from repro.session import AnalysisSession
+
+            session = AnalysisSession.for_trace(
+                trace, config=config,
+                model_taken_branch_breaks=model_taken_branch_breaks)
+        result = session.simulate(config=config, trace=trace)
         return GraphCostProvider(result, model_taken_branch_breaks,
                                  engine=engine)

@@ -5,36 +5,24 @@ is measured by actually re-running the simulator with every category
 in *S* idealized (Table 1 switches).  Exponential in the number of
 event classes -- which is exactly why the graph/profiler alternatives
 exist -- but exact by construction.
+
+All simulator runs go through an
+:class:`repro.session.AnalysisSession`, whose canonical content-
+addressed keys (workload x machine config x sorted idealization set)
+memoise each distinct configuration exactly once -- in memory within a
+process and, with an artifact cache configured, on disk across
+processes.  The provider keeps no cycle store of its own.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, FrozenSet, Iterable, List, Optional
+from typing import FrozenSet, Iterable, List, Optional, Set
 
 from repro.core.categories import Category, EventSelection, normalize_targets
 from repro.core.icost import Target
 from repro.isa.trace import Trace
-from repro.uarch.config import IdealConfig, MachineConfig
-from repro.uarch.core import simulate
-
-# process-pool worker state: the trace/config ship once per worker
-_worker_sim = None
-
-
-def _init_sim_worker(trace: Trace, config: MachineConfig,
-                     env=None) -> None:
-    global _worker_sim
-    from repro.graph.engine import apply_child_env
-
-    apply_child_env(env, seed_tag="multisim-pool")
-    _worker_sim = (trace, config)
-
-
-def _sim_worker_cycles(key: FrozenSet[Category]) -> int:
-    trace, config = _worker_sim
-    ideal = IdealConfig.for_categories(key)
-    return simulate(trace, config=config, ideal=ideal).cycles
+from repro.uarch.config import MachineConfig
 
 
 class MultiSimCostProvider:
@@ -50,21 +38,29 @@ class MultiSimCostProvider:
     *max_workers* bounds the process pool :meth:`prefetch` uses to fan
     the 2^n independent idealized simulations of a power-set breakdown
     out in parallel; ``None`` sizes it from the CPU count, and pools
-    are skipped entirely on single-core machines.
+    are skipped entirely on single-core machines.  *session* optionally
+    shares an existing :class:`repro.session.AnalysisSession` (and its
+    memoised runs); *cache* injects an artifact cache into the
+    ephemeral session otherwise created.
     """
 
     def __init__(self, trace: Trace,
                  config: Optional[MachineConfig] = None,
                  max_workers: Optional[int] = None,
-                 cache=None) -> None:
+                 cache=None, session=None) -> None:
         self.trace = trace
-        self.config = config or MachineConfig()
+        if session is None:
+            from repro.session import AnalysisSession
+
+            session = AnalysisSession.for_trace(trace, config=config,
+                                                cache=cache)
+        self.session = session
+        self.config = config or session.machine
         self.max_workers = max_workers
-        #: optional :class:`repro.pipeline.artifacts.ArtifactCache`;
-        #: re-simulated cycle counts are content-addressed by workload x
-        #: config x idealization, so repeated sweeps skip the simulator
-        self._cache = cache
-        self._cycles: Dict[FrozenSet[Category], int] = {}
+        #: distinct idealization sets this provider has measured -- the
+        #: 2^n simulation-count bookkeeping (the session may serve some
+        #: from its memo or the artifact cache without re-simulating)
+        self._seen: Set[FrozenSet[Category]] = set()
         self.base_cycles = self.cycles_with(frozenset())
 
     # ------------------------------------------------------------------
@@ -72,37 +68,14 @@ class MultiSimCostProvider:
     def cycles_with(self, categories: FrozenSet[Category]) -> int:
         """Execution time with *categories* idealized (memoised).
 
-        With an artifact cache attached the cycle count is also
-        content-addressed on disk, so a repeated sweep (sensitivity
-        curves, the EXPERIMENTS suite) skips the simulator entirely.
+        The session content-addresses the cycle count, so a repeated
+        sweep (sensitivity curves, the EXPERIMENTS suite) skips the
+        simulator entirely.
         """
         key = frozenset(categories)
-        cached = self._cycles.get(key)
-        if cached is None:
-            cached = self._disk_get(key)
-        if cached is None:
-            ideal = IdealConfig.for_categories(key)
-            cached = simulate(self.trace, config=self.config, ideal=ideal).cycles
-            self._disk_put(key, cached)
-        self._cycles[key] = cached
-        return cached
-
-    def _disk_key(self, key: FrozenSet[Category]) -> str:
-        from repro.pipeline.artifacts import sim_key
-
-        return sim_key(self.trace, self.config, key)
-
-    def _disk_get(self, key: FrozenSet[Category]) -> Optional[int]:
-        if self._cache is None or not self._cache.enabled:
-            return None
-        payload = self._cache.get_json("cycles", self._disk_key(key))
-        return None if payload is None else int(payload["cycles"])
-
-    def _disk_put(self, key: FrozenSet[Category], cycles: int) -> None:
-        if self._cache is None or not self._cache.enabled:
-            return
-        self._cache.put_json("cycles", self._disk_key(key),
-                             {"cycles": int(cycles)})
+        self._seen.add(key)
+        return self.session.cycles(config=self.config, ideal=key,
+                                   trace=self.trace)
 
     def cost(self, targets: Iterable[Target]) -> float:
         """Cycles saved, measured by actually re-simulating."""
@@ -112,50 +85,27 @@ class MultiSimCostProvider:
         """Run the simulations for many target sets, in parallel if useful.
 
         The idealized re-simulations of a breakdown are independent, so
-        they fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`;
-        any pool failure (or a single-core machine) degrades to the
-        serial loop.  Results land in the same memo ``cost`` reads.
+        the session fans the cold ones out over a process pool; cached
+        points (memo or disk) are never dispatched.  Results land in
+        the same session memo ``cost`` reads.
         """
         keys: List[FrozenSet[Category]] = []
         seen = set()
         for targets in target_sets:
             key = self._key(targets)
-            if key not in self._cycles and key not in seen:
+            if key not in seen:
                 seen.add(key)
                 keys.append(key)
-        # drain the on-disk cache first so only genuinely new
-        # configurations are dispatched to the pool
-        for key in list(keys):
-            cycles = self._disk_get(key)
-            if cycles is not None:
-                self._cycles[key] = cycles
-                keys.remove(key)
         if not keys:
             return
-        workers = self.max_workers or (os.cpu_count() or 1)
-        workers = min(workers, len(keys))
-        if workers > 1:
-            try:
-                from concurrent.futures import ProcessPoolExecutor
-
-                from repro.graph.engine import child_env
-
-                with ProcessPoolExecutor(
-                        max_workers=workers, initializer=_init_sim_worker,
-                        initargs=(self.trace, self.config,
-                                  child_env())) as pool:
-                    for key, cycles in zip(keys, pool.map(
-                            _sim_worker_cycles, keys)):
-                        self._cycles[key] = cycles
-                        self._disk_put(key, cycles)
-                return
-            except Exception:
-                pass  # fall through to the exact serial loop
-        for key in keys:
-            self.cycles_with(key)
+        self._seen.update(keys)
+        jobs = self.max_workers or (os.cpu_count() or 1)
+        self.session.sweep([(self.config, key) for key in keys],
+                           jobs=jobs, trace=self.trace)
 
     @staticmethod
     def _key(targets: Iterable[Target]) -> FrozenSet[Category]:
+        """Normalise *targets*, rejecting per-instruction selections."""
         key = normalize_targets(targets)
         for t in key:
             if isinstance(t, EventSelection):
@@ -167,9 +117,10 @@ class MultiSimCostProvider:
 
     @property
     def total(self) -> float:
+        """Baseline execution time (the breakdown denominator)."""
         return float(self.base_cycles)
 
     @property
     def simulations(self) -> int:
         """Number of distinct simulator runs so far (for the 2^n point)."""
-        return len(self._cycles)
+        return len(self._seen)

@@ -14,11 +14,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.adaptive import slice_trace
-from repro.analysis.graphsim import GraphCostProvider
 from repro.core.categories import BASE_CATEGORIES, Category
 from repro.isa.trace import Trace
 from repro.uarch.config import MachineConfig
-from repro.uarch.core import simulate
 
 
 @dataclass
@@ -38,14 +36,23 @@ class SegmentProfile:
 
 def segment_profiles(trace: Trace, segment_length: int = 500,
                      config: Optional[MachineConfig] = None,
-                     categories: Sequence[Category] = BASE_CATEGORIES
-                     ) -> List[SegmentProfile]:
-    """Per-segment cost vectors over the whole trace."""
+                     categories: Sequence[Category] = BASE_CATEGORIES,
+                     session=None) -> List[SegmentProfile]:
+    """Per-segment cost vectors over the whole trace.
+
+    Each segment is simulated through the session (ephemeral when none
+    is given), so repeated phase analyses of the same execution reuse
+    cached per-segment runs.
+    """
+    if session is None:
+        from repro.session import AnalysisSession
+
+        session = AnalysisSession.for_trace(trace, config=config)
     profiles: List[SegmentProfile] = []
     n = len(trace.insts)
     for index, start in enumerate(range(0, n, segment_length)):
         segment = slice_trace(trace, start, segment_length)
-        provider = GraphCostProvider(simulate(segment, config))
+        provider = session.graph_provider(config=config, trace=segment)
         total = provider.total
         costs = {c.value: 100.0 * provider.cost([c]) / total
                  for c in categories}

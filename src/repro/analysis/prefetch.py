@@ -25,7 +25,6 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.categories import Category, EventSelection
 from repro.core.icost import CachingCostProvider, CostProvider
 from repro.uarch.config import MachineConfig
-from repro.uarch.core import simulate
 
 
 def miss_selections_by_pc(result) -> Dict[int, EventSelection]:
@@ -105,10 +104,21 @@ def best_subset_selection(provider: CostProvider,
 def evaluate_plan(make_workload: Callable[..., object],
                   plan: Sequence[str],
                   config: Optional[MachineConfig] = None,
+                  session=None,
                   **factory_kwargs) -> int:
-    """Cycles of the workload rebuilt with *plan*'s slots prefetched."""
+    """Cycles of the workload rebuilt with *plan*'s slots prefetched.
+
+    Runs through the session's cycle cache, so re-evaluating a plan the
+    search already tried (or sharing plans across policies) costs no
+    simulator time.
+    """
     workload = make_workload(plan=plan, **factory_kwargs)
-    return simulate(workload.trace(), config).cycles
+    trace = workload.trace()
+    if session is None:
+        from repro.session import AnalysisSession
+
+        session = AnalysisSession.for_trace(trace, config=config)
+    return session.cycles(config=config, trace=trace)
 
 
 def speedup_percent(base_cycles: int, new_cycles: int) -> float:

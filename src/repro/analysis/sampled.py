@@ -26,7 +26,6 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.cost import GraphCostAnalyzer
 from repro.isa.trace import Trace
 from repro.uarch.config import MachineConfig
-from repro.uarch.core import simulate
 from repro.uarch.events import SimResult
 
 
@@ -129,7 +128,12 @@ class SampledGraphProvider:
 def analyze_trace_sampled(trace: Trace,
                           config: Optional[MachineConfig] = None,
                           windows: int = 8, window_length: int = 500,
-                          seed: int = 0) -> SampledGraphProvider:
-    """Simulate once and analyse only sampled windows of the run."""
-    result = simulate(trace, config=config)
+                          seed: int = 0,
+                          session=None) -> SampledGraphProvider:
+    """Simulate once (through the session) and analyse sampled windows."""
+    if session is None:
+        from repro.session import AnalysisSession
+
+        session = AnalysisSession.for_trace(trace, config=config)
+    result = session.simulate(config=config, trace=trace)
     return SampledGraphProvider(result, windows, window_length, seed)

@@ -6,21 +6,20 @@ window helps more as the loop gets longer.  These functions run the
 actual many-simulation sweeps so benchmarks can verify the corollary.
 
 The simulations of a sweep are independent, so every sweep here runs
-through :func:`sweep_cycles`: each machine-configuration point is
-content-addressed in the pipeline artifact cache (a repeated sweep
-costs no simulator time at all) and cold points fan out across a
-process pool when ``jobs > 1``.
+through :meth:`repro.session.AnalysisSession.sweep`: duplicate points
+within (and across) sweeps are deduplicated by content key, each
+machine-configuration point is content-addressed in the pipeline
+artifact cache (a repeated sweep costs no simulator time at all), and
+cold points fan out across a process pool when ``jobs > 1``.
 """
 
 from __future__ import annotations
 
-import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import repro.obs as obs
 from repro.isa.trace import Trace
 from repro.uarch.config import MachineConfig
-from repro.uarch.core import simulate
 
 
 def speedup(base_cycles: int, new_cycles: int) -> float:
@@ -30,74 +29,26 @@ def speedup(base_cycles: int, new_cycles: int) -> float:
     return 100.0 * (base_cycles - new_cycles) / new_cycles
 
 
-# -- the shared sweep engine -------------------------------------------
-
-_worker_trace: Optional[Trace] = None
-
-
-def _init_sweep_worker(trace: Trace, env=None) -> None:
-    global _worker_trace
-    from repro.graph.engine import apply_child_env
-
-    apply_child_env(env, seed_tag="sensitivity-pool")
-    _worker_trace = trace
-
-
-def _sweep_worker_cycles(config: MachineConfig) -> int:
-    return simulate(_worker_trace, config=config).cycles
-
-
 def sweep_cycles(trace: Trace, configs: Sequence[MachineConfig],
-                 jobs: int = 1, cache=None) -> List[int]:
+                 jobs: int = 1, cache=None, session=None) -> List[int]:
     """Cycle counts of *trace* under each configuration in *configs*.
 
-    Points already present in *cache* (a
-    :class:`repro.pipeline.artifacts.ArtifactCache`, keyed by workload
-    content x full machine config) are returned without simulating;
-    the remaining cold points run serially, or across a process pool
-    when ``jobs > 1`` -- with the parent environment propagated to the
-    workers.  Pool failures degrade to the serial loop.
+    Thin wrapper over :meth:`repro.session.AnalysisSession.sweep`:
+    repeated configurations cost one run, points already present in the
+    artifact cache (keyed by workload content x full machine config)
+    are returned without simulating, and the remaining cold points run
+    serially or across a process pool when ``jobs > 1`` -- with the
+    parent environment propagated to the workers.  Pool failures
+    degrade to the serial loop.  *session* shares an existing session's
+    memo; *cache* injects an artifact cache into the ephemeral session
+    otherwise created.
     """
-    from repro.pipeline.artifacts import sim_key
+    if session is None:
+        from repro.session import AnalysisSession
 
-    use_cache = cache is not None and cache.enabled
-    cycles: List[Optional[int]] = [None] * len(configs)
-    keys: List[Optional[str]] = [None] * len(configs)
-    todo: List[int] = []
-    for i, cfg in enumerate(configs):
-        if use_cache:
-            keys[i] = sim_key(trace, cfg)
-            payload = cache.get_json("cycles", keys[i])
-            if payload is not None:
-                cycles[i] = int(payload["cycles"])
-                continue
-        todo.append(i)
-    with obs.span("sensitivity.sweep", points=len(configs),
-                  cold=len(todo), jobs=jobs):
-        if len(todo) > 1 and jobs > 1 and (os.cpu_count() or 1) >= 2:
-            try:
-                from concurrent.futures import ProcessPoolExecutor
-
-                from repro.graph.engine import child_env
-
-                with ProcessPoolExecutor(
-                        max_workers=min(jobs, len(todo)),
-                        initializer=_init_sweep_worker,
-                        initargs=(trace, child_env())) as pool:
-                    results = list(pool.map(
-                        _sweep_worker_cycles, [configs[i] for i in todo]))
-                for i, value in zip(todo, results):
-                    cycles[i] = value
-                todo = []
-            except Exception:
-                obs.count("sensitivity.pool_error")
-        for i in todo:
-            cycles[i] = simulate(trace, config=configs[i]).cycles
-    if use_cache:
-        for i, value in enumerate(cycles):
-            if keys[i] is not None:
-                cache.put_json("cycles", keys[i], {"cycles": int(value)})
-    return [int(c) for c in cycles]
+        session = AnalysisSession.for_trace(trace, cache=cache)
+    with obs.span("sensitivity.sweep", points=len(configs), jobs=jobs):
+        return session.sweep(configs, jobs=jobs, trace=trace)
 
 
 def window_speedup_curves(
@@ -107,6 +58,7 @@ def window_speedup_curves(
     config: Optional[MachineConfig] = None,
     jobs: int = 1,
     cache=None,
+    session=None,
 ) -> Dict[int, List[Tuple[int, float]]]:
     """Figure 3: speedup vs window size, one curve per dl1 latency.
 
@@ -116,7 +68,8 @@ def window_speedup_curves(
     cfg = config or MachineConfig()
     grid = [cfg.with_(dl1_latency=lat, window_size=window)
             for lat in dl1_latencies for window in window_sizes]
-    cycles = sweep_cycles(trace, grid, jobs=jobs, cache=cache)
+    cycles = sweep_cycles(trace, grid, jobs=jobs, cache=cache,
+                          session=session)
     curves: Dict[int, List[Tuple[int, float]]] = {}
     for li, lat in enumerate(dl1_latencies):
         row = cycles[li * len(window_sizes):(li + 1) * len(window_sizes)]
@@ -134,6 +87,7 @@ def wakeup_window_speedups(
     config: Optional[MachineConfig] = None,
     jobs: int = 1,
     cache=None,
+    session=None,
 ) -> Dict[int, float]:
     """The Section 4.2 corollary: window 64->128 speedup per issue-wakeup
     latency.
@@ -146,7 +100,8 @@ def wakeup_window_speedups(
     small, large = window_pair
     grid = [cfg.with_(issue_wakeup=wakeup, window_size=window)
             for wakeup in wakeup_latencies for window in (small, large)]
-    cycles = sweep_cycles(trace, grid, jobs=jobs, cache=cache)
+    cycles = sweep_cycles(trace, grid, jobs=jobs, cache=cache,
+                          session=session)
     return {wakeup: speedup(cycles[2 * i], cycles[2 * i + 1])
             for i, wakeup in enumerate(wakeup_latencies)}
 
@@ -158,6 +113,7 @@ def mispredict_window_speedups(
     config: Optional[MachineConfig] = None,
     jobs: int = 1,
     cache=None,
+    session=None,
 ) -> Dict[int, float]:
     """Window-growth speedup per mispredict-recovery latency.
 
@@ -169,6 +125,7 @@ def mispredict_window_speedups(
     small, large = window_pair
     grid = [cfg.with_(mispredict_recovery=recovery, window_size=window)
             for recovery in recoveries for window in (small, large)]
-    cycles = sweep_cycles(trace, grid, jobs=jobs, cache=cache)
+    cycles = sweep_cycles(trace, grid, jobs=jobs, cache=cache,
+                          session=session)
     return {recovery: speedup(cycles[2 * i], cycles[2 * i + 1])
             for i, recovery in enumerate(recoveries)}

@@ -7,9 +7,17 @@ Subcommands mirror the library's main entry points::
     repro-icost breakdown gzip --full dl1,win,dmiss   # power-set rows
     repro-icost profile twolf                  # shotgun profiler vs graph
     repro-icost sensitivity vortex             # Figure 3 window sweep
+    repro-icost multisim gzip --focus dl1      # ground-truth re-simulation
+    repro-icost compare gzip --after dl1_latency=4    # config diff
     repro-icost critical gzip --top 8          # costliest instructions
 
 (also available as ``python -m repro ...``)
+
+The command tree is built entirely from the declarative analysis
+registry (:mod:`repro.session.registry`): each subcommand is one
+registered :class:`~repro.session.Analysis`, and this module only
+wires argparse, observability and process-level concerns around
+``make_session`` / ``run`` / ``render``.
 
 Every subcommand additionally understands the global observability
 flags (``docs/OBSERVABILITY.md``): ``--trace FILE`` writes a
@@ -25,257 +33,10 @@ import sys
 from typing import List, Optional
 
 import repro.obs as obs
-from repro.core.categories import BASE_CATEGORIES, Category
 
 
-def _machine_config(args) -> "MachineConfig":
-    from repro.uarch import MachineConfig
-
-    overrides = {}
-    for item in args.set or []:
-        key, __, value = item.partition("=")
-        if not value:
-            raise SystemExit(f"--set expects key=value, got {item!r}")
-        field = key.strip()
-        if field not in MachineConfig.__dataclass_fields__:
-            raise SystemExit(f"unknown machine parameter {field!r}")
-        overrides[field] = int(value)
-    return MachineConfig(**overrides)
-
-
-def _trace(args):
-    from repro.workloads import WORKLOAD_NAMES, get_workload
-
-    if args.workload not in WORKLOAD_NAMES:
-        raise SystemExit(
-            f"unknown workload {args.workload!r}; see 'repro-icost workloads'")
-    return get_workload(args.workload, scale=args.scale, seed=args.seed)
-
-
-def _pipeline_requested(args) -> bool:
-    """Whether any pipeline flag (or the cache env default) is engaged."""
-    import os
-
-    return bool(
-        getattr(args, "jobs", 1) > 1
-        or getattr(args, "windows", 1) > 1
-        or getattr(args, "approx", False)
-        or getattr(args, "cache_dir", None)
-        or getattr(args, "no_cache", False)
-        or os.environ.get("REPRO_CACHE_DIR"))
-
-
-def _cost_provider(args, allow_approx: bool = True):
-    """The cost provider behind breakdown/matrix/critical.
-
-    Plain invocations keep the historical monolithic path (naive engine
-    by default); any pipeline flag routes through
-    :func:`repro.pipeline.run_pipeline` -- exact and bit-identical
-    unless ``--approx`` opts into the windowed bounded-error mode.
-    """
-    trace = _trace(args)
-    config = _machine_config(args)
-    if _pipeline_requested(args):
-        from repro.pipeline import PipelineOptions, run_pipeline
-
-        options = PipelineOptions(
-            jobs=getattr(args, "jobs", 1),
-            windows=getattr(args, "windows", 1),
-            cache_dir=getattr(args, "cache_dir", None),
-            no_cache=getattr(args, "no_cache", False),
-            approx=allow_approx and getattr(args, "approx", False),
-            engine=args.engine)
-        return run_pipeline(trace, config=config, options=options)
-    from repro.analysis.graphsim import analyze_trace
-
-    return analyze_trace(trace, config=config,
-                         engine=args.engine or "naive")
-
-
-def cmd_workloads(args) -> int:
-    """``workloads``: list the synthetic suite with descriptions."""
-    from repro.workloads import WORKLOAD_NAMES, workload_description
-
-    for name in WORKLOAD_NAMES:
-        print(f"{name:<8} {workload_description(name)}")
-    return 0
-
-
-def cmd_breakdown(args) -> int:
-    """``breakdown``: Table 4-style (or power-set) breakdown output."""
-    from repro.core import (
-        breakdown_to_json,
-        breakdowns_to_csv,
-        full_interaction_breakdown,
-        interaction_breakdown,
-        render_breakdown_table,
-        render_stacked_bar,
-    )
-
-    provider = _cost_provider(args)
-    if args.full:
-        cats = [Category(c.strip()) for c in args.full.split(",")]
-        bd = full_interaction_breakdown(provider, cats,
-                                        workload=args.workload,
-                                        max_categories=6)
-    else:
-        focus = Category(args.focus) if args.focus else None
-        bd = interaction_breakdown(provider, focus=focus,
-                                   workload=args.workload)
-    if args.json:
-        print(breakdown_to_json(bd))
-        return 0
-    if args.csv:
-        print(breakdowns_to_csv({args.workload: bd}), end="")
-        return 0
-    print(render_breakdown_table({args.workload: bd},
-                                 f"{args.workload}: % of execution time"))
-    if args.bars:
-        print()
-        print(render_stacked_bar(bd))
-    return 0
-
-
-def cmd_characterize(args) -> int:
-    """``characterize``: icost fingerprints across the suite."""
-    from repro.analysis.characterize import characterize_suite, render_suite_table
-    from repro.workloads import WORKLOAD_NAMES
-
-    names = (tuple(n.strip() for n in args.workloads.split(","))
-             if args.workloads else WORKLOAD_NAMES)
-    chars = characterize_suite(names, config=_machine_config(args),
-                               scale=args.scale, seed=args.seed)
-    print(render_suite_table(chars))
-    print()
-    for ch in chars:
-        print(ch.advice())
-    return 0
-
-
-def cmd_profile(args) -> int:
-    """``profile``: shotgun-profile a workload and compare to the graph."""
-    from repro.analysis.graphsim import analyze_trace
-    from repro.core import interaction_breakdown
-    from repro.core.report import render_comparison
-    from repro.profiler import profile_trace
-
-    trace = _trace(args)
-    config = _machine_config(args)
-    focus = Category(args.focus) if args.focus else None
-    prof_provider = profile_trace(trace, config, fragments=args.fragments,
-                                  seed=args.seed)
-    prof = interaction_breakdown(prof_provider, focus=focus)
-    full = interaction_breakdown(
-        analyze_trace(trace, config, engine=args.engine), focus=focus)
-    rows = {
-        e.label: {"fullgraph": e.percent, "profiler": prof.percent(e.label)}
-        for e in full.entries if e.kind in ("base", "interaction")
-    }
-    print(render_comparison(rows, ["fullgraph", "profiler"],
-                            f"{args.workload}: graph vs shotgun profiler"))
-    stats = prof_provider.stats
-    print(f"\nfragments={prof_provider.fragment_count} "
-          f"abort={stats.abort_rate:.0%} "
-          f"defaults={stats.default_rate:.1%}")
-    return 0
-
-
-def cmd_matrix(args) -> int:
-    """``matrix``: the full pairwise interaction-cost matrix."""
-    from repro.analysis.matrix import interaction_matrix
-
-    provider = _cost_provider(args)
-    matrix = interaction_matrix(provider, workload=args.workload)
-    print(matrix.render())
-    a, b, value = matrix.strongest_serial()
-    print(f"\nstrongest serial  : {a.value}+{b.value} ({value:+.1f}%)")
-    a, b, value = matrix.strongest_parallel()
-    print(f"strongest parallel: {a.value}+{b.value} ({value:+.1f}%)")
-    return 0
-
-
-def cmd_report(args) -> int:
-    """``report``: write a self-contained HTML analysis report."""
-    from repro.core.categories import Category
-    from repro.viz.report import save_report
-
-    focus = Category(args.focus) if args.focus else Category.DL1
-    save_report(_trace(args), args.output, config=_machine_config(args),
-                focus=focus)
-    print(f"wrote {args.output}")
-    return 0
-
-
-def cmd_sensitivity(args) -> int:
-    """``sensitivity``: the Figure 3 window-size sweep."""
-    from repro.analysis.sensitivity import window_speedup_curves
-    from repro.pipeline import open_cache
-
-    latencies = [int(x) for x in args.dl1.split(",")]
-    windows = [int(x) for x in args.windows.split(",")]
-    cache = open_cache(args.cache_dir, args.no_cache)
-    curves = window_speedup_curves(_trace(args), latencies, windows,
-                                   config=_machine_config(args),
-                                   jobs=args.jobs, cache=cache)
-    print(f"{args.workload}: window-size speedup (%) per dl1 latency")
-    print(f"{'window':>8}" + "".join(f"  lat={lat}" for lat in latencies))
-    for i, window in enumerate(windows):
-        row = f"{window:>8}"
-        for lat in latencies:
-            row += f"{curves[lat][i][1]:7.1f}"
-        print(row)
-    return 0
-
-
-def cmd_phases(args) -> int:
-    """``phases``: per-segment cost vectors and phase-change detection."""
-    from repro.analysis.phases import (
-        detect_phase_changes,
-        render_phase_table,
-        segment_profiles,
-    )
-
-    profiles = segment_profiles(_trace(args), segment_length=args.segment,
-                                config=_machine_config(args))
-    print(render_phase_table(profiles))
-    changes = detect_phase_changes(profiles, threshold=args.threshold)
-    if changes:
-        print(f"\nphase changes at segments: {changes}")
-    else:
-        print("\nno phase changes detected")
-    return 0
-
-
-def cmd_critical(args) -> int:
-    """``critical``: costliest instructions + critical-path profile."""
-    from repro.graph.critical_path import edge_kind_profile
-    from repro.graph.slack import top_critical_instructions
-
-    # critical needs the monolithic graph -- always exact mode
-    provider = _cost_provider(args, allow_approx=False)
-    result = provider.result
-    ranked = top_critical_instructions(
-        provider.analyzer, range(len(result.events)), top=args.top)
-    print(f"{args.workload}: costliest dynamic instructions")
-    print(f"{'seq':>6} {'pc':>8} {'cost':>6}  instruction")
-    for seq, cost in ranked:
-        inst = result.trace.insts[seq]
-        print(f"{seq:>6} {inst.pc:>#8x} {cost:>6.0f}  {inst.static}")
-    print("\ncritical-path cycles by edge kind:")
-    for kind, cycles in sorted(edge_kind_profile(provider.graph).items(),
-                               key=lambda kv: -kv[1]):
-        print(f"  {kind.name:<4} {cycles}")
-    return 0
-
-
-def build_parser() -> argparse.ArgumentParser:
-    """The argparse command tree for every subcommand."""
-    parser = argparse.ArgumentParser(
-        prog="repro-icost",
-        description="Interaction-cost microarchitectural bottleneck analysis",
-    )
-
-    # global observability flags, attached to every subcommand
+def _obs_flags_parser() -> argparse.ArgumentParser:
+    """The global observability flags, attached to every subcommand."""
     obs_flags = argparse.ArgumentParser(add_help=False)
     group = obs_flags.add_argument_group("observability")
     group.add_argument("--trace", metavar="FILE", default=None,
@@ -288,131 +49,42 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--log-level", default=None,
                        choices=["debug", "info", "warning", "error"],
                        help="explicit log level (overrides -v)")
+    return obs_flags
 
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree, generated from the analysis registry."""
+    from repro import __version__
+    from repro.session import all_analyses
+
+    parser = argparse.ArgumentParser(
+        prog="repro-icost",
+        description="Interaction-cost microarchitectural bottleneck analysis",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+
+    obs_flags = _obs_flags_parser()
     sub = parser.add_subparsers(dest="command", required=True)
-
-    def add_command(name, **kwargs):
-        return sub.add_parser(name, parents=[obs_flags], **kwargs)
-
-    def common(p):
-        p.add_argument("workload", help="suite workload name (see 'workloads')")
-        p.add_argument("--scale", type=float, default=1.0,
-                       help="trace-length multiplier (default 1.0)")
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--set", action="append", metavar="KEY=VALUE",
-                       help="override a MachineConfig field, e.g. "
-                            "--set dl1_latency=4")
-
-    def engine_flag(p):
-        from repro.graph.engine import ENGINE_NAMES
-
-        p.add_argument("--engine", choices=ENGINE_NAMES, default=None,
-                       help="cost engine for graph measurements: the "
-                            "naive reference sweep, the batched "
-                            "vectorized/incremental kernel, or the "
-                            "process-pool fan-out (default: naive, or "
-                            "batched when the pipeline is engaged)")
-
-    def pipeline_flags(p, windows=True, approx=False):
-        group = p.add_argument_group(
-            "pipeline (docs/PIPELINE.md)")
-        group.add_argument("--jobs", type=int, default=1, metavar="N",
-                           help="worker processes for sharded "
-                                "build/analysis (default 1)")
-        if windows:
-            group.add_argument("--windows", type=int, default=1,
-                               metavar="N",
-                               help="shard the run into N contiguous "
-                                    "windows (default 1; exact either "
-                                    "way)")
-        group.add_argument("--cache-dir", metavar="DIR", default=None,
-                           help="content-addressed artifact cache "
-                                "directory (default: $REPRO_CACHE_DIR)")
-        group.add_argument("--no-cache", action="store_true",
-                           help="disable the artifact cache even if "
-                                "$REPRO_CACHE_DIR is set")
-        if approx:
-            group.add_argument("--approx", action="store_true",
-                               help="bounded-error windowed analysis: "
-                                    "sum per-window costs over "
-                                    "truncated window graphs instead "
-                                    "of stitching an exact graph")
-
-    add_command("workloads", help="list the synthetic suite") \
-        .set_defaults(func=cmd_workloads)
-
-    p = add_command("breakdown", help="interaction-cost breakdown")
-    common(p)
-    engine_flag(p)
-    p.add_argument("--focus", choices=[c.value for c in BASE_CATEGORIES],
-                   help="add pairwise interaction rows with this category")
-    p.add_argument("--full", metavar="CATS",
-                   help="comma-separated categories for a full power-set "
-                        "breakdown (max 6)")
-    p.add_argument("--bars", action="store_true",
-                   help="also print the Figure 1b stacked bars")
-    p.add_argument("--json", action="store_true",
-                   help="emit the breakdown as JSON")
-    p.add_argument("--csv", action="store_true",
-                   help="emit the breakdown as CSV")
-    pipeline_flags(p, approx=True)
-    p.set_defaults(func=cmd_breakdown)
-
-    p = add_command("characterize",
-                       help="icost fingerprint of the suite")
-    p.add_argument("--workloads", metavar="NAMES",
-                   help="comma-separated subset (default: all twelve)")
-    p.add_argument("--scale", type=float, default=1.0)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--set", action="append", metavar="KEY=VALUE")
-    p.set_defaults(func=cmd_characterize)
-
-    p = add_command("profile", help="shotgun-profile and compare")
-    common(p)
-    engine_flag(p)
-    p.add_argument("--focus", choices=[c.value for c in BASE_CATEGORIES])
-    p.add_argument("--fragments", type=int, default=12)
-    p.set_defaults(func=cmd_profile)
-
-    p = add_command("matrix", help="pairwise interaction-cost matrix")
-    common(p)
-    engine_flag(p)
-    pipeline_flags(p, approx=True)
-    p.set_defaults(func=cmd_matrix)
-
-    p = add_command("report", help="self-contained HTML analysis report")
-    common(p)
-    p.add_argument("--focus", choices=[c.value for c in BASE_CATEGORIES])
-    p.add_argument("-o", "--output", default="report.html")
-    p.set_defaults(func=cmd_report)
-
-    p = add_command("sensitivity", help="window-size sweep (Figure 3)")
-    common(p)
-    p.add_argument("--dl1", default="1,2,3,4",
-                   help="dl1 latencies, comma separated")
-    p.add_argument("--windows", default="64,80,96,112,128",
-                   help="window sizes, comma separated")
-    # note: --windows here means *machine* window sizes (the Figure 3
-    # sweep axis), so the pipeline sharding flag is omitted
-    pipeline_flags(p, windows=False)
-    p.set_defaults(func=cmd_sensitivity)
-
-    p = add_command("phases", help="segment cost vectors + phase changes")
-    common(p)
-    p.add_argument("--segment", type=int, default=500,
-                   help="instructions per segment (default 500)")
-    p.add_argument("--threshold", type=float, default=40.0,
-                   help="L1 cost-vector jump marking a phase change")
-    p.set_defaults(func=cmd_phases)
-
-    p = add_command("critical", help="costliest instructions + CP profile")
-    common(p)
-    engine_flag(p)
-    pipeline_flags(p)
-    p.add_argument("--top", type=int, default=10)
-    p.set_defaults(func=cmd_critical)
-
+    for analysis in all_analyses():
+        p = sub.add_parser(analysis.name, parents=[obs_flags],
+                           help=analysis.help)
+        analysis.configure(p)
+        p.set_defaults(analysis=analysis)
     return parser
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected analysis: session -> result -> rendered text."""
+    analysis = args.analysis
+    session = analysis.make_session(args)
+    try:
+        result = analysis.run(session, args)
+    finally:
+        session.close()
+    out = analysis.render(result, args)
+    print(out, end="" if out.endswith("\n") else "\n")
+    return 0
 
 
 def _log_level(args) -> str:
@@ -436,7 +108,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     obs.setup_logging(_log_level(args))
     collector = obs.enable() if (args.trace or args.metrics) else None
     try:
-        code = args.func(args)
+        code = _dispatch(args)
     except BrokenPipeError:
         # output piped into a pager/head that closed early: not an error
         try:

@@ -5,16 +5,128 @@ regression tracking across simulator versions, spreadsheet review), so
 they serialize losslessly: every row keeps its kind, cycle count and
 percentage, and a serialized breakdown reloads into an equivalent
 :class:`~repro.core.breakdown.Breakdown`.
+
+The second half of the module is the *generic* result serializer the
+analysis registry uses: any dataclass registered with
+:func:`register_serializable` round-trips through
+:func:`result_to_json` / :func:`result_from_json` (enums, tuples,
+frozensets and non-string dict keys included), so every registry
+``*Result`` gets ``to_json``/``from_json`` from one implementation
+instead of a hand-written pair per analysis.
 """
 
 from __future__ import annotations
 
 import csv
+import dataclasses
+import enum
 import io
 import json
-from typing import Dict, List
+from typing import Any, Dict, List, Type
 
 from repro.core.breakdown import Breakdown, BreakdownEntry
+
+#: registered round-trippable types, addressed by class name
+_SERIALIZABLE: Dict[str, type] = {}
+
+
+def register_serializable(cls: type) -> type:
+    """Register *cls* (a dataclass or Enum) for tagged round-trips.
+
+    Usable as a class decorator.  Registration by class name is what
+    lets :func:`from_jsonable` re-instantiate the right type from the
+    ``__dc__`` / ``__enum__`` tags.
+    """
+    _SERIALIZABLE[cls.__name__] = cls
+    return cls
+
+
+def to_jsonable(value: Any) -> Any:
+    """Encode *value* into JSON-safe data with type tags.
+
+    Handles registered dataclasses (``__dc__``), enums (``__enum__``),
+    tuples (``__tuple__``), sets/frozensets (``__set__``, stored
+    sorted for deterministic output) and dicts with non-string keys
+    (``__dict__`` items form); lists and JSON scalars pass through.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if name not in _SERIALIZABLE:
+            raise TypeError(f"unregistered dataclass {name!r}; "
+                            "use register_serializable")
+        return {"__dc__": name,
+                "fields": {f.name: to_jsonable(getattr(value, f.name))
+                           for f in dataclasses.fields(value)}}
+    if isinstance(value, enum.Enum):
+        name = type(value).__name__
+        if name not in _SERIALIZABLE:
+            raise TypeError(f"unregistered enum {name!r}; "
+                            "use register_serializable")
+        return {"__enum__": name, "value": value.value}
+    if isinstance(value, tuple):
+        return {"__tuple__": [to_jsonable(v) for v in value]}
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted((to_jsonable(v) for v in value),
+                                  key=repr)}
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value):
+            return {k: to_jsonable(v) for k, v in value.items()}
+        return {"__dict__": [[to_jsonable(k), to_jsonable(v)]
+                             for k, v in value.items()]}
+    if isinstance(value, list):
+        return [to_jsonable(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot serialize {type(value).__name__}")
+
+
+def from_jsonable(data: Any) -> Any:
+    """Inverse of :func:`to_jsonable`."""
+    if isinstance(data, dict):
+        if "__dc__" in data:
+            cls = _SERIALIZABLE[data["__dc__"]]
+            return cls(**{k: from_jsonable(v)
+                          for k, v in data["fields"].items()})
+        if "__enum__" in data:
+            return _SERIALIZABLE[data["__enum__"]](data["value"])
+        if "__tuple__" in data:
+            return tuple(from_jsonable(v) for v in data["__tuple__"])
+        if "__set__" in data:
+            return frozenset(from_jsonable(v) for v in data["__set__"])
+        if "__dict__" in data:
+            return {from_jsonable(k): from_jsonable(v)
+                    for k, v in data["__dict__"]}
+        return {k: from_jsonable(v) for k, v in data.items()}
+    if isinstance(data, list):
+        return [from_jsonable(v) for v in data]
+    return data
+
+
+def result_to_json(value: Any) -> str:
+    """Serialize any registered result object to a JSON document."""
+    return json.dumps(to_jsonable(value), indent=2, sort_keys=True)
+
+
+def result_from_json(text: str) -> Any:
+    """Inverse of :func:`result_to_json`."""
+    return from_jsonable(json.loads(text))
+
+
+class SerializableResult:
+    """Mixin giving a registered dataclass uniform JSON round-trips."""
+
+    def to_json(self) -> str:
+        """This result as a self-describing JSON document."""
+        return result_to_json(self)
+
+    @classmethod
+    def from_json(cls: Type["SerializableResult"], text: str):
+        """Reload a result serialized by :meth:`to_json`."""
+        value = result_from_json(text)
+        if not isinstance(value, cls):
+            raise TypeError(f"document holds {type(value).__name__}, "
+                            f"not {cls.__name__}")
+        return value
 
 
 def breakdown_to_json(breakdown: Breakdown) -> str:

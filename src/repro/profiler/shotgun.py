@@ -22,7 +22,6 @@ from repro.isa.trace import Trace
 from repro.profiler.monitor import HardwareMonitor, MonitorConfig
 from repro.profiler.reconstruct import Fragment, FragmentReconstructor, ReconstructionStats
 from repro.uarch.config import MachineConfig
-from repro.uarch.core import simulate
 
 
 class ShotgunCostProvider:
@@ -74,16 +73,21 @@ class ShotgunCostProvider:
 
 def profile_trace(trace: Trace, config: Optional[MachineConfig] = None,
                   monitor: Optional[MonitorConfig] = None,
-                  fragments: int = 12, seed: int = 0) -> ShotgunCostProvider:
+                  fragments: int = 12, seed: int = 0,
+                  session=None) -> ShotgunCostProvider:
     """Run the full shotgun pipeline on *trace*.
 
-    Simulates once (the 'real machine' the monitors watch), collects
-    samples, then reconstructs *fragments* skeletons chosen at random
-    with replacement -- aborted reconstructions are redrawn, up to a
-    bounded number of attempts.
+    Simulates once through the session (the 'real machine' the monitors
+    watch), collects samples, then reconstructs *fragments* skeletons
+    chosen at random with replacement -- aborted reconstructions are
+    redrawn, up to a bounded number of attempts.
     """
     cfg = config or MachineConfig()
-    result = simulate(trace, config=cfg)
+    if session is None:
+        from repro.session import AnalysisSession
+
+        session = AnalysisSession.for_trace(trace, config=cfg)
+    result = session.simulate(config=cfg, trace=trace)
     data = HardwareMonitor(monitor).collect(result)
     if not data.signature_samples:
         raise ValueError("trace too short for a signature sample")

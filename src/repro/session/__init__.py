@@ -1,0 +1,48 @@
+"""The session core: one object owning a whole analysis run.
+
+:class:`AnalysisSession` unifies what every frontend used to hand-wire
+-- trace resolution, cached/memoized simulation, graph and cost-provider
+construction, pipeline delegation, observability spans -- behind one
+typed surface configured by :class:`RunConfig`.  The declarative
+analysis registry (:mod:`repro.session.registry`,
+:mod:`repro.session.analyses`) sits on top: every CLI subcommand is one
+registered :class:`Analysis` whose typed result serializes uniformly.
+
+Quickstart::
+
+    from repro.session import AnalysisSession, RunConfig
+
+    session = AnalysisSession(RunConfig(workload="gzip"))
+    provider = session.provider()          # graph cost provider
+    cycles = session.cycles()              # cached baseline cycles
+
+Importing this package also populates the registry (the
+``repro.session.analyses`` import below), so ``all_analyses()`` is
+complete as soon as ``repro.session`` is imported.
+"""
+
+from repro.session.config import RunConfig, machine_with_overrides
+from repro.session.registry import (
+    REGISTRY,
+    Analysis,
+    Arg,
+    all_analyses,
+    get_analysis,
+    register,
+)
+from repro.session.session import AnalysisSession
+
+# populate the registry with the built-in analyses
+import repro.session.analyses as _analyses  # noqa: E402,F401  (registration side effect)
+
+__all__ = [
+    "AnalysisSession",
+    "RunConfig",
+    "machine_with_overrides",
+    "Analysis",
+    "Arg",
+    "REGISTRY",
+    "register",
+    "get_analysis",
+    "all_analyses",
+]

@@ -1,0 +1,361 @@
+"""The analysis session: one core every frontend routes through.
+
+The paper's workflow is one loop -- simulate a microexecution, build
+the dependence graph, idealize edge sets, compare costs -- but the
+repository grew one hand-wired copy of that loop per analysis.  An
+:class:`AnalysisSession` centralises the loop's expensive stages:
+
+- **trace resolution** (suite workload name -> generated trace);
+- **cached simulation**: every ``simulate`` in the process goes through
+  :meth:`AnalysisSession.simulate` / :meth:`cycles`, which memoise by
+  content (trace fingerprint x machine config x idealization) and
+  consult the PR 3 artifact cache, so identical configurations are
+  never simulated twice -- within a sweep, across analyses sharing a
+  session, or across processes sharing a cache directory;
+- **sweeps**: :meth:`sweep` dedupes a batch of configuration points,
+  drains the memo and the on-disk cache, and fans the genuinely cold
+  points across a process pool;
+- **provider construction**: :meth:`provider` routes through
+  :func:`repro.pipeline.run_pipeline` whenever a pipeline knob is
+  engaged (sharded build, artifact cache, approx mode) and through the
+  classic monolithic graph path otherwise -- the exact logic the CLI
+  used to own, now available to every caller;
+- **observability**: the session publishes ``session.*`` counters
+  (``session.simulate``, ``session.simulate.memo_hit``,
+  ``session.cycles.cache_hit``, ``session.sweep.dedup``) so tests and
+  ``--metrics`` can assert how many simulator runs actually happened.
+
+Construction is cheap and nothing simulates until asked, so frontends
+can build one session per request and share it across every analysis
+the request touches.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+import repro.obs as obs
+from repro.core.categories import Category
+from repro.isa.trace import Trace
+from repro.session.config import RunConfig
+from repro.uarch.config import IdealConfig, MachineConfig
+from repro.uarch.core import simulate as _simulate
+from repro.uarch.events import SimResult
+
+#: One sweep point: a machine configuration, optionally paired with the
+#: set of categories to idealize (the multisim axis).
+SweepPoint = Union[MachineConfig, Tuple[MachineConfig, FrozenSet[Category]]]
+
+
+def _ideal_key(ideal) -> FrozenSet[Category]:
+    """Normalise an idealization argument to a frozenset of categories."""
+    if ideal is None:
+        return frozenset()
+    return frozenset(ideal)
+
+
+def _as_point(point: SweepPoint) -> Tuple[MachineConfig, FrozenSet[Category]]:
+    if isinstance(point, MachineConfig):
+        return point, frozenset()
+    config, ideal = point
+    return config, _ideal_key(ideal)
+
+
+class AnalysisSession:
+    """One simulate/build/analyze context shared by every analysis.
+
+    *run* carries the typed knobs (:class:`repro.session.RunConfig`);
+    *trace* optionally pins an already-generated trace (library
+    callers), otherwise :attr:`trace` resolves ``run.workload`` through
+    the suite registry; *cache* optionally injects an existing
+    :class:`repro.pipeline.artifacts.ArtifactCache` instead of opening
+    one from ``run.cache_dir``.
+    """
+
+    def __init__(self, run: Optional[RunConfig] = None,
+                 trace: Optional[Trace] = None, cache=None) -> None:
+        self.run = run or RunConfig()
+        self._trace = trace
+        self._cache = cache
+        #: sim_key -> SimResult (full results, used by graph providers)
+        self._sims: Dict[str, SimResult] = {}
+        #: sim_key -> cycle count (cheap sweep memo; no events retained)
+        self._cycles: Dict[str, int] = {}
+
+    @classmethod
+    def for_trace(cls, trace: Trace,
+                  config: Optional[MachineConfig] = None,
+                  cache=None, **kwargs) -> "AnalysisSession":
+        """An ephemeral session around an existing trace.
+
+        The backward-compatible analysis entry points
+        (``analyze_trace``, ``profile_trace``, the sweep functions)
+        build one of these when the caller did not supply a session.
+        """
+        return cls(RunConfig(machine=config, **kwargs), trace=trace,
+                   cache=cache)
+
+    # -- resolution ----------------------------------------------------
+
+    @property
+    def trace(self) -> Trace:
+        """The run's trace, resolving the workload name on first use."""
+        if self._trace is None:
+            if self.run.workload is None:
+                raise ValueError(
+                    "session has neither a trace nor a workload name")
+            from repro.workloads import get_workload
+
+            self._trace = get_workload(self.run.workload,
+                                       scale=self.run.scale,
+                                       seed=self.run.seed)
+        return self._trace
+
+    @property
+    def machine(self) -> MachineConfig:
+        """The run's base machine configuration."""
+        return self.run.machine_config()
+
+    @property
+    def cache(self):
+        """The artifact cache of this session (possibly disabled)."""
+        if self._cache is None:
+            from repro.pipeline import open_cache
+
+            self._cache = open_cache(self.run.cache_dir, self.run.no_cache)
+        return self._cache
+
+    def _resolve(self, trace: Optional[Trace],
+                 config: Optional[MachineConfig]
+                 ) -> Tuple[Trace, MachineConfig]:
+        return (trace if trace is not None else self.trace,
+                config if config is not None else self.machine)
+
+    def _key(self, trace: Trace, config: MachineConfig,
+             ideal: FrozenSet[Category]) -> str:
+        from repro.pipeline.artifacts import sim_key
+
+        return sim_key(trace, config, ideal)
+
+    # -- cached simulation ---------------------------------------------
+
+    def simulate(self, config: Optional[MachineConfig] = None,
+                 ideal=None, trace: Optional[Trace] = None) -> SimResult:
+        """A full simulation result, memoised by content.
+
+        Identical (trace, config, idealization) requests return the
+        same :class:`SimResult` object; non-idealized results are also
+        stored in / served from the artifact cache, so a warm cache
+        directory skips the simulator across processes too.
+        """
+        trace, config = self._resolve(trace, config)
+        cats = _ideal_key(ideal)
+        key = self._key(trace, config, cats)
+        hit = self._sims.get(key)
+        if hit is not None:
+            obs.count("session.simulate.memo_hit")
+            return hit
+        result = None
+        if not cats and self.cache.enabled:
+            result = self.cache.get_sim(key, trace, config)
+            if result is not None:
+                obs.count("session.simulate.cache_hit")
+        if result is None:
+            obs.count("session.simulate")
+            ideal_cfg = IdealConfig.for_categories(cats) if cats else None
+            result = _simulate(trace, config=config, ideal=ideal_cfg)
+            if not cats:
+                self.cache.put_sim(key, result)
+            self.cache.put_json("cycles", key,
+                                {"cycles": int(result.cycles)})
+        self._sims[key] = result
+        self._cycles[key] = result.cycles
+        return result
+
+    def cycles(self, config: Optional[MachineConfig] = None,
+               ideal=None, trace: Optional[Trace] = None) -> int:
+        """The cycle count of one configuration point, memoised.
+
+        Cheaper than :meth:`simulate` for sweeps: cold points store
+        only the integer (in memory and, when the cache is enabled, as
+        a content-addressed ``cycles`` artifact), not the full event
+        stream.
+        """
+        trace, config = self._resolve(trace, config)
+        cats = _ideal_key(ideal)
+        key = self._key(trace, config, cats)
+        hit = self._cycles.get(key)
+        if hit is not None:
+            obs.count("session.cycles.memo_hit")
+            return hit
+        if self.cache.enabled:
+            payload = self.cache.get_json("cycles", key)
+            if payload is not None:
+                obs.count("session.cycles.cache_hit")
+                value = int(payload["cycles"])
+                self._cycles[key] = value
+                return value
+        obs.count("session.simulate")
+        ideal_cfg = IdealConfig.for_categories(cats) if cats else None
+        value = _simulate(trace, config=config, ideal=ideal_cfg).cycles
+        self._cycles[key] = value
+        self.cache.put_json("cycles", key, {"cycles": int(value)})
+        return value
+
+    # -- sweeps ---------------------------------------------------------
+
+    def sweep(self, points: Sequence[SweepPoint],
+              jobs: Optional[int] = None,
+              trace: Optional[Trace] = None) -> List[int]:
+        """Cycle counts for a batch of configuration points.
+
+        Points are deduplicated by content key first (repeated
+        configurations in one sweep -- and across sweeps sharing this
+        session -- cost one simulation), then the memo and the on-disk
+        cache are drained, and only the genuinely cold points run: in a
+        process pool when ``jobs > 1`` allows it, serially otherwise.
+        The returned list aligns with *points*.
+        """
+        trace = trace if trace is not None else self.trace
+        jobs = jobs if jobs is not None else self.run.jobs
+        resolved = [_as_point(p) for p in points]
+        keys = [self._key(trace, cfg, cats) for cfg, cats in resolved]
+        unique: Dict[str, Tuple[MachineConfig, FrozenSet[Category]]] = {}
+        for key, point in zip(keys, resolved):
+            unique.setdefault(key, point)
+        duplicates = len(keys) - len(unique)
+        if duplicates:
+            obs.count("session.sweep.dedup", duplicates)
+        todo: List[str] = []
+        for key, (cfg, cats) in unique.items():
+            if key in self._cycles:
+                obs.count("session.cycles.memo_hit")
+                continue
+            if self.cache.enabled:
+                payload = self.cache.get_json("cycles", key)
+                if payload is not None:
+                    obs.count("session.cycles.cache_hit")
+                    self._cycles[key] = int(payload["cycles"])
+                    continue
+            todo.append(key)
+        with obs.span("session.sweep", points=len(points),
+                      unique=len(unique), cold=len(todo), jobs=jobs):
+            if len(todo) > 1 and jobs > 1 and (os.cpu_count() or 1) >= 2:
+                todo = self._pool_sweep(trace, unique, todo, jobs)
+            for key in todo:
+                cfg, cats = unique[key]
+                obs.count("session.simulate")
+                ideal_cfg = IdealConfig.for_categories(cats) if cats else None
+                self._cycles[key] = _simulate(trace, config=cfg,
+                                              ideal=ideal_cfg).cycles
+                self.cache.put_json("cycles", key,
+                                    {"cycles": int(self._cycles[key])})
+        return [self._cycles[key] for key in keys]
+
+    def _pool_sweep(self, trace: Trace, unique, todo: List[str],
+                    jobs: int) -> List[str]:
+        """Fan cold sweep points across a pool; returns leftovers."""
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            from repro.graph.engine import child_env
+
+            payloads = [unique[key] for key in todo]
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(todo)),
+                    initializer=_init_sweep_worker,
+                    initargs=(trace, child_env())) as pool:
+                results = list(pool.map(_sweep_point_cycles, payloads))
+        except Exception:
+            obs.count("session.pool_error")
+            return todo
+        obs.count("session.simulate", len(todo))
+        for key, value in zip(todo, results):
+            self._cycles[key] = int(value)
+            self.cache.put_json("cycles", key, {"cycles": int(value)})
+        return []
+
+    # -- provider construction ------------------------------------------
+
+    def provider(self, allow_approx: bool = True,
+                 trace: Optional[Trace] = None):
+        """The cost provider behind breakdown/matrix/critical.
+
+        Plain runs keep the historical monolithic path (naive engine by
+        default); any pipeline knob in :attr:`run` routes through
+        :func:`repro.pipeline.run_pipeline` -- exact and bit-identical
+        unless ``approx`` opts into the windowed bounded-error mode.
+        """
+        trace = trace if trace is not None else self.trace
+        if self.run.pipeline_requested():
+            from repro.pipeline import run_pipeline
+
+            return run_pipeline(trace, config=self.machine,
+                                options=self.run.pipeline_options(
+                                    allow_approx))
+        from repro.analysis.graphsim import analyze_trace
+
+        return analyze_trace(trace, config=self.machine,
+                             engine=self.run.engine or "naive",
+                             session=self)
+
+    def graph_provider(self, config: Optional[MachineConfig] = None,
+                       trace: Optional[Trace] = None, engine=None,
+                       model_taken_branch_breaks: Optional[bool] = None):
+        """A monolithic-graph cost provider over a cached simulation."""
+        from repro.analysis.graphsim import GraphCostProvider
+
+        trace, config = self._resolve(trace, config)
+        breaks = (self.run.model_taken_branch_breaks
+                  if model_taken_branch_breaks is None
+                  else model_taken_branch_breaks)
+        result = self.simulate(config=config, trace=trace)
+        return GraphCostProvider(result, breaks,
+                                 engine=engine if engine is not None
+                                 else self.run.engine)
+
+    def multisim_provider(self, max_workers: Optional[int] = None,
+                          trace: Optional[Trace] = None):
+        """The ground-truth re-simulation provider, session-cached."""
+        from repro.analysis.multisim import MultiSimCostProvider
+
+        return MultiSimCostProvider(trace if trace is not None
+                                    else self.trace,
+                                    max_workers=max_workers, session=self)
+
+    def profile_provider(self, trace: Optional[Trace] = None,
+                         config: Optional[MachineConfig] = None,
+                         monitor=None, fragments: int = 12, seed: int = 0):
+        """The shotgun-profiler provider, sharing this session's sims."""
+        from repro.profiler.shotgun import profile_trace
+
+        trace, config = self._resolve(trace, config)
+        return profile_trace(trace, config, monitor=monitor,
+                             fragments=fragments, seed=seed, session=self)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop every memoised simulation result."""
+        self._sims.clear()
+        self._cycles.clear()
+
+
+# -- sweep pool worker state (the trace ships once per worker) ----------
+
+_worker_trace: Optional[Trace] = None
+
+
+def _init_sweep_worker(trace: Trace, env=None) -> None:
+    global _worker_trace
+    from repro.graph.engine import apply_child_env
+
+    apply_child_env(env, seed_tag="session-pool")
+    _worker_trace = trace
+
+
+def _sweep_point_cycles(point) -> int:
+    config, cats = point
+    ideal = IdealConfig.for_categories(cats) if cats else None
+    return _simulate(_worker_trace, config=config, ideal=ideal).cycles

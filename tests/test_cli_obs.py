@@ -109,6 +109,8 @@ class TestFlagsAcceptedEverywhere:
         "sensitivity": ["gzip"],
         "phases": ["gzip"],
         "critical": ["gzip"],
+        "compare": ["gzip"],
+        "multisim": ["gzip"],
     }
 
     def test_covers_every_subcommand(self):
