@@ -1,149 +1,10 @@
-"""The paper's published numbers, for side-by-side comparison output.
+"""Re-export shim: the paper's published numbers moved into the
+package (:mod:`repro.bench.paper_data`) so the ``repro bench`` suites
+can import them without the benchmarks directory on ``sys.path``.
 
-Values transcribed from Fields et al., MICRO-36 2003, Tables 4a/4b/4c
-and 7 (percent of execution time).  The benchmark harness prints these
-next to our measurements; absolute equality is not expected (different
-substrate, synthetic workloads), but the *shape* assertions in each
-benchmark encode what must carry over.
+Kept so the historical ``from paper_data import ...`` imports in this
+directory keep working unchanged.
 """
 
-#: Table 4a -- CPI breakdown with a four-cycle level-one cache.
-TABLE_4A = {
-    "bzip":   {"dl1": 22.2, "win": 16.4, "bw": 4.4, "bmisp": 41.0,
-               "dmiss": 23.8, "shalu": 9.9, "lgalu": 0.3, "imiss": 0.0,
-               "dl1+win": -5.2, "dl1+bw": 5.6, "dl1+bmisp": -10.8,
-               "dl1+dmiss": -0.7, "dl1+shalu": -4.1},
-    "crafty": {"dl1": 24.2, "win": 15.1, "bw": 8.0, "bmisp": 28.6,
-               "dmiss": 7.1, "shalu": 11.4, "lgalu": 0.9, "imiss": 0.7,
-               "dl1+win": -10.5, "dl1+bw": 9.9, "dl1+bmisp": -5.4,
-               "dl1+dmiss": -1.2, "dl1+shalu": -4.3},
-    "eon":    {"dl1": 18.2, "win": 15.7, "bw": 7.7, "bmisp": 15.8,
-               "dmiss": 0.7, "shalu": 5.4, "lgalu": 11.8, "imiss": 7.8,
-               "dl1+win": -6.8, "dl1+bw": 8.1, "dl1+bmisp": -4.9,
-               "dl1+dmiss": -0.4, "dl1+shalu": -1.0},
-    "gap":    {"dl1": 13.5, "win": 41.0, "bw": 2.8, "bmisp": 12.3,
-               "dmiss": 23.5, "shalu": 13.8, "lgalu": 5.6, "imiss": 0.7,
-               "dl1+win": -6.0, "dl1+bw": 2.8, "dl1+bmisp": -2.9,
-               "dl1+dmiss": -0.4, "dl1+shalu": -0.2},
-    "gcc":    {"dl1": 18.3, "win": 13.6, "bw": 8.2, "bmisp": 26.3,
-               "dmiss": 26.3, "shalu": 5.1, "lgalu": 0.4, "imiss": 2.2,
-               "dl1+win": -4.2, "dl1+bw": 10.0, "dl1+bmisp": -7.0,
-               "dl1+dmiss": -1.4, "dl1+shalu": -1.6},
-    "gzip":   {"dl1": 30.5, "win": 23.0, "bw": 5.7, "bmisp": 25.8,
-               "dmiss": 7.7, "shalu": 20.4, "lgalu": 0.7, "imiss": 0.1,
-               "dl1+win": -15.3, "dl1+bw": 6.0, "dl1+bmisp": -3.4,
-               "dl1+dmiss": -0.4, "dl1+shalu": -8.2},
-    "mcf":    {"dl1": 7.7, "win": 4.2, "bw": 0.5, "bmisp": 26.9,
-               "dmiss": 81.0, "shalu": 1.4, "lgalu": 0.0, "imiss": 0.0,
-               "dl1+win": -0.2, "dl1+bw": 0.3, "dl1+bmisp": -2.4,
-               "dl1+dmiss": -0.5, "dl1+shalu": -0.1},
-    "parser": {"dl1": 19.0, "win": 17.3, "bw": 2.9, "bmisp": 16.5,
-               "dmiss": 32.9, "shalu": 19.7, "lgalu": 0.1, "imiss": 0.1,
-               "dl1+win": -6.1, "dl1+bw": 4.9, "dl1+bmisp": -2.8,
-               "dl1+dmiss": -1.4, "dl1+shalu": -3.6},
-    "perl":   {"dl1": 31.6, "win": 4.4, "bw": 8.6, "bmisp": 38.0,
-               "dmiss": 1.4, "shalu": 7.3, "lgalu": 0.8, "imiss": 5.2,
-               "dl1+win": -4.3, "dl1+bw": 9.6, "dl1+bmisp": -7.6,
-               "dl1+dmiss": -0.2, "dl1+shalu": -1.4},
-    "twolf":  {"dl1": 19.4, "win": 25.1, "bw": 3.9, "bmisp": 24.1,
-               "dmiss": 34.4, "shalu": 7.8, "lgalu": 4.2, "imiss": 0.0,
-               "dl1+win": -4.1, "dl1+bw": 1.5, "dl1+bmisp": -6.5,
-               "dl1+dmiss": -1.3, "dl1+shalu": -0.3},
-    "vortex": {"dl1": 28.8, "win": 47.1, "bw": 5.3, "bmisp": 1.9,
-               "dmiss": 21.8, "shalu": 4.9, "lgalu": 1.6, "imiss": 2.8,
-               "dl1+win": -27.6, "dl1+bw": 17.6, "dl1+bmisp": -0.2,
-               "dl1+dmiss": -1.8, "dl1+shalu": -4.0},
-    "vpr":    {"dl1": 19.7, "win": 23.2, "bw": 5.8, "bmisp": 24.9,
-               "dmiss": 33.7, "shalu": 7.6, "lgalu": 3.6, "imiss": 0.0,
-               "dl1+win": -5.7, "dl1+bw": 1.8, "dl1+bmisp": -4.6,
-               "dl1+dmiss": -2.5, "dl1+shalu": -1.3},
-}
-
-#: Table 4b -- breakdown with a two-cycle issue-wakeup loop.
-TABLE_4B = {
-    "gap":    {"shalu": 37.0, "win": 46.5, "bw": 1.6, "bmisp": 8.0,
-               "dmiss": 17.4, "dl1": 4.9, "imiss": 0.4, "lgalu": 4.8,
-               "shalu+win": -26.8, "shalu+bw": 9.0, "shalu+bmisp": 1.0,
-               "shalu+dmiss": 2.0, "shalu+dl1": 0.4},
-    "gcc":    {"shalu": 13.1, "win": 12.5, "bw": 7.1, "bmisp": 26.3,
-               "dmiss": 26.8, "dl1": 10.9, "imiss": 2.0, "lgalu": 0.5,
-               "shalu+win": -2.2, "shalu+bw": 9.9, "shalu+bmisp": -5.7,
-               "shalu+dmiss": 0.1, "shalu+dl1": -2.4},
-    "gzip":   {"shalu": 39.2, "win": 13.0, "bw": 4.4, "bmisp": 24.0,
-               "dmiss": 8.6, "dl1": 17.0, "imiss": 0.1, "lgalu": 0.6,
-               "shalu+win": -9.1, "shalu+bw": 8.3, "shalu+bmisp": -5.4,
-               "shalu+dmiss": -1.2, "shalu+dl1": -7.8},
-    "mcf":    {"shalu": 3.3, "win": 4.0, "bw": 0.4, "bmisp": 27.4,
-               "dmiss": 82.1, "dl1": 4.5, "imiss": 0.0, "lgalu": -0.0,
-               "shalu+win": 0.1, "shalu+bw": 0.7, "shalu+bmisp": -2.3,
-               "shalu+dmiss": 0.4, "shalu+dl1": -0.2},
-    "parser": {"shalu": 38.2, "win": 18.3, "bw": 2.4, "bmisp": 13.7,
-               "dmiss": 28.8, "dl1": 9.2, "imiss": 0.0, "lgalu": 0.1,
-               "shalu+win": -12.9, "shalu+bw": 6.3, "shalu+bmisp": -1.2,
-               "shalu+dmiss": -0.0, "shalu+dl1": -3.2},
-}
-
-#: Table 4c -- breakdown with a 15-cycle branch-mispredict loop.
-TABLE_4C = {
-    "gap":    {"bmisp": 11.7, "dl1": 6.8, "win": 38.7, "bw": 3.8,
-               "dmiss": 26.4, "shalu": 14.2, "lgalu": 6.0, "imiss": 0.8,
-               "bmisp+dl1": -1.7, "bmisp+win": 2.1, "bmisp+bw": -1.2,
-               "bmisp+dmiss": 0.3, "bmisp+shalu": 0.4},
-    "gcc":    {"bmisp": 25.5, "dl1": 10.4, "win": 11.8, "bw": 12.8,
-               "dmiss": 29.5, "shalu": 5.0, "lgalu": 0.3, "imiss": 2.5,
-               "bmisp+dl1": -4.7, "bmisp+win": 9.6, "bmisp+bw": -1.2,
-               "bmisp+dmiss": -1.3, "bmisp+shalu": -3.0},
-    "gzip":   {"bmisp": 27.8, "dl1": 19.1, "win": 9.3, "bw": 8.0,
-               "dmiss": 10.8, "shalu": 21.3, "lgalu": 0.8, "imiss": 0.1,
-               "bmisp+dl1": -2.4, "bmisp+win": 12.4, "bmisp+bw": -2.6,
-               "bmisp+dmiss": -0.2, "bmisp+shalu": -3.7},
-    "mcf":    {"bmisp": 26.7, "dl1": 4.5, "win": 4.2, "bw": 0.5,
-               "dmiss": 84.0, "shalu": 1.5, "lgalu": 0.0, "imiss": 0.0,
-               "bmisp+dl1": -1.5, "bmisp+win": 5.3, "bmisp+bw": -0.2,
-               "bmisp+dmiss": -16.4, "bmisp+shalu": -1.1},
-    "parser": {"bmisp": 16.8, "dl1": 10.6, "win": 14.7, "bw": 4.0,
-               "dmiss": 37.3, "shalu": 20.4, "lgalu": 0.1, "imiss": 0.1,
-               "bmisp+dl1": -1.8, "bmisp+win": 14.2, "bmisp+bw": -1.3,
-               "bmisp+dmiss": -4.6, "bmisp+shalu": -0.7},
-}
-
-#: Table 7 -- multisim baselines for gcc/parser/twolf (percent of CPI)
-#: and the headline average-error figures.
-TABLE_7_MULTISIM = {
-    "gcc":    {"dl1": 16.1, "win": 11.7, "bw": 10.8, "bmisp": 26.8,
-               "dmiss": 25.3, "shalu": 4.7, "lgalu": 0.3, "imiss": 2.1,
-               "dl1+win": -3.4, "dl1+bw": 10.4, "dl1+bmisp": -7.4},
-    "parser": {"dl1": 17.0, "win": 15.0, "bw": 3.5, "bmisp": 17.3,
-               "dmiss": 32.5, "shalu": 18.3, "lgalu": 0.1, "imiss": 0.1,
-               "dl1+win": -5.1, "dl1+bw": 5.7, "dl1+bmisp": -2.2},
-    "twolf":  {"dl1": 17.1, "win": 22.2, "bw": 4.4, "bmisp": 24.3,
-               "dmiss": 34.2, "shalu": 8.0, "lgalu": 4.3, "imiss": 0.1,
-               "dl1+win": -3.2, "dl1+bw": 1.8, "dl1+bmisp": -5.6},
-}
-
-#: Section 6's headline error figures.
-PAPER_AVG_ERR_PROFILER_VS_GRAPH = 0.09
-PAPER_AVG_ERR_PROFILER_VS_MULTISIM = 0.11
-
-#: Section 4.2's wakeup corollary: gap window 64->128 speedup.
-PAPER_GAP_WAKEUP_SPEEDUPS = {1: 12.0, 2: 18.0}
-
-#: Figure 3's 50%-greater-speedup observation (dl1 4 vs 1, window 64->128).
-PAPER_FIG3_SPEEDUPS = {1: 6.0, 4: 9.0}
-
-
-def comparison_rows(measured: dict, paper: dict, labels=None):
-    """Yield (label, measured, paper) rows for side-by-side printing."""
-    labels = labels or [k for k in paper if k in measured]
-    for label in labels:
-        yield label, measured.get(label), paper.get(label)
-
-
-def print_comparison(title: str, measured: dict, paper: dict,
-                     labels=None) -> None:
-    print(f"\n{title}")
-    print(f"{'category':>12} {'measured':>9} {'paper':>7}")
-    for label, m, p in comparison_rows(measured, paper, labels):
-        m_text = "-" if m is None else f"{m:9.1f}"
-        p_text = "-" if p is None else f"{p:7.1f}"
-        print(f"{label:>12} {m_text} {p_text}")
+from repro.bench.paper_data import *  # noqa: F401,F403
+from repro.bench.paper_data import __all__  # noqa: F401

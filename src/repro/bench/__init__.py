@@ -1,0 +1,19 @@
+"""Benchmark suites over the paper's tables, figures and speedups.
+
+:mod:`repro.bench.paper_data` holds the transcription of the paper's
+published numbers; :mod:`repro.bench.suites` declares the runnable
+suites ``repro bench`` executes; :mod:`repro.bench.analyses` registers
+the ``bench`` and ``ledger`` subcommands (imported for its side effect
+by :mod:`repro.session`).
+
+See ``docs/OBSERVABILITY.md`` ("Run ledger & benchmarking").
+"""
+
+from repro.bench.suites import SUITES, BenchSettings, CaseOutcome, run_suite
+
+__all__ = [
+    "SUITES",
+    "BenchSettings",
+    "CaseOutcome",
+    "run_suite",
+]

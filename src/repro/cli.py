@@ -29,7 +29,9 @@ prints a summary table of pipeline counters after the run, and
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
 import repro.obs as obs
@@ -49,7 +51,22 @@ def _obs_flags_parser() -> argparse.ArgumentParser:
     group.add_argument("--log-level", default=None,
                        choices=["debug", "info", "warning", "error"],
                        help="explicit log level (overrides -v)")
+    group.add_argument("--ledger-dir", metavar="DIR", default=None,
+                       help="append a run manifest to the ledger in DIR "
+                            "(default: $REPRO_LEDGER_DIR when set)")
+    group.add_argument("--no-ledger", action="store_true",
+                       help="do not record this run even if "
+                            "$REPRO_LEDGER_DIR is set")
     return obs_flags
+
+
+def _ledger_active(args: argparse.Namespace) -> bool:
+    """Whether this invocation records a manifest to the run ledger."""
+    from repro.obs.ledger import LEDGER_DIR_ENV
+
+    if args.no_ledger or not args.analysis.ledger_record:
+        return False
+    return bool(args.ledger_dir or os.environ.get(LEDGER_DIR_ENV))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,13 +95,30 @@ def _dispatch(args: argparse.Namespace) -> int:
     """Run the selected analysis: session -> result -> rendered text."""
     analysis = args.analysis
     session = analysis.make_session(args)
+    t0 = time.perf_counter()
     try:
         result = analysis.run(session, args)
+        if _ledger_active(args):
+            _record_run(args, session, result,
+                        time.perf_counter() - t0)
     finally:
         session.close()
     out = analysis.render(result, args)
     print(out, end="" if out.endswith("\n") else "\n")
     return 0
+
+
+def _record_run(args: argparse.Namespace, session, result,
+                wall_s: float) -> None:
+    """Append this run's manifest to the active ledger."""
+    from repro.obs.ledger import build_manifest, open_ledger
+
+    ledger = open_ledger(args.ledger_dir)
+    manifest = build_manifest(args.analysis.name, session, result,
+                              collector=obs.collector(), wall_s=wall_s)
+    run_id = ledger.append(manifest)
+    if run_id:
+        print(f"recorded run {run_id} in {ledger.path}", file=sys.stderr)
 
 
 def _log_level(args) -> str:
@@ -106,7 +140,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     obs.setup_logging(_log_level(args))
-    collector = obs.enable() if (args.trace or args.metrics) else None
+    # the ledger wants per-phase timings and counters in its manifest,
+    # so an active ledger turns the collector on too
+    collector = obs.enable() if (args.trace or args.metrics
+                                 or _ledger_active(args)) else None
     try:
         code = _dispatch(args)
     except BrokenPipeError:

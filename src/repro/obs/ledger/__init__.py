@@ -1,0 +1,65 @@
+"""Cross-run observability: the append-only run ledger.
+
+:mod:`repro.obs` answers "where did *this* run spend its time"; the
+ledger answers the longitudinal question -- did accuracy, throughput
+or cache efficiency regress *between* runs?  Three pieces:
+
+- :mod:`repro.obs.ledger.manifest` builds one run **manifest** (config
+  digest, trace fingerprint, per-phase wall-clock, counters, result
+  metrics + digest, host info), split into deterministic and volatile
+  sections;
+- :mod:`repro.obs.ledger.store` appends manifests atomically to a
+  JSONL ledger (``$REPRO_LEDGER_DIR``) and resolves run references;
+- :mod:`repro.obs.ledger.report` diffs two manifests under
+  configurable thresholds and renders terminal / HTML reports.
+
+See ``docs/OBSERVABILITY.md`` ("Run ledger & benchmarking").
+"""
+
+from repro.obs.ledger.manifest import (
+    MANIFEST_SCHEMA,
+    VOLATILE_SECTIONS,
+    build_manifest,
+    host_info,
+    phase_timings,
+    result_metrics,
+    stable_view,
+)
+from repro.obs.ledger.report import (
+    Finding,
+    LedgerDiff,
+    Thresholds,
+    diff_manifests,
+    render_diff_table,
+    render_html_report,
+)
+from repro.obs.ledger.store import (
+    LEDGER_DIR_ENV,
+    LEDGER_FILENAME,
+    LedgerError,
+    RunLedger,
+    open_ledger,
+    validate_manifest,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "VOLATILE_SECTIONS",
+    "build_manifest",
+    "host_info",
+    "phase_timings",
+    "result_metrics",
+    "stable_view",
+    "Finding",
+    "LedgerDiff",
+    "Thresholds",
+    "diff_manifests",
+    "render_diff_table",
+    "render_html_report",
+    "LEDGER_DIR_ENV",
+    "LEDGER_FILENAME",
+    "LedgerError",
+    "RunLedger",
+    "open_ledger",
+    "validate_manifest",
+]

@@ -1,0 +1,222 @@
+"""The append-only run ledger: persistent memory across analysis runs.
+
+The in-process :mod:`repro.obs` collector dies with the process; the
+ledger is what survives.  Every recorded run appends one **manifest**
+-- a self-describing JSON document (:mod:`repro.obs.ledger.manifest`)
+-- as one line of ``ledger.jsonl`` under the ledger directory
+(``$REPRO_LEDGER_DIR`` or an explicit path).
+
+Concurrency follows the :class:`repro.pipeline.artifacts.ArtifactCache`
+discipline of never exposing a partial artifact: each manifest is
+rendered to its line off to the side first, then published with a
+*single* ``write(2)`` on an ``O_APPEND`` descriptor -- the append-only
+analogue of the cache's tmp-file + atomic rename -- so concurrent
+writers sharing one ledger can interleave whole lines but never split
+one.  Readers tolerate (and report) trailing garbage from torn writes
+on non-POSIX filesystems rather than refusing the whole ledger.
+
+A ledger with no directory configured is *disabled*: every append is a
+no-op and every read sees an empty ledger, so callers never
+special-case ``--no-ledger`` (mirroring the disabled artifact cache).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+import repro.obs as obs
+
+__all__ = [
+    "LEDGER_DIR_ENV",
+    "LEDGER_FILENAME",
+    "LedgerError",
+    "RunLedger",
+    "open_ledger",
+    "validate_manifest",
+]
+
+#: Environment variable supplying a default ledger directory.
+LEDGER_DIR_ENV = "REPRO_LEDGER_DIR"
+
+#: The append-only JSONL file inside the ledger directory.
+LEDGER_FILENAME = "ledger.jsonl"
+
+#: Required top-level sections of a manifest and their types.  The
+#: schema is deliberately shallow: deep content is versioned by
+#: ``schema`` and digested into ``run``/``result``, so old readers can
+#: always list/diff newer manifests.
+_REQUIRED: Dict[str, type] = {
+    "schema": int,
+    "meta": dict,
+    "run": dict,
+    "phases": dict,
+    "counters": dict,
+    "metrics": dict,
+    "perf": dict,
+    "result": dict,
+}
+
+#: Required keys inside the sections the tooling navigates by.
+_REQUIRED_META = ("run_id", "timestamp", "host")
+_REQUIRED_RUN = ("command", "config_digest")
+
+
+class LedgerError(ValueError):
+    """A malformed manifest or an unresolvable run reference."""
+
+
+def validate_manifest(manifest: Any) -> List[str]:
+    """The list of schema problems of *manifest* (empty when valid)."""
+    problems: List[str] = []
+    if not isinstance(manifest, dict):
+        return [f"manifest is {type(manifest).__name__}, not an object"]
+    for key, kind in _REQUIRED.items():
+        if key not in manifest:
+            problems.append(f"missing section {key!r}")
+        elif not isinstance(manifest[key], kind):
+            problems.append(f"section {key!r} is "
+                            f"{type(manifest[key]).__name__}, "
+                            f"not {kind.__name__}")
+    for key in _REQUIRED_META:
+        if key not in manifest.get("meta", {}):
+            problems.append(f"missing meta.{key}")
+    for key in _REQUIRED_RUN:
+        if key not in manifest.get("run", {}):
+            problems.append(f"missing run.{key}")
+    return problems
+
+
+class RunLedger:
+    """Append-only JSONL store of run manifests.
+
+    *root* is the ledger directory; ``None`` consults
+    :data:`LEDGER_DIR_ENV`, and a ledger with no root is disabled.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        if root is None:
+            root = os.environ.get(LEDGER_DIR_ENV) or None
+        self.root = root
+        #: one-line parse problems encountered by the last :meth:`runs`
+        self.read_errors: List[str] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    @property
+    def path(self) -> str:
+        """The ledger file location (raises when disabled)."""
+        if not self.enabled:
+            raise RuntimeError("run ledger is disabled")
+        return os.path.join(self.root, LEDGER_FILENAME)
+
+    # -- writing -------------------------------------------------------
+
+    def append(self, manifest: Dict[str, Any]) -> Optional[str]:
+        """Validate and publish *manifest*; returns its run id.
+
+        The encoded line is written with one ``os.write`` on an
+        ``O_APPEND`` descriptor so concurrent appenders never interleave
+        within a line.  A disabled ledger returns ``None`` untouched.
+        """
+        if not self.enabled:
+            return None
+        problems = validate_manifest(manifest)
+        if problems:
+            raise LedgerError("refusing to append malformed manifest: "
+                              + "; ".join(problems))
+        line = json.dumps(manifest, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        os.makedirs(self.root, exist_ok=True)
+        fd = os.open(self.path,
+                     os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        obs.count("ledger.append")
+        return manifest["meta"]["run_id"]
+
+    # -- reading -------------------------------------------------------
+
+    def runs(self, strict: bool = False) -> List[Dict[str, Any]]:
+        """Every manifest in append order (oldest first).
+
+        Unparseable or schema-invalid lines are skipped and recorded in
+        :attr:`read_errors` (``strict=True`` raises instead), so one
+        torn write cannot take the history with it.
+        """
+        self.read_errors = []
+        if not self.enabled or not os.path.exists(self.path):
+            return []
+        out: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    manifest = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    self._problem(f"line {lineno}: {exc}", strict)
+                    continue
+                problems = validate_manifest(manifest)
+                if problems:
+                    self._problem(
+                        f"line {lineno}: " + "; ".join(problems), strict)
+                    continue
+                out.append(manifest)
+        return out
+
+    def _problem(self, message: str, strict: bool) -> None:
+        if strict:
+            raise LedgerError(message)
+        self.read_errors.append(message)
+        obs.count("ledger.read_error")
+
+    def get(self, ref: str) -> Dict[str, Any]:
+        """Resolve *ref* to one manifest.
+
+        *ref* may be a full run id, a unique run-id prefix, or a
+        negative index (``-1`` = most recent append).  Ambiguous or
+        unknown references raise :class:`LedgerError`.
+        """
+        runs = self.runs()
+        try:
+            index = int(ref)
+        except ValueError:
+            index = None
+        if index is not None and index < 0:
+            if -index > len(runs):
+                raise LedgerError(
+                    f"ledger holds {len(runs)} run(s); no run {ref}")
+            return runs[index]
+        matches = [m for m in runs
+                   if m["meta"]["run_id"].startswith(ref)]
+        if not matches:
+            raise LedgerError(f"no run matching {ref!r} "
+                              f"({len(runs)} run(s) in the ledger)")
+        distinct = {m["meta"]["run_id"] for m in matches}
+        if len(distinct) > 1:
+            raise LedgerError(
+                f"run reference {ref!r} is ambiguous: "
+                + ", ".join(sorted(distinct)))
+        return matches[-1]  # re-runs of an identical config: latest wins
+
+
+def open_ledger(root: Optional[str] = None,
+                disabled: bool = False) -> RunLedger:
+    """The run ledger an invocation should record into.
+
+    ``disabled`` wins over everything, including a configured
+    ``$REPRO_LEDGER_DIR`` -- it returns a ledger whose appends are
+    no-ops (the ``--no-ledger`` contract).
+    """
+    if disabled:
+        ledger = RunLedger.__new__(RunLedger)
+        ledger.root = None
+        ledger.read_errors = []
+        return ledger
+    return RunLedger(root)

@@ -58,6 +58,20 @@ from repro.uarch.core import simulate
 from repro.uarch.events import SimResult
 
 
+#: Manifest phase of each pipeline stage span, consumed by
+#: :mod:`repro.obs.ledger.manifest` when bucketing per-phase
+#: wall-clock.  Lives next to the ``obs.span`` call sites so renaming a
+#: stage forces this map (and therefore the ledger) to follow.
+STAGE_PHASES: Dict[str, str] = {
+    "pipeline.simulate": "simulate",
+    "pipeline.build": "build",
+    "pipeline.stitch": "build",
+    "pipeline.pool_build": "build",
+    "pipeline.analyze": "analyze",
+    "pipeline.pool_analyze": "analyze",
+}
+
+
 @dataclass
 class PipelineOptions:
     """Knobs of one pipeline run (the CLI flags map onto these 1:1)."""

@@ -32,8 +32,9 @@ from repro.session.registry import (
 )
 from repro.session.session import AnalysisSession
 
-# populate the registry with the built-in analyses
+# populate the registry with the built-in analyses (+ bench/ledger)
 import repro.session.analyses as _analyses  # noqa: E402,F401  (registration side effect)
+import repro.bench.analyses as _bench_analyses  # noqa: E402,F401  (registration side effect)
 
 __all__ = [
     "AnalysisSession",

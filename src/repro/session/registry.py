@@ -84,6 +84,10 @@ class Analysis:
     #: the dataclass this analysis returns (for registry completeness
     #: checks and round-trip tests)
     result_type: ClassVar[Optional[type]] = None
+    #: whether a run of this analysis appends a manifest to the run
+    #: ledger when one is active (``repro ledger`` itself opts out --
+    #: reading history must not rewrite it)
+    ledger_record: ClassVar[bool] = True
 
     def configure(self, parser: argparse.ArgumentParser) -> None:
         """Attach this analysis's declared arguments to *parser*."""

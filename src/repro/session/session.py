@@ -140,6 +140,24 @@ class AnalysisSession:
 
     # -- cached simulation ---------------------------------------------
 
+    def _run_simulator(self, trace: Trace, config: MachineConfig,
+                       cats: FrozenSet[Category]) -> SimResult:
+        """Invoke the simulator for one genuinely cold point.
+
+        This is the **only** in-process site that both calls the
+        simulator and emits the ``session.simulate`` counter, so the
+        counter equals the number of simulator invocations by
+        construction -- regardless of whether a point arrives through
+        :meth:`simulate`, :meth:`cycles` or :meth:`sweep`
+        (``tests/test_session.py`` pins this).  The pool path of
+        :meth:`sweep` is the one exception: workers run the simulator
+        in other processes, so :meth:`_pool_sweep` bulk-emits the
+        counter on their behalf.
+        """
+        obs.count("session.simulate")
+        ideal_cfg = IdealConfig.for_categories(cats) if cats else None
+        return _simulate(trace, config=config, ideal=ideal_cfg)
+
     def simulate(self, config: Optional[MachineConfig] = None,
                  ideal=None, trace: Optional[Trace] = None) -> SimResult:
         """A full simulation result, memoised by content.
@@ -162,9 +180,7 @@ class AnalysisSession:
             if result is not None:
                 obs.count("session.simulate.cache_hit")
         if result is None:
-            obs.count("session.simulate")
-            ideal_cfg = IdealConfig.for_categories(cats) if cats else None
-            result = _simulate(trace, config=config, ideal=ideal_cfg)
+            result = self._run_simulator(trace, config, cats)
             if not cats:
                 self.cache.put_sim(key, result)
             self.cache.put_json("cycles", key,
@@ -196,9 +212,7 @@ class AnalysisSession:
                 value = int(payload["cycles"])
                 self._cycles[key] = value
                 return value
-        obs.count("session.simulate")
-        ideal_cfg = IdealConfig.for_categories(cats) if cats else None
-        value = _simulate(trace, config=config, ideal=ideal_cfg).cycles
+        value = self._run_simulator(trace, config, cats).cycles
         self._cycles[key] = value
         self.cache.put_json("cycles", key, {"cycles": int(value)})
         return value
@@ -245,10 +259,8 @@ class AnalysisSession:
                 todo = self._pool_sweep(trace, unique, todo, jobs)
             for key in todo:
                 cfg, cats = unique[key]
-                obs.count("session.simulate")
-                ideal_cfg = IdealConfig.for_categories(cats) if cats else None
-                self._cycles[key] = _simulate(trace, config=cfg,
-                                              ideal=ideal_cfg).cycles
+                self._cycles[key] = \
+                    self._run_simulator(trace, cfg, cats).cycles
                 self.cache.put_json("cycles", key,
                                     {"cycles": int(self._cycles[key])})
         return [self._cycles[key] for key in keys]
@@ -270,6 +282,8 @@ class AnalysisSession:
         except Exception:
             obs.count("session.pool_error")
             return todo
+        # workers simulated out of process: count on their behalf (the
+        # one emission outside _run_simulator -- see its docstring)
         obs.count("session.simulate", len(todo))
         for key, value in zip(todo, results):
             self._cycles[key] = int(value)

@@ -15,6 +15,12 @@ from repro.uarch import IdealConfig, MachineConfig, simulate
 from repro.workloads.registry import get_workload
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_ledger(monkeypatch):
+    """Keep an ambient $REPRO_LEDGER_DIR from leaking runs into tests."""
+    monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+
+
 def build_loop_program(iterations: int = 50, *, loads: bool = True,
                        stride: int = 8, muls: bool = False,
                        name: str = "fixture-loop"):

@@ -111,6 +111,8 @@ class TestFlagsAcceptedEverywhere:
         "critical": ["gzip"],
         "compare": ["gzip"],
         "multisim": ["gzip"],
+        "bench": [],
+        "ledger": ["list"],
     }
 
     def test_covers_every_subcommand(self):

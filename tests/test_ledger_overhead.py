@@ -1,0 +1,97 @@
+"""The disabled-ledger overhead budget (guard-rail of the run ledger).
+
+Mirror of ``tests/test_obs_overhead.py``: before trusting the ledger,
+bill its *disabled* path.  A run with no ledger configured pays one
+``open_ledger()`` plus an early-returning ``append`` per prospective
+record point; both factors are measured empirically and their product
+-- even at a call volume far above what a real run issues -- must stay
+under the same 3% budget the obs layer honours.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.ledger import open_ledger
+from repro.obs.overhead import time_run
+from repro.workloads import get_workload
+
+#: Same acceptance budget as the obs layer: within 3% of uninstrumented.
+BUDGET = 0.03
+
+#: Disabled-ledger operations billed against one run.  A real run
+#: performs exactly one open + one append attempt; a thousandfold
+#: safety margin keeps the guard-rail meaningful rather than trivial.
+CALLS_PER_RUN = 1000
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _gcc_breakdown():
+    from repro.analysis.graphsim import analyze_trace
+    from repro.core import interaction_breakdown
+    from repro.core.categories import Category
+
+    trace = get_workload("gcc", scale=0.5)
+    provider = analyze_trace(trace, engine="batched")
+    return interaction_breakdown(provider, focus=Category.DL1,
+                                 workload="gcc")
+
+
+def _per_call_seconds(fn, iterations=20_000, repeats=3):
+    """Cheapest observed per-call cost of *fn* (min over repeats)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, (time.perf_counter() - start) / iterations)
+    return best
+
+
+class TestDisabledLedgerCosts:
+    def test_disabled_append_is_sub_microsecond_scale(self):
+        ledger = open_ledger(disabled=True)
+        manifest = {"schema": 1}
+        per_call = _per_call_seconds(lambda: ledger.append(manifest))
+        assert 0 < per_call < 1e-5  # far below 10us per disabled append
+
+    def test_disabled_append_touches_no_state(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path))
+        ledger = open_ledger(disabled=True)  # --no-ledger beats the env
+        assert ledger.append({"schema": 1}) is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_open_ledger_is_cheap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+        per_call = _per_call_seconds(open_ledger, iterations=5_000)
+        assert per_call < 1e-4  # well below 100us per construction
+
+
+class TestDisabledLedgerBudget:
+    def test_gcc_breakdown_within_budget(self):
+        get_workload("gcc", scale=0.5)  # warm the trace cache
+
+        ledger = open_ledger(disabled=True)
+        manifest = {"schema": 1}
+        per_append = _per_call_seconds(lambda: ledger.append(manifest))
+        per_open = _per_call_seconds(open_ledger, iterations=5_000)
+
+        run_seconds = time_run(_gcc_breakdown)  # ledger-free baseline
+        assert run_seconds > 0
+
+        billed = CALLS_PER_RUN * (per_append + per_open)
+        fraction = billed / run_seconds
+        assert fraction < BUDGET, (
+            f"{CALLS_PER_RUN} disabled ledger open+append pairs cost "
+            f"{billed * 1e3:.3f} ms against a {run_seconds * 1e3:.0f} ms "
+            f"run: {fraction:.2%} > {BUDGET:.0%}")
+        # the *realistic* bill (one open + one append per run) is not
+        # merely under budget -- its margin is orders of magnitude
+        assert (per_append + per_open) / run_seconds < BUDGET / 100

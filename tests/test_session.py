@@ -78,6 +78,76 @@ class TestMemoisedSimulation:
         assert session.trace.name == "gzip"
 
 
+class TestSimulateCounterFaithful:
+    """``session.simulate`` counts real simulator invocations, exactly.
+
+    Emission lives in one place (``AnalysisSession._run_simulator``, the
+    pool path bulk-counting on its workers' behalf being the documented
+    exception), so ``--metrics`` counts each invocation once regardless
+    of which public method triggered it or in what order.
+    """
+
+    @pytest.fixture
+    def counting_simulate(self, monkeypatch):
+        import repro.session.session as session_mod
+
+        real = session_mod._simulate
+        calls = []
+
+        def counted(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(session_mod, "_simulate", counted)
+        return calls
+
+    def _assert_faithful(self, c, calls):
+        assert c.counter("session.simulate") == len(calls) > 0
+
+    def test_simulate_then_cycles(self, gzip_trace, counting_simulate):
+        session = AnalysisSession.for_trace(gzip_trace)
+        c = obs.enable()
+        session.simulate()
+        session.cycles()  # served by the simulate memo: no new run
+        obs.disable()
+        assert len(counting_simulate) == 1
+        self._assert_faithful(c, counting_simulate)
+
+    def test_cycles_then_simulate(self, gzip_trace, counting_simulate):
+        """The reverse order really simulates twice (the cycles-only
+        memo keeps no SimResult) -- and the counter says so."""
+        session = AnalysisSession.for_trace(gzip_trace)
+        c = obs.enable()
+        session.cycles()
+        session.simulate()
+        obs.disable()
+        assert len(counting_simulate) == 2
+        self._assert_faithful(c, counting_simulate)
+
+    def test_sweep_with_duplicates(self, gzip_trace, counting_simulate):
+        session = AnalysisSession.for_trace(gzip_trace)
+        base = session.machine
+        points = [base, (base, frozenset({Category.DL1})),
+                  base, (base, frozenset({Category.DL1}))]
+        c = obs.enable()
+        session.sweep(points, jobs=1)
+        obs.disable()
+        assert len(counting_simulate) == 2  # duplicates deduplicated
+        self._assert_faithful(c, counting_simulate)
+
+    def test_mixed_entry_points(self, gzip_trace, counting_simulate):
+        session = AnalysisSession.for_trace(gzip_trace)
+        c = obs.enable()
+        session.cycles()                            # 1st run
+        session.sweep([session.machine,
+                       (session.machine, frozenset({Category.DL1}))],
+                      jobs=1)                       # 2nd run (base deduped)
+        session.simulate()                          # 3rd run
+        session.simulate()                          # memo hit
+        obs.disable()
+        self._assert_faithful(c, counting_simulate)
+
+
 class TestSweepDeduplication:
     def test_duplicate_points_cost_one_simulation(self, gzip_trace):
         session = AnalysisSession.for_trace(gzip_trace)
