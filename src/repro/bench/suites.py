@@ -250,15 +250,31 @@ def case_engine(session, settings: BenchSettings) -> MetricPair:
 
 
 def case_pipeline(session, settings: BenchSettings) -> MetricPair:
-    """Pipeline speedup: sharded cold run vs the monolithic path."""
+    """Pipeline speedup: sharded cold run vs the monolithic path.
+
+    The monolithic baseline is timed twice: once on the default
+    (``auto``) simulator engine -- the historical apples-to-apples
+    ``pipeline.speedup_cold`` -- and once with the simulator pinned to
+    the reference core (``pipeline.mono_reference_ms``), which is what
+    the whole stack cost before the fast core existed.
+    """
     from repro.analysis.graphsim import analyze_trace
     from repro.core.categories import Category
     from repro.pipeline import PipelineOptions, run_pipeline
+    from repro.session import AnalysisSession
     from repro.workloads.registry import get_workload
 
     name = _names(settings, ("gcc",))[0]
     trace = get_workload(name, scale=settings.scale, seed=settings.seed)
     config = _config(None, settings)
+
+    ref_session = AnalysisSession.for_trace(trace, config=config,
+                                            sim_engine="reference")
+    t0 = time.perf_counter()
+    mono_ref = analyze_trace(trace, config=config, engine="batched",
+                             session=ref_session)
+    bd_ref, _ = _timed_breakdown(mono_ref, Category.DL1, name)
+    mono_reference_ms = (time.perf_counter() - t0) * 1000.0
 
     t0 = time.perf_counter()
     mono = analyze_trace(trace, config=config, engine="batched")
@@ -273,15 +289,91 @@ def case_pipeline(session, settings: BenchSettings) -> MetricPair:
     pipe_ms = (time.perf_counter() - t0) * 1000.0
     provider.close()
 
-    metrics = {"pipeline.max_abs_pp_delta": round(
-        _max_abs_pp_delta(bd_mono, bd_pipe), 6)}
+    metrics = {
+        "pipeline.max_abs_pp_delta": round(
+            _max_abs_pp_delta(bd_mono, bd_pipe), 6),
+        "pipeline.max_abs_pp_delta_vs_reference": round(
+            _max_abs_pp_delta(bd_ref, bd_pipe), 6),
+    }
     perf = {
         "pipeline.mono_ms": round(mono_ms, 3),
+        "pipeline.mono_reference_ms": round(mono_reference_ms, 3),
         "pipeline.pipe_ms": round(pipe_ms, 3),
         "pipeline.mono_breakdown_ms": round(mono_bd_ms, 3),
     }
     if pipe_ms > 0:
         perf["pipeline.speedup_cold"] = round(mono_ms / pipe_ms, 3)
+        perf["pipeline.speedup_vs_reference"] = round(
+            mono_reference_ms / pipe_ms, 3)
+    return metrics, perf
+
+
+def _event_mismatches(a, b) -> int:
+    """Instructions whose event records differ between two results."""
+    return sum(ea != eb for ea, eb in zip(a.events, b.events)) + abs(
+        len(a.events) - len(b.events))
+
+
+def case_sim(session, settings: BenchSettings) -> MetricPair:
+    """Simulator-core speedup: the batched columnar fast core vs the
+    reference cycle-stepped core, pinned bit-identical.
+
+    Times one full-event simulation per engine, then the paper's
+    nine-point sweep (base + eight single idealizations) through the
+    batched ``cycles_many`` entry vs a reference loop.  The accuracy
+    metrics must stay exactly zero: the fast core's contract is
+    bit-identical events, not approximation.
+    """
+    from repro.core.categories import BASE_CATEGORIES
+    from repro.uarch import fastcore
+    from repro.uarch.config import IdealConfig
+    from repro.workloads.registry import get_workload
+
+    name = _names(settings, ("gcc",))[0]
+    trace = get_workload(name, scale=settings.scale, seed=settings.seed)
+    config = _config(None, settings)
+    # the on-demand kernel compile is a once-per-process cost, not a
+    # per-simulation one: pay it outside the timed regions
+    fastcore.sim_native_kernel()
+
+    # this case times the raw simulator cores on purpose -- routing
+    # through the session's memoised simulate() would time the cache,
+    # not the engines (hence the module-qualified calls the session
+    # lint sanctions for deliberate bypasses)
+    t0 = time.perf_counter()
+    res_ref = fastcore.simulate(trace, config=config, engine="reference")
+    reference_ms = (time.perf_counter() - t0) * 1000.0
+    t0 = time.perf_counter()
+    res_fast = fastcore.simulate(trace, config=config, engine="fast")
+    fast_ms = (time.perf_counter() - t0) * 1000.0
+
+    points = [(config, None)] + [
+        (config, IdealConfig.for_categories((c,))) for c in BASE_CATEGORIES]
+    t0 = time.perf_counter()
+    batched = fastcore.cycles_many(trace, points, engine="fast")
+    batched_sweep_ms = (time.perf_counter() - t0) * 1000.0
+    t0 = time.perf_counter()
+    looped = [fastcore.simulate(trace, config=cfg, ideal=ideal,
+                                engine="reference").cycles
+              for cfg, ideal in points]
+    reference_sweep_ms = (time.perf_counter() - t0) * 1000.0
+
+    metrics = {
+        "sim.event_mismatches": float(_event_mismatches(res_ref, res_fast)),
+        "sim.max_abs_cycle_delta": float(max(
+            abs(a - b) for a, b in zip(batched, looped))),
+    }
+    perf = {
+        "sim.reference_ms": round(reference_ms, 3),
+        "sim.fast_ms": round(fast_ms, 3),
+        "sim.batched_sweep_ms": round(batched_sweep_ms, 3),
+        "sim.reference_sweep_ms": round(reference_sweep_ms, 3),
+    }
+    if fast_ms > 0:
+        perf["sim.speedup"] = round(reference_ms / fast_ms, 3)
+    if batched_sweep_ms > 0:
+        perf["sim.speedup_batched_sweep"] = round(
+            reference_sweep_ms / batched_sweep_ms, 3)
     return metrics, perf
 
 
@@ -296,6 +388,7 @@ _CASES: Dict[str, Case] = {
     "figure3": case_figure3,
     "engine": case_engine,
     "pipeline": case_pipeline,
+    "sim": case_sim,
 }
 
 #: suite name -> ordered case names.  ``smoke`` is the reduced suite CI
@@ -305,7 +398,8 @@ SUITES: Dict[str, Tuple[str, ...]] = {
     "tables": ("table4a", "table4b", "table4c", "table7"),
     "figures": ("figure1", "figure3"),
     "engine": ("engine",),
-    "pipeline": ("pipeline",),
+    "pipeline": ("pipeline", "sim"),
+    "sim": ("sim",),
     "smoke": ("table4a", "figure1"),
 }
 

@@ -477,7 +477,8 @@ _worker_engine: Optional[BatchedEngine] = None
 #: captures them explicitly at submission time and re-applies them in
 #: the worker initializer.
 CHILD_ENV_VARS = ("REPRO_ENGINE_NO_NATIVE", "REPRO_ENGINE",
-                  "REPRO_CACHE_DIR")
+                  "REPRO_CACHE_DIR", "REPRO_SIM_ENGINE",
+                  "REPRO_SIM_NO_NATIVE")
 
 
 def derive_seed(tag: str, index: int = 0) -> int:
@@ -516,10 +517,13 @@ def apply_child_env(env: Optional[Dict[str, Optional[str]]],
                 os.environ.pop(name, None)
             else:
                 os.environ[name] = value
-    # the compile-at-most-once cache must re-decide under the applied
+    # the compile-at-most-once caches must re-decide under the applied
     # environment, not under whatever this process saw at import time
     _native_fn = _NATIVE_SENTINEL
     _native_reason = "not attempted"
+    from repro.uarch import fastcore
+
+    fastcore.reset_kernel_cache()
     random.seed(derive_seed(seed_tag, seed_index))
 
 

@@ -54,7 +54,7 @@ from repro.graph.engine import apply_child_env, child_env
 from repro.isa.trace import Trace
 from repro.pipeline.artifacts import ArtifactCache, graph_key, sim_key
 from repro.uarch.config import MachineConfig
-from repro.uarch.core import simulate
+from repro.uarch.fastcore import simulate
 from repro.uarch.events import SimResult
 
 
@@ -88,6 +88,9 @@ class PipelineOptions:
     approx: bool = False
     #: cost engine for the analyze stage; ``None`` = batched
     engine: Optional[str] = None
+    #: simulator engine for the simulate stage; ``None`` consults
+    #: ``$REPRO_SIM_ENGINE`` (then defaults to ``auto``)
+    sim_engine: Optional[str] = None
     #: model the one-cycle fetch break after taken branches
     model_taken_branch_breaks: bool = True
 
@@ -174,7 +177,8 @@ def _run_exact(trace: Trace, cfg: MachineConfig, opts: PipelineOptions,
                 result = cache.get_sim(skey, trace, cfg)
                 stats.sim_cached = result is not None
             if result is None:
-                result = simulate(trace, config=cfg)
+                result = simulate(trace, config=cfg,
+                                  engine=opts.sim_engine)
                 cache.put_sim(skey, result)
         if graph is None:
             with obs.span("pipeline.build", windows=opts.windows,
@@ -534,7 +538,7 @@ def _run_windowed(trace: Trace, cfg: MachineConfig, opts: PipelineOptions,
             result = cache.get_sim(skey, trace, cfg)
             stats.sim_cached = result is not None
         if result is None:
-            result = simulate(trace, config=cfg)
+            result = simulate(trace, config=cfg, engine=opts.sim_engine)
             cache.put_sim(skey, result)
             cache.put_json("meta", skey, {
                 "cycles": result.cycles,

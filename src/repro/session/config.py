@@ -60,6 +60,9 @@ class RunConfig:
     machine: Optional[MachineConfig] = None
     #: cost engine name (``None`` = each path's historical default)
     engine: Optional[str] = None
+    #: simulator engine (``auto``/``fast``/``reference``; ``None``
+    #: consults ``$REPRO_SIM_ENGINE``, then defaults to ``auto``)
+    sim_engine: Optional[str] = None
     #: worker processes for sharded build / sweeps / pools
     jobs: int = 1
     #: contiguous windows the pipeline shards a run into
@@ -98,6 +101,7 @@ class RunConfig:
             no_cache=self.no_cache,
             approx=allow_approx and self.approx,
             engine=self.engine,
+            sim_engine=self.sim_engine,
             model_taken_branch_breaks=self.model_taken_branch_breaks)
 
     @classmethod
@@ -118,6 +122,7 @@ class RunConfig:
             seed=getattr(args, "seed", 0),
             machine=machine,
             engine=getattr(args, "engine", None),
+            sim_engine=getattr(args, "sim_engine", None),
             jobs=getattr(args, "jobs", 1),
             windows=windows,
             cache_dir=getattr(args, "cache_dir", None),

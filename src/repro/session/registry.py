@@ -102,6 +102,16 @@ class Analysis:
                 "--set", action="append", metavar="KEY=VALUE",
                 help="override a MachineConfig field, e.g. "
                      "--set dl1_latency=4")
+            from repro.uarch.fastcore import SIM_ENGINE_NAMES
+
+            parser.add_argument(
+                "--sim-engine", choices=SIM_ENGINE_NAMES, default=None,
+                dest="sim_engine",
+                help="simulator core: 'fast' (batched columnar core "
+                     "with the native kernel), 'reference' (the "
+                     "original cycle-stepped core), or 'auto' "
+                     "(default: $REPRO_SIM_ENGINE, then fast with "
+                     "reference fallback); both are bit-identical")
         if self.engine_arg:
             from repro.graph.engine import ENGINE_NAMES
 

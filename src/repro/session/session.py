@@ -40,7 +40,8 @@ from repro.core.categories import Category
 from repro.isa.trace import Trace
 from repro.session.config import RunConfig
 from repro.uarch.config import IdealConfig, MachineConfig
-from repro.uarch.core import simulate as _simulate
+from repro.uarch.fastcore import cycles_many as _cycles_many
+from repro.uarch.fastcore import simulate as _simulate
 from repro.uarch.events import SimResult
 
 #: One sweep point: a machine configuration, optionally paired with the
@@ -149,14 +150,15 @@ class AnalysisSession:
         counter equals the number of simulator invocations by
         construction -- regardless of whether a point arrives through
         :meth:`simulate`, :meth:`cycles` or :meth:`sweep`
-        (``tests/test_session.py`` pins this).  The pool path of
-        :meth:`sweep` is the one exception: workers run the simulator
-        in other processes, so :meth:`_pool_sweep` bulk-emits the
-        counter on their behalf.
+        (``tests/test_session.py`` pins this).  :meth:`sweep` owns the
+        two exceptions: the batched fast-core path and the process-pool
+        path both run many points per call, so they bulk-emit the
+        counter on the simulator's behalf.
         """
         obs.count("session.simulate")
         ideal_cfg = IdealConfig.for_categories(cats) if cats else None
-        return _simulate(trace, config=config, ideal=ideal_cfg)
+        return _simulate(trace, config=config, ideal=ideal_cfg,
+                         engine=self.run.sim_engine)
 
     def simulate(self, config: Optional[MachineConfig] = None,
                  ideal=None, trace: Optional[Trace] = None) -> SimResult:
@@ -255,6 +257,8 @@ class AnalysisSession:
             todo.append(key)
         with obs.span("session.sweep", points=len(points),
                       unique=len(unique), cold=len(todo), jobs=jobs):
+            if todo and self._use_batched_sweep():
+                todo = self._batched_sweep(trace, unique, todo)
             if len(todo) > 1 and jobs > 1 and (os.cpu_count() or 1) >= 2:
                 todo = self._pool_sweep(trace, unique, todo, jobs)
             for key in todo:
@@ -264,6 +268,41 @@ class AnalysisSession:
                 self.cache.put_json("cycles", key,
                                     {"cycles": int(self._cycles[key])})
         return [self._cycles[key] for key in keys]
+
+    def _use_batched_sweep(self) -> bool:
+        """Whether cold sweep points should run through the fast core's
+        batched entry (one trace decode amortized across all points).
+
+        Requires the native sim kernel: without it every point would
+        fall back to the reference core anyway, and the process pool is
+        the better tool for that.  ``sim_engine='reference'`` (flag or
+        ``$REPRO_SIM_ENGINE``) keeps the historical pool/serial path.
+        """
+        from repro.uarch.fastcore import resolve_sim_engine, sim_native_kernel
+
+        if resolve_sim_engine(self.run.sim_engine) == "reference":
+            return False
+        return sim_native_kernel() is not None
+
+    def _batched_sweep(self, trace: Trace, unique,
+                       todo: List[str]) -> List[str]:
+        """Run cold points through :func:`repro.uarch.fastcore.cycles_many`.
+
+        Bulk-emits ``session.simulate`` (one per point -- the second
+        sanctioned emission site besides :meth:`_run_simulator`; see
+        its docstring) and skips event materialization entirely.
+        """
+        points = []
+        for key in todo:
+            cfg, cats = unique[key]
+            points.append(
+                (cfg, IdealConfig.for_categories(cats) if cats else None))
+        values = _cycles_many(trace, points, engine=self.run.sim_engine)
+        obs.count("session.simulate", len(todo))
+        for key, value in zip(todo, values):
+            self._cycles[key] = int(value)
+            self.cache.put_json("cycles", key, {"cycles": int(value)})
+        return []
 
     def _pool_sweep(self, trace: Trace, unique, todo: List[str],
                     jobs: int) -> List[str]:
@@ -277,7 +316,8 @@ class AnalysisSession:
             with ProcessPoolExecutor(
                     max_workers=min(jobs, len(todo)),
                     initializer=_init_sweep_worker,
-                    initargs=(trace, child_env())) as pool:
+                    initargs=(trace, child_env(),
+                              self.run.sim_engine)) as pool:
                 results = list(pool.map(_sweep_point_cycles, payloads))
         except Exception:
             obs.count("session.pool_error")
@@ -361,15 +401,20 @@ class AnalysisSession:
 _worker_trace: Optional[Trace] = None
 
 
-def _init_sweep_worker(trace: Trace, env=None) -> None:
-    global _worker_trace
+_worker_sim_engine: Optional[str] = None
+
+
+def _init_sweep_worker(trace: Trace, env=None, sim_engine=None) -> None:
+    global _worker_trace, _worker_sim_engine
     from repro.graph.engine import apply_child_env
 
     apply_child_env(env, seed_tag="session-pool")
     _worker_trace = trace
+    _worker_sim_engine = sim_engine
 
 
 def _sweep_point_cycles(point) -> int:
     config, cats = point
     ideal = IdealConfig.for_categories(cats) if cats else None
-    return _simulate(_worker_trace, config=config, ideal=ideal).cycles
+    return _simulate(_worker_trace, config=config, ideal=ideal,
+                     engine=_worker_sim_engine).cycles

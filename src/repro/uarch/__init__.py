@@ -15,7 +15,11 @@ than graph manipulation.
 
 from repro.uarch.config import MachineConfig, IdealConfig, FUKind
 from repro.uarch.events import InstEvents, SimResult
-from repro.uarch.core import OutOfOrderCore, simulate
+from repro.uarch.core import OutOfOrderCore
+# The package-level ``simulate`` is the engine dispatcher: it honours
+# ``REPRO_SIM_ENGINE`` (auto/fast/reference) and is bit-identical to
+# ``repro.uarch.core.simulate`` (the reference oracle) either way.
+from repro.uarch.fastcore import simulate, simulate_many, cycles_many
 from repro.uarch.persist import load_result, save_result
 
 __all__ = [
@@ -26,6 +30,8 @@ __all__ = [
     "SimResult",
     "OutOfOrderCore",
     "simulate",
+    "simulate_many",
+    "cycles_many",
     "load_result",
     "save_result",
 ]

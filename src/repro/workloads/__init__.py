@@ -17,7 +17,7 @@ from repro.workloads.registry import (
     get_program,
     workload_description,
 )
-from repro.workloads.synthetic import random_program
+from repro.workloads.synthetic import fuzz_program, random_program
 
 __all__ = [
     "WORKLOAD_NAMES",
@@ -25,5 +25,6 @@ __all__ = [
     "get_workload",
     "get_program",
     "workload_description",
+    "fuzz_program",
     "random_program",
 ]

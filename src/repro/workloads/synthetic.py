@@ -4,6 +4,17 @@
 a loop whose body mixes ALU ops, loads/stores into a private region,
 and data-dependent branches.  Hypothesis drives the parameters to
 shake out simulator and graph invariants across the behaviour space.
+
+``fuzz_program`` is the heavier cousin behind the simulator
+differential harness (``tests/test_sim_differential.py``): per seed it
+assembles a loop from randomly drawn stress blocks -- FP chains with
+divides, strided loads crossing lines and pages, back-to-back
+cold-miss bursts that pile up outstanding fills (MSHR pressure),
+store runs, prefetch-then-load pairs, data-dependent forward
+branches, call/return pairs and a jump-table indirect dispatch -- over
+hot (L1-resident), warm (L2-resident) and cold data regions, so every
+event-attribution path of the simulator core is reachable from some
+seed.
 """
 
 from __future__ import annotations
@@ -73,3 +84,153 @@ def random_program(
     b.bne(20, 0, "top")
     b.halt()
     return Workload(b.name, "random synthetic workload", b.build(), mem.data)
+
+
+#: Load stride choices for ``fuzz_program``, in words: consecutive,
+#: intra-line, one line (64 B), and one page (4 KiB) per step.
+_FUZZ_STRIDES = (1, 4, 8, 512)
+
+
+def fuzz_program(
+    seed: int,
+    body_blocks: int = 10,
+    iterations: int = 6,
+    name: Optional[str] = None,
+) -> Workload:
+    """A seeded stress workload for the simulator differential harness.
+
+    Deterministic per *seed*.  The main loop body is *body_blocks*
+    randomly drawn stress blocks (see the module docstring); helper
+    functions and the indirect-dispatch cases live after ``halt`` and
+    are only reached through ``call``/``jr``.  Regions carry mixed
+    warmth so the warm-cache installation paths are exercised too.
+    """
+    rng = random.Random(seed)
+    mem = MemoryImage()
+    hot = mem.alloc(256, warmth="l1")
+    warm = mem.alloc(2048, warmth="l2")
+    cold_words = rng.choice((4096, 16384, 65536))
+    cold = mem.alloc(cold_words, warmth="cold")
+    for i in range(0, 256, 5):
+        mem.data[hot + i * WORD] = rng.randrange(0, 4)
+    regions = ((25, 256), (26, 2048), (27, cold_words))
+
+    n_funcs = rng.randrange(0, 3)
+    dispatch_cases = rng.choice((0, 2, 4))
+    table = mem.alloc(dispatch_cases or 1, warmth="l1")
+
+    b = ProgramBuilder(name or f"fuzz-{seed}")
+    _load_address(b, 25, hot)
+    _load_address(b, 26, warm)
+    _load_address(b, 27, cold)
+    _load_address(b, 28, table)
+    b.addi(20, 0, iterations)
+    b.addi(14, 0, max(dispatch_cases - 1, 0))   # dispatch selector mask
+    b.fcvt(16, 20)                              # seed the FP registers
+    b.fcvt(17, 14)
+    b.label("top")
+
+    def block_alu(i: int) -> None:
+        for _ in range(rng.randrange(2, 7)):
+            d, s = rng.randrange(1, 12), rng.randrange(1, 12)
+            op = rng.choice((b.add, b.sub, b.and_, b.or_, b.xor))
+            op(d, d, s)
+        if rng.random() < 0.5:
+            b.mul(rng.randrange(1, 12), rng.randrange(1, 12), 14)
+
+    def block_fp(i: int) -> None:
+        for _ in range(rng.randrange(2, 5)):
+            d, s = rng.randrange(16, 20), rng.randrange(16, 20)
+            op = rng.choice((b.fadd, b.fsub, b.fmul))
+            op(d, d, s)
+        if rng.random() < 0.3:
+            b.fdiv(rng.randrange(16, 20), 16, 17)
+
+    def block_stride(i: int) -> None:
+        base, words = rng.choice(regions)
+        stride = rng.choice(_FUZZ_STRIDES)
+        start = rng.randrange(words)
+        dependent = rng.random() < 0.4
+        for k in range(rng.randrange(3, 9)):
+            offset = ((start + k * stride) % words) * WORD
+            b.ld(4, base, offset)
+            if dependent:
+                b.add(5, 5, 4)
+
+    def block_burst(i: int) -> None:
+        # back-to-back independent loads of distinct cold lines: the
+        # fills overlap, so a finite MSHR pool throttles them
+        for _ in range(rng.randrange(4, 11)):
+            offset = rng.randrange(cold_words) * WORD
+            b.ld(rng.randrange(1, 12), 27, offset)
+
+    def block_stores(i: int) -> None:
+        base, words = rng.choice(regions[:2])
+        for _ in range(rng.randrange(2, 7)):
+            b.st(rng.randrange(1, 12), base, rng.randrange(words) * WORD)
+
+    def block_prefetch(i: int) -> None:
+        offset = rng.randrange(cold_words) * WORD
+        b.prefetch(27, offset)
+        for _ in range(rng.randrange(1, 4)):
+            b.add(6, 6, 7)
+        b.ld(rng.randrange(1, 12), 27, offset)  # may hit the fill in flight
+
+    def block_branch(i: int) -> None:
+        label = f"fz_skip_{i}"
+        b.slti(13, rng.randrange(1, 12), rng.randrange(1, 4))
+        rng.choice((b.beq, b.bne, b.blt, b.bge))(13, 0, label)
+        for _ in range(rng.randrange(1, 4)):
+            b.add(rng.randrange(1, 12), rng.randrange(1, 12), 14)
+        b.label(label)
+
+    def block_call(i: int) -> None:
+        b.call(f"fz_fn_{rng.randrange(n_funcs)}")
+
+    def block_dispatch(i: int) -> None:
+        # jump-table indirect branch whose target varies with the loop
+        # counter, so the BTB keeps mispredicting the jr
+        cont = f"fz_cont_{i}"
+        b.and_(6, 20, 14)
+        b.sll(6, 6, 3)                          # case index -> byte offset
+        b.add(6, 6, 28)
+        b.ld(7, 6, 0)
+        b.jr(7)
+        for c in range(dispatch_cases):
+            b.label(f"fz_case_{i}_{c}")
+            b.addi(16, 16, c + 1)
+            b.j(cont)
+        b.label(cont)
+
+    blocks = [block_alu, block_fp, block_stride, block_burst,
+              block_stores, block_prefetch, block_branch]
+    if n_funcs:
+        blocks.append(block_call)
+    if dispatch_cases:
+        blocks.append(block_dispatch)
+    dispatch_blocks = []
+    for i in range(body_blocks):
+        block = rng.choice(blocks)
+        if block is block_dispatch:
+            dispatch_blocks.append(i)
+        block(i)
+    b.addi(20, 20, -1)
+    b.bne(20, 0, "top")
+    b.halt()
+    for f in range(n_funcs):
+        b.label(f"fz_fn_{f}")
+        for _ in range(rng.randrange(1, 4)):
+            b.add(rng.randrange(1, 12), rng.randrange(1, 12), 14)
+        if rng.random() < 0.5:
+            b.ld(4, 25, rng.randrange(256) * WORD)
+        b.ret()
+    program = b.build()
+    # resolve the dispatch-case labels into the jump table; every
+    # dispatch block shares the one table, so later blocks overwrite
+    # earlier rows -- the targets only need to be *valid*, not distinct
+    for i in dispatch_blocks:
+        for c in range(dispatch_cases):
+            mem.data[table + c * WORD] = program.label_pc(f"fz_case_{i}_{c}")
+    return Workload(b.name, "fuzz stress workload", program, mem.data,
+                    warm_l1_ranges=mem.ranges("l1"),
+                    warm_l2_ranges=mem.ranges("l2"))

@@ -5,7 +5,19 @@ depth, same-cycle dispatch/ready rules, one-cycle issue-wakeup,
 complete-to-commit depth, in-order commit) against timings worked out
 by hand from the documented model.  Any change to stage ordering shows
 up here as an off-by-one before it can silently re-tune the suite.
+
+The golden-snapshot class at the bottom extends the pin from
+hand-computed node times to the *complete* committed event stream:
+``tests/data/golden_event_streams.json`` holds the per-instruction
+event table of three small kernels under the baseline and each single
+idealization, and both simulator engines must reproduce every field
+exactly.  Regenerate the file (and review the diff like any golden
+change) with the procedure in its docstring below.
 """
+
+import dataclasses
+import json
+from pathlib import Path
 
 import pytest
 
@@ -135,3 +147,121 @@ class TestWindowStall:
         ev = result.events
         assert ev[2].d == ev[0].c
         assert ev[3].d == ev[1].c
+
+
+# ----------------------------------------------------------------------
+# golden event-stream snapshots
+
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_event_streams.json"
+
+#: Table 1's single idealizations, plus the baseline.
+GOLDEN_IDEALS = ("base", "dl1", "win", "bw", "bmisp", "dmiss", "shalu",
+                 "lgalu", "imiss")
+
+
+def _kernel_load_chain():
+    b = ProgramBuilder("load-chain")
+    b.addi(1, 0, 0x2000)
+    b.ld(2, 1, 0)          # cold miss (outside any warmed region)
+    b.addi(2, 2, 1)        # dependent use
+    b.st(2, 1, 0)
+    b.ld(3, 1, 64)         # the next line, also cold
+    b.add(4, 2, 3)
+    b.halt()
+    return b.build()
+
+
+def _kernel_branchy():
+    b = ProgramBuilder("branchy")
+    b.addi(1, 0, 3)
+    b.label("top")
+    b.slti(2, 1, 2)
+    b.bne(2, 0, "skip")
+    b.call("fn")
+    b.label("skip")
+    b.addi(1, 1, -1)
+    b.bne(1, 0, "top")
+    b.halt()
+    b.label("fn")
+    b.add(3, 3, 3)
+    b.ret()
+    return b.build()
+
+
+def _kernel_fpmix():
+    b = ProgramBuilder("fpmix")
+    b.addi(1, 0, 5)
+    b.fcvt(16, 1)
+    b.fmul(17, 16, 16)
+    b.fdiv(18, 17, 16)
+    b.mul(2, 1, 1)
+    b.addi(3, 0, 0x3000)
+    b.prefetch(3, 0)
+    b.ld(4, 3, 0)          # may share the prefetch's in-flight fill
+    b.st(2, 3, 64)
+    b.halt()
+    return b.build()
+
+
+GOLDEN_KERNELS = {
+    "load-chain": _kernel_load_chain,
+    "branchy": _kernel_branchy,
+    "fpmix": _kernel_fpmix,
+}
+
+
+def _rows(result):
+    return [[int(x) for x in dataclasses.astuple(e)] for e in result.events]
+
+
+class TestGoldenEventStreams:
+    """Committed per-instruction event tables, both engines.
+
+    To regenerate after an *intentional* timing-model change::
+
+        PYTHONPATH=src python - <<'PY'
+        import dataclasses, json
+        from tests.test_exact_timing import (GOLDEN_IDEALS, GOLDEN_KERNELS,
+                                             GOLDEN_PATH, _rows)
+        from repro.isa import Executor
+        from repro.uarch import core
+        from repro.uarch.config import IdealConfig
+        golden = {}
+        for name, kernel in GOLDEN_KERNELS.items():
+            trace = Executor(kernel()).run()
+            golden[name] = {}
+            for iname in GOLDEN_IDEALS:
+                ideal = (None if iname == "base"
+                         else IdealConfig.for_categories((iname,)))
+                res = core.simulate(trace, ideal=ideal)
+                golden[name][iname] = {"cycles": res.cycles,
+                                       "events": _rows(res)}
+        GOLDEN_PATH.write_text(json.dumps(golden, indent=1) + "\\n")
+        PY
+
+    and review the JSON diff as part of the change.
+    """
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PATH.read_text())
+
+    @pytest.mark.parametrize("kernel", sorted(GOLDEN_KERNELS))
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_event_tables_pinned(self, golden, kernel, engine):
+        from repro.uarch.config import IdealConfig
+
+        trace = Executor(GOLDEN_KERNELS[kernel]()).run()
+        for iname in GOLDEN_IDEALS:
+            ideal = (None if iname == "base"
+                     else IdealConfig.for_categories((iname,)))
+            result = simulate(trace, ideal=ideal, engine=engine)
+            expect = golden[kernel][iname]
+            assert result.cycles == expect["cycles"], (kernel, iname)
+            assert _rows(result) == expect["events"], (kernel, iname)
+
+    def test_golden_file_is_complete(self, golden):
+        assert sorted(golden) == sorted(GOLDEN_KERNELS)
+        for kernel, tables in golden.items():
+            assert sorted(tables) == sorted(GOLDEN_IDEALS), kernel

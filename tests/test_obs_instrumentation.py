@@ -119,6 +119,97 @@ class TestNativeKernelStatus:
         assert engine_mod.native_fallback_warning() is None
 
 
+class TestSimKernelStatus:
+    """The sim kernel's fallback surface mirrors the graph engine's."""
+
+    def test_status_tuple_shape(self):
+        from repro.uarch import fastcore
+
+        available, reason = fastcore.sim_native_kernel_status()
+        assert isinstance(available, bool)
+        assert isinstance(reason, str) and reason
+
+    def test_fallback_warning_fires_once_and_pins_text(self, monkeypatch):
+        from repro.uarch import fastcore
+
+        monkeypatch.delenv("REPRO_SIM_NO_NATIVE", raising=False)
+        monkeypatch.setattr(fastcore, "_native_fns", None)
+        monkeypatch.setattr(fastcore, "_native_reason",
+                            "no working C compiler (cc: exit 127)")
+        monkeypatch.setattr(fastcore, "_native_warned", False)
+        message = fastcore.sim_native_fallback_warning()
+        assert message == (
+            "warning: native C simulator kernel unavailable "
+            "(no working C compiler (cc: exit 127)); "
+            "the fast sim engine is using the reference core "
+            "fallback. Set REPRO_SIM_NO_NATIVE=1 to silence.")
+        assert fastcore.sim_native_fallback_warning() is None  # once only
+
+    def test_no_warning_when_user_opted_out(self, monkeypatch):
+        from repro.uarch import fastcore
+
+        monkeypatch.setenv("REPRO_SIM_NO_NATIVE", "1")
+        monkeypatch.setattr(fastcore, "_native_fns", None)
+        monkeypatch.setattr(fastcore, "_native_reason",
+                            "disabled by REPRO_SIM_NO_NATIVE")
+        monkeypatch.setattr(fastcore, "_native_warned", False)
+        assert fastcore.sim_native_fallback_warning() is None
+
+    def test_no_warning_before_any_attempt(self, monkeypatch):
+        from repro.uarch import fastcore
+
+        monkeypatch.delenv("REPRO_SIM_NO_NATIVE", raising=False)
+        monkeypatch.setattr(fastcore, "_native_fns",
+                            fastcore._NATIVE_SENTINEL)
+        monkeypatch.setattr(fastcore, "_native_warned", False)
+        assert fastcore.sim_native_fallback_warning() is None
+
+
+class TestSimEngineCounters:
+    """Counter/span names of the fast simulator core (the contract
+    docs/OBSERVABILITY.md documents)."""
+
+    def test_fast_run_span_and_counter(self, loop_trace):
+        from repro.uarch import fastcore
+
+        if fastcore.sim_native_kernel() is None:
+            pytest.skip("native sim kernel unavailable")
+        c = obs.enable()
+        fastcore.simulate(loop_trace, engine="fast")
+        obs.disable()
+        assert c.counter("sim.fast_runs") == 1
+        by_name = {s[0]: s[4] for s in c.spans}
+        assert by_name["sim.run"]["engine"] == "fast"
+
+    def test_batched_points_counter(self, loop_trace):
+        from repro.uarch import fastcore
+        from repro.uarch.config import IdealConfig, MachineConfig
+
+        if fastcore.sim_native_kernel() is None:
+            pytest.skip("native sim kernel unavailable")
+        points = [(MachineConfig(), None),
+                  (MachineConfig(), IdealConfig(dmiss=True))]
+        c = obs.enable()
+        fastcore.cycles_many(loop_trace, points, engine="fast")
+        obs.disable()
+        assert c.counter("sim.batched_points") == len(points)
+        assert "sim.batch" in c.span_names()
+
+    def test_unsupported_config_counter(self, loop_trace):
+        from repro.uarch import fastcore
+        from repro.uarch.config import MachineConfig
+
+        if fastcore.sim_native_kernel() is None:
+            pytest.skip("native sim kernel unavailable")
+        c = obs.enable()
+        fastcore.simulate(loop_trace,
+                          MachineConfig(model_wrong_path=True),
+                          engine="fast")
+        obs.disable()
+        assert c.counter("sim.unsupported_config") == 1
+        assert c.counter("sim.fast_runs") == 0
+
+
 class TestCachingProviderStats:
     def test_hits_misses_prefetched(self, miss_provider):
         cached = CachingCostProvider(miss_provider)

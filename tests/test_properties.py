@@ -17,7 +17,7 @@ from repro.core import Category, icost_pair
 from repro.core.icost import CachingCostProvider, icost
 from repro.graph import GraphCostAnalyzer, build_graph
 from repro.graph.critical_path import critical_path_edges
-from repro.uarch import IdealConfig, simulate
+from repro.uarch import IdealConfig, MachineConfig, simulate
 from repro.workloads.synthetic import random_program
 
 SLOW = settings(max_examples=12, deadline=None,
@@ -71,6 +71,82 @@ class TestSimulatorProperties:
         one = simulate(trace, ideal=IdealConfig(dmiss=True)).cycles
         two = simulate(trace, ideal=IdealConfig(dmiss=True, win=True)).cycles
         assert two <= one <= base
+
+
+#: Both simulator cores must hold every invariant below.  When the
+#: native kernel is unavailable, "fast" transparently degrades to the
+#: reference core and the checks still run (just not differentially).
+ENGINES = ("reference", "fast")
+
+#: Idealizations that are strictly monotone: removing their cost can
+#: never slow the run.
+MONOTONE_IDEALS = ("dl1", "win", "bmisp", "dmiss", "imiss")
+
+#: Idealizations that change *issue order* (zero-latency ALU work,
+#: infinite bandwidth) can shift functional-unit and cache contention
+#: onto the critical path -- a classic scheduling anomaly.  Empirically
+#: bounded at +4 cycles over 500 random traces; pinned with slack 8.
+ANOMALY_IDEALS = ("bw", "shalu", "lgalu")
+ANOMALY_SLACK = 8
+
+
+class TestBothCoreInvariants:
+    """Structural invariants of the simulated timing, per engine."""
+
+    @SLOW
+    @given(params=workload_params)
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_stage_order_and_in_order_commit(self, engine, params):
+        """f <= d <= r <= e <= p <= c per instruction; commit is
+        in-order, so commit cycles never decrease along the trace."""
+        result = simulate(trace_for(params), engine=engine)
+        prev_commit = 0
+        for ev in result.events:
+            assert ev.f <= ev.d <= ev.r <= ev.e <= ev.p <= ev.c
+            assert ev.c >= prev_commit
+            prev_commit = ev.c
+
+    @SLOW
+    @given(params=workload_params)
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_per_cycle_width_bounds(self, engine, params):
+        """No cycle fetches, issues, commits, or retires stores beyond
+        the configured widths."""
+        from collections import Counter
+
+        from repro.isa.instructions import OpClass
+
+        cfg = MachineConfig()
+        result = simulate(trace_for(params), cfg, engine=engine)
+        for times, width in (
+                ([e.f for e in result.events], cfg.fetch_width),
+                ([e.e for e in result.events], cfg.issue_width),
+                ([e.c for e in result.events], cfg.commit_width)):
+            busiest = max(Counter(times).values())
+            assert busiest <= width
+        store_commits = Counter(
+            ev.c for ev, inst in zip(result.events, result.trace.insts)
+            if inst.opclass is OpClass.STORE)
+        if store_commits:
+            assert max(store_commits.values()) <= cfg.store_commit_width
+
+    @SLOW
+    @given(params=workload_params)
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_idealization_never_slows_the_run(self, engine, params):
+        """Each single idealization removes cost: strictly monotone for
+        the miss/window/prediction switches, bounded by a small
+        scheduling-anomaly slack for the issue-order-changing ones."""
+        trace = trace_for(params)
+        base = simulate(trace, engine=engine).cycles
+        for cat in MONOTONE_IDEALS:
+            ideal = IdealConfig.for_categories((cat,))
+            assert simulate(trace, ideal=ideal, engine=engine).cycles \
+                <= base, cat
+        for cat in ANOMALY_IDEALS:
+            ideal = IdealConfig.for_categories((cat,))
+            assert simulate(trace, ideal=ideal, engine=engine).cycles \
+                <= base + ANOMALY_SLACK, cat
 
 
 class TestGraphProperties:

@@ -81,10 +81,11 @@ class TestMemoisedSimulation:
 class TestSimulateCounterFaithful:
     """``session.simulate`` counts real simulator invocations, exactly.
 
-    Emission lives in one place (``AnalysisSession._run_simulator``, the
-    pool path bulk-counting on its workers' behalf being the documented
-    exception), so ``--metrics`` counts each invocation once regardless
-    of which public method triggered it or in what order.
+    Emission lives in one place (``AnalysisSession._run_simulator``; the
+    batched-sweep and pool paths bulk-counting on behalf of the runs
+    they batch away are the documented exceptions), so ``--metrics``
+    counts each invocation once regardless of which public method
+    triggered it or in what order.
     """
 
     @pytest.fixture
@@ -92,13 +93,20 @@ class TestSimulateCounterFaithful:
         import repro.session.session as session_mod
 
         real = session_mod._simulate
+        real_many = session_mod._cycles_many
         calls = []
 
         def counted(*args, **kwargs):
             calls.append(1)
             return real(*args, **kwargs)
 
+        def counted_many(trace, points, **kwargs):
+            # the batched sweep entry runs one simulation per point
+            calls.extend([1] * len(points))
+            return real_many(trace, points, **kwargs)
+
         monkeypatch.setattr(session_mod, "_simulate", counted)
+        monkeypatch.setattr(session_mod, "_cycles_many", counted_many)
         return calls
 
     def _assert_faithful(self, c, calls):

@@ -129,7 +129,13 @@ class TestCliSmoke:
 
 class TestSessionLint:
     """No new direct simulate()/build_graph() calls may appear outside
-    the layers that own them (uarch/graph/pipeline/session)."""
+    the layers that own them (uarch/graph/pipeline/session).
+
+    Module-qualified calls (``fastcore.simulate(...)``) are exempt by
+    design: naming the owning module is the visible marker for the rare
+    deliberate bypass, e.g. the bench suite timing the raw simulator
+    cores where the session's memoisation would time the cache instead.
+    """
 
     PATTERN = re.compile(r"(^|[^.\w])(simulate|build_graph)\(")
     ALLOWED_TOP_DIRS = {"uarch", "graph", "pipeline", "session"}
