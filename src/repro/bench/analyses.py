@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.bench.suites import SUITES
 from repro.core.serialize import SerializableResult, register_serializable
+from repro.obs.selfprof import SelfProfile
 from repro.session.registry import Analysis, Arg, register
 from repro.session.session import AnalysisSession
 
@@ -54,6 +55,8 @@ class BenchResult(SerializableResult):
     workloads: Optional[Tuple[str, ...]]
     output: Optional[str]
     cases: Tuple[BenchCaseResult, ...]
+    #: the run's own icost profile when --self-icost was passed
+    selfprofile: Optional[SelfProfile] = None
 
     def stable_metrics(self) -> Dict[str, float]:
         """Deterministic accuracy values -> the manifest ``metrics``."""
@@ -68,7 +71,16 @@ class BenchResult(SerializableResult):
         for case in self.cases:
             merged.update(case.perf)
             merged[f"{case.name}.wall_ms"] = case.wall_ms
+        if self.selfprofile is not None:
+            merged["selfprof.total_ms"] = self.selfprofile.total_ms
+            merged["selfprof.wall_ms"] = self.selfprofile.wall_ms
+            merged["selfprof.coverage"] = self.selfprofile.coverage
         return merged
+
+    def selfprofile_payload(self) -> Optional[Dict[str, object]]:
+        """The ledger manifest's ``selfprofile`` section (or None)."""
+        return (self.selfprofile.payload()
+                if self.selfprofile is not None else None)
 
     def stable_json(self) -> str:
         """The timing-free rendering the result digest is taken over."""
@@ -104,6 +116,10 @@ class BenchAnalysis(Analysis):
         Arg("-o", "--output", metavar="FILE", default=None,
             help="summary JSON path (default: BENCH_<suite>.json; "
                  "'-' skips the file)"),
+        Arg("--self-icost", action="store_true", dest="self_icost",
+            help="observe the suite run and append an icost self-"
+                 "profile of the tool's own phases (docs/"
+                 "OBSERVABILITY.md)"),
     )
 
     def run(self, session: AnalysisSession,
@@ -116,7 +132,12 @@ class BenchAnalysis(Analysis):
         settings = BenchSettings(scale=args.scale, seed=args.seed,
                                  workloads=workloads,
                                  overrides=tuple(args.set or ()))
-        outcomes = run_suite(session, args.suite, settings)
+        if args.self_icost:
+            outcomes, profile = self._observed_suite(session, args,
+                                                     settings)
+        else:
+            outcomes, profile = run_suite(session, args.suite,
+                                          settings), None
         cases = tuple(BenchCaseResult(name=o.name, metrics=o.metrics,
                                       perf=o.perf, wall_ms=o.wall_ms)
                       for o in outcomes)
@@ -125,10 +146,32 @@ class BenchAnalysis(Analysis):
             output = None
         result = BenchResult(suite=args.suite, scale=args.scale,
                              seed=args.seed, workloads=workloads,
-                             output=output, cases=cases)
+                             output=output, cases=cases,
+                             selfprofile=profile)
         if output:
             self._write_summary(output, result)
         return result
+
+    def _observed_suite(self, session: AnalysisSession,
+                        args: argparse.Namespace, settings):
+        """Run the suite under a private collector and self-profile it."""
+        from repro import obs
+        from repro.bench.suites import run_suite
+        from repro.obs.selfprof import self_profile
+
+        previous = obs.collector()
+        own = obs.enable(obs.Collector())
+        try:
+            t0 = time.perf_counter()
+            with obs.span("selfprof.run", suite=args.suite):
+                outcomes = run_suite(session, args.suite, settings)
+            wall_ms = (time.perf_counter() - t0) * 1e3
+        finally:
+            obs.disable()
+            if previous is not None:
+                obs.enable(previous)
+                previous.absorb(own.export_spans())
+        return outcomes, self_profile(own, wall_ms=wall_ms)
 
     def _write_summary(self, path: str, result: BenchResult) -> None:
         """One ``BENCH_<suite>.json`` per invocation (docs/OBSERVABILITY.md
@@ -152,6 +195,8 @@ class BenchAnalysis(Analysis):
                 "perf": case.perf,
             } for case in result.cases],
         }
+        if result.selfprofile is not None:
+            payload["selfprofile"] = result.selfprofile.payload()
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -171,6 +216,11 @@ class BenchAnalysis(Analysis):
                      if "speedup" in name}
         for name in sorted(headlines):
             lines.append(f"{name}: {headlines[name]:.2f}x")
+        if result.selfprofile is not None:
+            from repro.obs.selfprof import render_self_profile
+
+            lines.append("")
+            lines.append(render_self_profile(result.selfprofile))
         if result.output:
             lines.append(f"wrote {result.output}")
         return "\n".join(lines)

@@ -5,8 +5,11 @@ This is the software analogue of the paper's monitoring hardware
 *analysis pipeline itself* run.  A :class:`Collector` accumulates
 
 - **spans** -- timed regions entered with a context manager, nested by
-  wall-clock containment (per thread), exportable as Chrome
-  trace-event JSON (:mod:`repro.obs.tracefile`);
+  an explicitly propagated active-span stack (per thread), each
+  carrying a causal identity (span id, parent span id, pid/tid),
+  exportable as Chrome trace-event JSON (:mod:`repro.obs.tracefile`)
+  and lowerable into the paper's dependence-graph cost model
+  (:mod:`repro.obs.selfprof`);
 - **counters** -- monotonically increasing named event counts;
 - **gauges** -- last-written named values;
 - **histograms** -- count/total/min/max summaries of observed values;
@@ -20,14 +23,23 @@ collection is off (see :mod:`repro.obs` for the no-op fast path and
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["Collector", "Span", "NOOP_SPAN", "SpanRecord"]
 
-#: One finished span: (name, ts_us, dur_us, tid, args).
-SpanRecord = Tuple[str, float, float, int, Dict[str, Any]]
+#: One finished span:
+#: ``(name, ts_us, dur_us, tid, args, sid, parent_sid, pid)``.
+#: ``sid`` is a collector-unique positive span id; ``parent_sid`` is the
+#: sid of the span that was active on the same thread when this one was
+#: entered (0 = top level).  Timestamps are microseconds since the
+#: collector's epoch, taken from ``perf_counter_ns`` (CLOCK_MONOTONIC on
+#: Linux, so epochs from different processes on the same host share a
+#: time base and :meth:`Collector.absorb` can rebase between them).
+SpanRecord = Tuple[str, float, float, int, Dict[str, Any], int, int, int]
 
 
 class Span:
@@ -40,9 +52,14 @@ class Span:
         with collector.span("graph.build", insns=n) as sp:
             graph = build(...)
             sp.set(edges=graph.num_edges)
+
+    Entering the span pushes its id onto the owning thread's active-span
+    stack (:attr:`sid`/:attr:`parent_sid`), so nesting is recorded as an
+    explicit parent edge rather than inferred from containment.
     """
 
-    __slots__ = ("_collector", "name", "args", "_start")
+    __slots__ = ("_collector", "name", "args", "_start", "sid",
+                 "parent_sid")
 
     def __init__(self, collector: "Collector", name: str,
                  args: Dict[str, Any]) -> None:
@@ -50,12 +67,15 @@ class Span:
         self.name = name
         self.args = args
         self._start = 0
+        self.sid = 0
+        self.parent_sid = 0
 
     def set(self, **args: Any) -> None:
         """Attach (or overwrite) argument values on the span."""
         self.args.update(args)
 
     def __enter__(self) -> "Span":
+        self.sid, self.parent_sid = self._collector._enter_span()
         self._start = time.perf_counter_ns()
         return self
 
@@ -70,6 +90,10 @@ class _NoopSpan:
     """The shared do-nothing span handed out while collection is off."""
 
     __slots__ = ()
+
+    #: mirrors :attr:`Span.sid` so callers may read it unconditionally
+    sid = 0
+    parent_sid = 0
 
     def set(self, **args: Any) -> None:
         pass
@@ -89,15 +113,21 @@ class Collector:
     """Accumulates spans, counters, gauges, histograms and notes.
 
     All mutation paths are guarded by one lock so engines fanning work
-    across threads cannot corrupt the aggregates; worker *processes*
-    (the parallel engine) get their own interpreter and therefore their
-    own -- unobserved -- collector, exactly like per-core hardware
-    counters that are not cross-core coherent.
+    across threads cannot corrupt the aggregates.  Worker *processes*
+    (the parallel pipeline) get their own interpreter and therefore
+    their own collector; the pipeline ships each worker's records back
+    through the pool result (:meth:`export_spans`) and the parent
+    merges them -- rebased onto its own epoch, reparented under the
+    pool span -- with :meth:`absorb`, like cross-core counter
+    aggregation done in software.
     """
 
     def __init__(self) -> None:
         self._epoch_ns = time.perf_counter_ns()
         self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._next_sid = itertools.count(1)
+        self._tls = threading.local()
         self.spans: List[SpanRecord] = []
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
@@ -106,19 +136,48 @@ class Collector:
         self.notes: Dict[str, str] = {}
         self.api_calls = 0  # how many instrumentation hits were recorded
 
+    @property
+    def pid(self) -> int:
+        """The process id this collector records in (export metadata)."""
+        return self._pid
+
     # ---- recording ---------------------------------------------------
 
     def span(self, name: str, args: Dict[str, Any]) -> Span:
         """A new (not yet entered) span attached to this collector."""
         return Span(self, name, args)
 
+    def _stack(self) -> List[int]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _enter_span(self) -> Tuple[int, int]:
+        """Allocate a span id, push it, return ``(sid, parent_sid)``."""
+        stack = self._stack()
+        sid = next(self._next_sid)  # atomic under the GIL
+        parent = stack[-1] if stack else 0
+        stack.append(sid)
+        return sid, parent
+
     def _finish_span(self, span: Span, start_ns: int, end_ns: int) -> None:
+        stack = self._stack()
+        if stack:
+            if stack[-1] == span.sid:
+                stack.pop()
+            else:  # misnested exit: drop it wherever it sits
+                try:
+                    stack.remove(span.sid)
+                except ValueError:
+                    pass
         ts = (start_ns - self._epoch_ns) / 1000.0
         dur = (end_ns - start_ns) / 1000.0
         with self._lock:
             self.api_calls += 1
             self.spans.append(
-                (span.name, ts, dur, threading.get_ident(), span.args))
+                (span.name, ts, dur, threading.get_ident(), span.args,
+                 span.sid, span.parent_sid, self._pid))
 
     def count(self, name: str, n: float = 1) -> None:
         """Increment counter *name* by *n*."""
@@ -152,6 +211,83 @@ class Collector:
         with self._lock:
             self.api_calls += 1
             self.notes[name] = str(text)
+
+    # ---- cross-process stitching -------------------------------------
+
+    def export_spans(self, drain: bool = False) -> Dict[str, Any]:
+        """A picklable snapshot of everything this collector recorded.
+
+        The export carries the collector's monotonic epoch and pid so a
+        collector in another process can rebase the timestamps onto its
+        own epoch with :meth:`absorb`.  With ``drain=True`` the
+        collector is emptied in the same locked step, so repeated tasks
+        in a long-lived pool worker each ship only their own records.
+        """
+        with self._lock:
+            export = {
+                "epoch_ns": self._epoch_ns,
+                "pid": self._pid,
+                "spans": list(self.spans),
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {k: list(v)
+                               for k, v in self.histograms.items()},
+                "notes": dict(self.notes),
+            }
+            if drain:
+                self.spans.clear()
+                self.counters.clear()
+                self.gauges.clear()
+                self.histograms.clear()
+                self.notes.clear()
+        return export
+
+    def absorb(self, export: Dict[str, Any], parent_sid: int = 0) -> int:
+        """Merge an :meth:`export_spans` snapshot into this collector.
+
+        Span timestamps are rebased from the exporting collector's
+        monotonic epoch onto this one's (both clocks are
+        CLOCK_MONOTONIC, so same-host processes share a time base) and
+        span ids are remapped into this collector's id space.  Spans
+        that were top level in the exporter are reparented under
+        *parent_sid* -- the pipeline passes the pool span's id here, so
+        worker spans nest under the pool in the merged forest.
+        Counters are summed, gauges last-write-wins, histograms folded,
+        notes updated.  Returns the number of spans absorbed.
+        """
+        records = export.get("spans", ())
+        shift_us = (export["epoch_ns"] - self._epoch_ns) / 1000.0
+        # records are in completion order (children finish before their
+        # parents), so build the full sid remap before appending any
+        sid_map = {rec[5]: next(self._next_sid) for rec in records}
+        with self._lock:
+            for name, ts, dur, tid, args, sid, parent, pid in records:
+                self.api_calls += 1
+                self.spans.append(
+                    (name, ts + shift_us, dur, tid, args, sid_map[sid],
+                     sid_map.get(parent, parent_sid), pid))
+            for name, n in export.get("counters", {}).items():
+                self.api_calls += 1
+                self.counters[name] = self.counters.get(name, 0) + n
+            for name, value in export.get("gauges", {}).items():
+                self.api_calls += 1
+                self.gauges[name] = value
+            for name, h in export.get("histograms", {}).items():
+                self.api_calls += 1
+                mine = self.histograms.get(name)
+                if mine is None:
+                    self.histograms[name] = list(h)
+                else:
+                    mine[0] += h[0]
+                    mine[1] += h[1]
+                    if h[2] < mine[2]:
+                        mine[2] = h[2]
+                    if h[3] > mine[3]:
+                        mine[3] = h[3]
+            for name, text in export.get("notes", {}).items():
+                self.api_calls += 1
+                self.notes[name] = str(text)
+        return len(records)
 
     # ---- reading -----------------------------------------------------
 

@@ -12,11 +12,12 @@ about them uniformly:
     flat numeric headline values regression detection compares (e.g.
     breakdown percentages in pp); ``result`` digests the typed result.
 
-``meta``, ``phases``, ``perf``
+``meta``, ``phases``, ``perf``, ``selfprofile``
     **Volatile**: run id, timestamp, host description, per-phase
     wall-clock (simulate/build/analyze, derived from the spans the
-    pipeline already publishes) and timing-derived result metrics
-    (speedups, wall-clock per bench case).
+    pipeline already publishes), timing-derived result metrics
+    (speedups, wall-clock per bench case) and -- when the run asked
+    for one -- the icost self-profile of the tool's own schedule.
 
 :func:`stable_view` strips the volatile sections -- the "bit-identical
 modulo timestamps/host" contract ``tests/test_ledger.py`` pins.
@@ -49,8 +50,9 @@ __all__ = [
 MANIFEST_SCHEMA = 1
 
 #: Sections excluded from the determinism contract (and from
-#: :func:`stable_view`).
-VOLATILE_SECTIONS = ("meta", "phases", "perf")
+#: :func:`stable_view`).  ``selfprofile`` only appears on runs that
+#: asked for one (``repro selfprofile``, ``repro bench --self-icost``).
+VOLATILE_SECTIONS = ("meta", "phases", "perf", "selfprofile")
 
 #: Monolithic-path span names folded into each manifest phase; the
 #: pipeline's own stage spans come from
@@ -110,7 +112,7 @@ def phase_timings(collector: Optional[Collector]) -> Dict[str, float]:
         return phases
     mapping = _phase_map()
     skip_prefixes = ("pipeline.run",)  # umbrella span: covered by stages
-    for name, _ts, dur, _tid, _args in collector.spans:
+    for name, _ts, dur, *_rest in collector.spans:
         if name.startswith(skip_prefixes):
             continue
         phases[mapping.get(name, "other")] += dur / 1000.0
@@ -204,7 +206,9 @@ def build_manifest(command: str, session, result: Any,
     run_id = hashlib.sha256(
         f"{run_section['config_digest']}:{command}:{timestamp!r}:"
         f"{os.getpid()}:{next(_SEQUENCE)}".encode()).hexdigest()[:12]
-    return {
+    selfprofile = getattr(result, "selfprofile_payload", None)
+    selfprofile = selfprofile() if callable(selfprofile) else None
+    manifest = {
         "schema": MANIFEST_SCHEMA,
         "meta": {
             "run_id": run_id,
@@ -226,6 +230,9 @@ def build_manifest(command: str, session, result: Any,
             "digest": _result_digest(result),
         },
     }
+    if selfprofile:
+        manifest["selfprofile"] = selfprofile
+    return manifest
 
 
 def stable_view(manifest: Dict[str, Any]) -> Dict[str, Any]:

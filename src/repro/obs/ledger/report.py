@@ -232,6 +232,8 @@ tr.info td { color: #667; }
 .bar.analyze { background: #fac858; } .bar.other { background: #b6a2de; }
 .ok { color: #2a7; } .bad { color: #c33; font-weight: 700; }
 code { background: #f2f3f8; padding: 0.1em 0.3em; border-radius: 3px; }
+td.serial { color: #c33; } td.parallel { color: #2a7; }
+td.independent { color: #667; }
 """
 
 
@@ -247,6 +249,38 @@ def _phase_bars(manifest: Dict[str, Any], max_ms: float) -> str:
             f"<td>{ms:.1f} ms</td></tr>")
     return ("<table><tr><th class='name'>phase</th>"
             "<th class='name'>wall-clock</th><th>ms</th></tr>"
+            + "".join(rows) + "</table>")
+
+
+def _selfprofile_section(manifest: Dict[str, Any]) -> str:
+    """The run's icost self-profile, when the manifest carries one.
+
+    Renders next to the phase bars: the coverage headline, then the
+    ``cost(S)`` / ``icost({a,b})`` rows with the serial / parallel /
+    independent classification colour-coded.
+    """
+    profile = manifest.get("selfprofile")
+    if not profile:
+        return ""
+    coverage = float(profile.get("coverage", 0.0))
+    head = (f"<p>self-profile: modeled schedule "
+            f"{float(profile.get('total_ms', 0.0)):.1f} ms of "
+            f"{float(profile.get('wall_ms', 0.0)):.1f} ms wall "
+            f"({100.0 * coverage:.1f}% accounted, "
+            f"{profile.get('processes', 1)} process(es))</p>")
+    rows = []
+    for row in profile.get("rows", ()):
+        cls = html.escape(row.get("classification") or "")
+        label = ("cost(%s)" % row["label"] if row["kind"] == "cost"
+                 else "icost({%s})" % row["label"]
+                 if row["kind"] == "interaction" else row["label"])
+        rows.append(
+            f"<tr><td class='name'><code>{html.escape(label)}</code></td>"
+            f"<td>{float(row['ms']):+.2f}</td>"
+            f"<td>{float(row['percent']):+.1f}%</td>"
+            f"<td class='{cls or 'name'}'>{cls or '&mdash;'}</td></tr>")
+    return (head + "<table><tr><th class='name'>self-icost row</th>"
+            "<th>ms</th><th>% of schedule</th><th>class</th></tr>"
             + "".join(rows) + "</table>")
 
 
@@ -328,5 +362,6 @@ def render_html_report(manifests: Sequence[Dict[str, Any]],
                      f"</code></h2>")
         parts.append(_manifest_summary(manifest))
         parts.append(_phase_bars(manifest, max_ms))
+        parts.append(_selfprofile_section(manifest))
     parts.append("</body></html>")
     return "".join(parts)

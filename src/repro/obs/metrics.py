@@ -91,7 +91,7 @@ def _pipeline_summary(collector: Collector) -> List[str]:
 
 def _span_totals(collector: Collector):
     totals = {}
-    for name, _ts, dur, _tid, _args in collector.spans:
+    for name, _ts, dur, *_rest in collector.spans:
         count, time_us = totals.get(name, (0, 0.0))
         totals[name] = (count + 1, time_us + dur)
     return totals

@@ -11,33 +11,47 @@ process metadata where Perfetto's info panel displays them.
 from __future__ import annotations
 
 import json
-import os
 from typing import IO, Union
 
 from repro.obs.core import Collector
 
 __all__ = ["trace_events", "dumps", "write"]
 
-_PID = os.getpid()
-
 
 def trace_events(collector: Collector) -> list:
-    """The ``traceEvents`` list for *collector*'s recorded activity."""
+    """The ``traceEvents`` list for *collector*'s recorded activity.
+
+    Spans absorbed from pipeline pool workers keep their real pid
+    (:meth:`Collector.absorb` rebases their clocks, not their
+    identities), so each worker shows up as its own named process track
+    in Perfetto with the nesting the worker recorded.
+    """
+    root_pid = collector.pid
     events = [{
         "name": "process_name",
         "ph": "M",
-        "pid": _PID,
+        "pid": root_pid,
         "tid": 0,
         "args": {"name": "repro-icost analysis pipeline"},
     }]
-    for name, ts, dur, tid, args in collector.spans:
+    seen_pids = {root_pid}
+    for name, ts, dur, tid, args, _sid, _parent, pid in collector.spans:
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro-icost pool worker {pid}"},
+            })
         event = {
             "name": name,
             "cat": name.split(".", 1)[0],
             "ph": "X",
             "ts": round(ts, 3),
             "dur": round(dur, 3),
-            "pid": _PID,
+            "pid": pid,
             "tid": tid,
         }
         if args:
@@ -49,7 +63,7 @@ def trace_events(collector: Collector) -> list:
             "name": name,
             "ph": "C",
             "ts": round(end, 3),
-            "pid": _PID,
+            "pid": root_pid,
             "tid": 0,
             "args": {"value": value},
         })

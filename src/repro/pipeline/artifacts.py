@@ -196,8 +196,9 @@ class ArtifactCache:
                                    suffix=".tmp")
         os.close(fd)
         try:
-            writer(tmp)
-            os.replace(tmp, path)
+            with obs.span("pipeline.cache.store", kind=kind):
+                writer(tmp)
+                os.replace(tmp, path)
             self.stores += 1
             obs.count(f"pipeline.cache.{kind}.store")
         finally:
@@ -229,25 +230,26 @@ class ArtifactCache:
         if trace is None or config is None:
             raise TypeError("get_sim needs the trace and config the "
                             "key was derived from")
-        with np.load(path) as data:
-            head = json.loads(bytes(bytearray(data["head"])).decode())
-            mat = data["events"]
-        names = head["fields"]
-        columns = []
-        for j, name in enumerate(names):
-            col = mat[:, j]
-            columns.append(col.astype(bool).tolist()
-                           if name in _EVENT_BOOLS else col.tolist())
-        if tuple(names) == _EVENT_FIELDS:  # fast positional path
-            events = [InstEvents(*row) for row in zip(*columns)]
-        else:  # field set evolved since the artifact was written
-            events = [InstEvents(**dict(zip(names, row)))
-                      for row in zip(*columns)]
-        ideal = IdealConfig.for_categories(head["ideal"]) \
-            if head["ideal"] else IdealConfig()
-        return SimResult(trace=trace, config=config, ideal=ideal,
-                         events=events, cycles=head["cycles"],
-                         stats=dict(head["stats"]))
+        with obs.span("pipeline.cache.load", kind="sim"):
+            with np.load(path) as data:
+                head = json.loads(bytes(bytearray(data["head"])).decode())
+                mat = data["events"]
+            names = head["fields"]
+            columns = []
+            for j, name in enumerate(names):
+                col = mat[:, j]
+                columns.append(col.astype(bool).tolist()
+                               if name in _EVENT_BOOLS else col.tolist())
+            if tuple(names) == _EVENT_FIELDS:  # fast positional path
+                events = [InstEvents(*row) for row in zip(*columns)]
+            else:  # field set evolved since the artifact was written
+                events = [InstEvents(**dict(zip(names, row)))
+                          for row in zip(*columns)]
+            ideal = IdealConfig.for_categories(head["ideal"]) \
+                if head["ideal"] else IdealConfig()
+            return SimResult(trace=trace, config=config, ideal=ideal,
+                             events=events, cycles=head["cycles"],
+                             stats=dict(head["stats"]))
 
     def put_sim(self, key: str, result: SimResult) -> None:
         """Store *result*'s timing events columnar under *key*."""
@@ -281,7 +283,8 @@ class ArtifactCache:
         path = self._lookup("graph", key)
         if path is None:
             return None
-        with np.load(path) as data:
+        with obs.span("pipeline.cache.load", kind="graph"), \
+                np.load(path) as data:
             graph = DependenceGraph(int(data["num_insts"]))
             cols = {name: np.ascontiguousarray(data[name], dtype=np.int64)
                     for name in ("src", "kind", "lat", "cat1", "val1",
@@ -332,7 +335,8 @@ class ArtifactCache:
         path = self._lookup(kind, key)
         if path is None:
             return None
-        with open(path, "r", encoding="utf-8") as handle:
+        with obs.span("pipeline.cache.load", kind=kind), \
+                open(path, "r", encoding="utf-8") as handle:
             return json.load(handle)
 
     def put_json(self, kind: str, key: str, payload: Dict[str, Any]) -> None:

@@ -67,9 +67,22 @@ STAGE_PHASES: Dict[str, str] = {
     "pipeline.build": "build",
     "pipeline.stitch": "build",
     "pipeline.pool_build": "build",
+    "pipeline.window_emit": "build",
     "pipeline.analyze": "analyze",
     "pipeline.pool_analyze": "analyze",
+    "pipeline.window_analyze": "analyze",
 }
+
+#: Auto-pool heuristic: the minimum projected instructions of work
+#: *per worker* below which a requested pool is skipped and the build
+#: runs in-process.  The fast simulator core (PR 6) shrank the
+#: simulate stage on the bench workloads from ~110ms to ~12ms, leaving
+#: traces this small losing more to worker spawn + result pickling
+#: than the sharded build saves -- the self-profile
+#: (:mod:`repro.obs.selfprof`) shows the spawn/collect interaction
+#: dominating the pool span on such runs.  Expressed in instructions,
+#: not milliseconds, so the decision is deterministic across hosts.
+POOL_MIN_INSTS_PER_JOB = 50_000
 
 
 @dataclass
@@ -93,6 +106,11 @@ class PipelineOptions:
     sim_engine: Optional[str] = None
     #: model the one-cycle fetch break after taken branches
     model_taken_branch_breaks: bool = True
+    #: minimum instructions per worker for ``jobs > 1`` to actually
+    #: spawn a pool; ``None`` = :data:`POOL_MIN_INSTS_PER_JOB`, ``0`` =
+    #: always pool (the self-profile uses 0 so the pool it is asked to
+    #: profile really runs)
+    pool_threshold: Optional[int] = None
 
 
 @dataclass
@@ -106,6 +124,9 @@ class PipelineStats:
     windows: int = 1
     jobs: int = 1
     pooled: bool = False
+    #: ``jobs > 1`` was requested but the projected per-worker work was
+    #: too small to amortize pool spawn, so the build ran in-process
+    auto_inline: bool = False
     window_wall_ms: List[float] = field(default_factory=list)
 
 
@@ -162,10 +183,14 @@ def _run_exact(trace: Trace, cfg: MachineConfig, opts: PipelineOptions,
                cache: ArtifactCache) -> "PipelineCostProvider":
     stats = PipelineStats(mode="exact", windows=opts.windows,
                           jobs=opts.jobs)
-    skey = sim_key(trace, cfg)
-    gkey = graph_key(trace, cfg, breaks=opts.model_taken_branch_breaks)
+    # content keys exist to address the cache: with the cache disabled,
+    # fingerprinting the whole trace would be pure overhead
+    skey = gkey = None
     graph = meta = None
     if cache.enabled:
+        skey = sim_key(trace, cfg)
+        gkey = graph_key(trace, cfg,
+                         breaks=opts.model_taken_branch_breaks)
         graph = cache.get_graph(gkey)
         meta = cache.get_json("meta", skey)
         stats.graph_cached = graph is not None
@@ -229,6 +254,18 @@ def _build_sharded(result: SimResult, opts: PipelineOptions,
     bounds = _even_bounds(n, opts.windows)
     segments = None
     if opts.jobs > 1 and len(bounds) > 1:
+        threshold = opts.pool_threshold
+        if threshold is None:
+            threshold = POOL_MIN_INSTS_PER_JOB
+        if n < threshold * opts.jobs:
+            # too little work per worker to amortize pool spawn: run
+            # the whole build in-process on the vectorized builder
+            obs.count("pipeline.auto_inline")
+            obs.note("pipeline.build.strategy",
+                     f"inline ({n} insts under the {threshold}/job "
+                     f"pool threshold)")
+            stats.auto_inline = True
+            return builder.build(result)
         segments = _pool_segments(result, opts, bounds, stats)
     if segments is None:
         obs.count("pipeline.fallback_local")
@@ -268,20 +305,22 @@ def _pool_segments(result: SimResult, opts: PipelineOptions,
 
         t0 = time.perf_counter()
         with obs.span("pipeline.pool_build", windows=len(bounds),
-                      jobs=opts.jobs):
+                      jobs=opts.jobs) as pool_span:
             with ProcessPoolExecutor(
                     max_workers=opts.jobs,
                     initializer=_init_pipeline_worker,
                     initargs=(result, opts.model_taken_branch_breaks,
-                              opts.engine, child_env())) as pool:
+                              opts.engine, child_env(),
+                              obs.enabled())) as pool:
                 out = list(pool.map(_segment_task, bounds))
+            _absorb_worker_exports((row[3] for row in out), pool_span)
         elapsed_ms = (time.perf_counter() - t0) * 1000.0
     except Exception:
         obs.count("pipeline.pool_error")
         return None
     segments = []
     busy_ms = 0.0
-    for cols, seed, wall_ms in out:
+    for cols, seed, wall_ms, _export in out:
         segments.append((cols, seed))
         busy_ms += wall_ms
         _record_window(stats, wall_ms)
@@ -298,10 +337,32 @@ _worker_state: Optional[Tuple[SimResult, bool, Optional[str]]] = None
 
 
 def _init_pipeline_worker(result: SimResult, breaks: bool,
-                          engine: Optional[str], env) -> None:
+                          engine: Optional[str], env,
+                          observe: bool = False) -> None:
     global _worker_state
     apply_child_env(env, seed_tag="pipeline-pool")
+    if observe:  # parent is collecting: record spans in this worker too
+        obs.enable()
     _worker_state = (result, breaks, engine)
+
+
+def _drain_worker_spans():
+    """This worker's recorded activity, emptied for the next task."""
+    collector = obs.collector()
+    if collector is None:
+        return None
+    return collector.export_spans(drain=True)
+
+
+def _absorb_worker_exports(exports, pool_span) -> None:
+    """Stitch worker-collector exports under *pool_span* in the parent."""
+    collector = obs.collector()
+    if collector is None:
+        return
+    parent_sid = getattr(pool_span, "sid", 0)
+    for export in exports:
+        if export:
+            collector.absorb(export, parent_sid=parent_sid)
 
 
 def _segment_task(span: Tuple[int, int]):
@@ -309,27 +370,32 @@ def _segment_task(span: Tuple[int, int]):
     result, breaks, _ = _worker_state
     start, end = span
     t0 = time.perf_counter()
-    cols, seed = _emit_bounds(result, start, end, breaks)
-    return cols, seed, (time.perf_counter() - t0) * 1000.0
+    with obs.span("pipeline.window_emit", start=start, end=end):
+        cols, seed = _emit_bounds(result, start, end, breaks)
+    wall_ms = (time.perf_counter() - t0) * 1000.0
+    return cols, seed, wall_ms, _drain_worker_spans()
 
 
 def _window_task(payload):
     """Windowed-mode worker: build one truncated window graph and
     measure the requested target sets on it.
 
-    Returns ``(costs, wall_ms)`` where *costs* aligns with the order of
-    the submitted keys.
+    Returns ``(costs, wall_ms, span_export)`` where *costs* aligns with
+    the order of the submitted keys.
     """
     result, breaks, engine = _worker_state
     (start, end), keys = payload
     t0 = time.perf_counter()
-    graph = build_window_graph(result, start, end - start,
-                               model_taken_branch_breaks=breaks)
-    analyzer = GraphCostAnalyzer(graph, engine=engine or "batched")
-    analyzer.prefetch(keys)
-    costs = [analyzer.cost(key) for key in keys]
-    analyzer.close()
-    return costs, (time.perf_counter() - t0) * 1000.0
+    with obs.span("pipeline.window_analyze", start=start, end=end,
+                  keys=len(keys)):
+        graph = build_window_graph(result, start, end - start,
+                                   model_taken_branch_breaks=breaks)
+        analyzer = GraphCostAnalyzer(graph, engine=engine or "batched")
+        analyzer.prefetch(keys)
+        costs = [analyzer.cost(key) for key in keys]
+        analyzer.close()
+    wall_ms = (time.perf_counter() - t0) * 1000.0
+    return costs, wall_ms, _drain_worker_spans()
 
 
 # ----------------------------------------------------------------------
@@ -501,21 +567,23 @@ class WindowedCostProvider:
             t0 = time.perf_counter()
             with obs.span("pipeline.pool_analyze",
                           windows=len(self._bounds), keys=len(keys),
-                          jobs=self._opts.jobs):
+                          jobs=self._opts.jobs) as pool_span:
                 with ProcessPoolExecutor(
                         max_workers=self._opts.jobs,
                         initializer=_init_pipeline_worker,
                         initargs=(self._result,
                                   self._opts.model_taken_branch_breaks,
-                                  self._opts.engine, child_env())) as pool:
+                                  self._opts.engine, child_env(),
+                                  obs.enabled())) as pool:
                     payloads = [(span, keys) for span in self._bounds]
                     out = list(pool.map(_window_task, payloads))
+                _absorb_worker_exports((row[2] for row in out), pool_span)
             elapsed_ms = (time.perf_counter() - t0) * 1000.0
         except Exception:
             obs.count("pipeline.pool_error")
             return False
         busy_ms = 0.0
-        for w, (costs, wall_ms) in enumerate(out):
+        for w, (costs, wall_ms, _export) in enumerate(out):
             for key, value in zip(keys, costs):
                 self._costs[w][canonical_target_keys(key)] = value
             busy_ms += wall_ms
@@ -531,7 +599,7 @@ def _run_windowed(trace: Trace, cfg: MachineConfig, opts: PipelineOptions,
                   cache: ArtifactCache) -> WindowedCostProvider:
     stats = PipelineStats(mode="windowed", windows=opts.windows,
                           jobs=opts.jobs)
-    skey = sim_key(trace, cfg)
+    skey = sim_key(trace, cfg) if cache.enabled else None
     result = None
     with obs.span("pipeline.simulate", insts=len(trace.insts)):
         if cache.enabled:

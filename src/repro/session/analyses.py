@@ -21,6 +21,7 @@ from repro.analysis.phases import SegmentProfile
 from repro.core.breakdown import Breakdown, BreakdownEntry
 from repro.core.categories import BASE_CATEGORIES, Category, EventSelection
 from repro.core.serialize import SerializableResult, register_serializable
+from repro.obs.selfprof import SelfProfile
 from repro.session.config import machine_with_overrides
 from repro.session.registry import Analysis, Arg, register
 from repro.session.session import AnalysisSession
@@ -643,3 +644,100 @@ class MultiSimAnalysis(Analysis):
                     {result.workload: result.breakdown},
                     f"{result.workload}: % of execution time (multisim)")
                 + f"\n\nsimulations: {result.simulations}")
+
+
+# ----------------------------------------------------------------------
+# selfprofile
+# ----------------------------------------------------------------------
+
+@register_serializable
+@dataclass
+class SelfProfileResult(SerializableResult):
+    """The tool's own icost profile (docs/OBSERVABILITY.md)."""
+
+    workload: str
+    jobs: int
+    windows: int
+    profile: SelfProfile
+
+    def perf_metrics(self) -> Dict[str, float]:
+        """Machine-speed-dependent numbers for the ledger's perf section."""
+        return {"selfprof.total_ms": self.profile.total_ms,
+                "selfprof.wall_ms": self.profile.wall_ms,
+                "selfprof.coverage": self.profile.coverage}
+
+    def selfprofile_payload(self) -> Dict[str, object]:
+        """The ledger manifest's ``selfprofile`` section."""
+        return self.profile.payload()
+
+
+@register
+class SelfProfileAnalysis(Analysis):
+    """``selfprofile``: the paper's icost analysis on the tool itself.
+
+    Runs the full pipeline (simulate -> build -> analyze) on a workload
+    while observing it with :mod:`repro.obs`, lowers the recorded span
+    forest into the same :class:`repro.graph.DependenceGraph` machinery
+    every other analysis uses, and reports cost/icost of the tool's own
+    phases -- including the serial/parallel/independent classification
+    of every phase pair.
+    """
+
+    name = "selfprofile"
+    help = "icost analysis of the tool's own pipeline"
+    pipeline_args = "windows"
+    extra_args = (
+        Arg("--pool-threshold", type=int, default=0, dest="pool_threshold",
+            metavar="N",
+            help="min instructions/job before --jobs spawns a pool "
+                 "(default 0: always pool, so the pool being profiled "
+                 "actually runs)"),
+    )
+    result_type = SelfProfileResult
+
+    def run(self, session: AnalysisSession,
+            args: argparse.Namespace) -> SelfProfileResult:
+        """Observe one pipeline run, then self-profile the spans."""
+        import time
+
+        from repro import obs
+        from repro.core import interaction_breakdown
+        from repro.obs.selfprof import self_profile
+        from repro.pipeline import PipelineOptions, run_pipeline
+
+        # resolve (and possibly generate) the trace before observation
+        # starts: workload synthesis is setup, not pipeline
+        trace = session.trace
+        previous = obs.collector()
+        own = obs.enable(obs.Collector())
+        try:
+            t0 = time.perf_counter()
+            with obs.span("selfprof.run", workload=args.workload):
+                provider = run_pipeline(
+                    trace, config=session.machine,
+                    options=PipelineOptions(
+                        jobs=args.jobs, windows=args.windows,
+                        cache_dir=args.cache_dir, no_cache=args.no_cache,
+                        engine="batched", sim_engine=session.run.sim_engine,
+                        pool_threshold=args.pool_threshold))
+                interaction_breakdown(provider, focus=Category.DL1,
+                                      workload=args.workload)
+                provider.close()
+            wall_ms = (time.perf_counter() - t0) * 1e3
+        finally:
+            obs.disable()
+            if previous is not None:
+                obs.enable(previous)
+                previous.absorb(own.export_spans())
+        profile = self_profile(own, wall_ms=wall_ms)
+        return SelfProfileResult(workload=args.workload, jobs=args.jobs,
+                                 windows=args.windows, profile=profile)
+
+    def render(self, result: SelfProfileResult,
+               args: argparse.Namespace) -> str:
+        """The self-profile tables (costs, then pairwise interactions)."""
+        from repro.obs.selfprof import render_self_profile
+
+        head = (f"{result.workload}: self-profile of the pipeline "
+                f"(--jobs {result.jobs} --windows {result.windows})")
+        return head + "\n" + render_self_profile(result.profile)

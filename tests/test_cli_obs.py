@@ -111,6 +111,7 @@ class TestFlagsAcceptedEverywhere:
         "critical": ["gzip"],
         "compare": ["gzip"],
         "multisim": ["gzip"],
+        "selfprofile": ["gzip"],
         "bench": [],
         "ledger": ["list"],
     }

@@ -109,6 +109,24 @@ class TestManifest:
         view = stable_view(manifest)
         assert set(manifest) - set(view) == {"meta", "phases", "perf"}
 
+    def test_selfprofile_runs_carry_a_volatile_selfprofile_section(self):
+        """A run that produced a self-profile persists it in the
+        manifest; ordinary runs (above) have no such section, and the
+        stable view strips it like any other volatile section."""
+        session, result, collector = _run_analysis(
+            ["selfprofile", "gzip", "--scale", "0.2", "--no-cache"])
+        manifest = build_manifest("selfprofile", session, result,
+                                  collector=collector, wall_s=0.25)
+        assert validate_manifest(manifest) == []
+        profile = manifest["selfprofile"]
+        assert profile["coverage"] > 0.9
+        assert profile["rows"]
+        assert {row["kind"] for row in profile["rows"]} \
+            >= {"cost", "residual"}
+        assert manifest["perf"]["selfprof.coverage"] \
+            == pytest.approx(profile["coverage"], abs=1e-4)
+        assert "selfprofile" not in stable_view(manifest)
+
     def test_validate_manifest_reports_problems(self):
         assert validate_manifest([]) == ["manifest is list, not an object"]
         problems = validate_manifest({"schema": "1", "meta": {}})

@@ -81,11 +81,13 @@ class TestCollector:
         c = obs.enable()
         with obs.span("stage.one", n=3) as sp:
             sp.set(m=4)
-        name, ts, dur, tid, args = c.spans[0]
+        name, ts, dur, tid, args, sid, parent_sid, pid = c.spans[0]
         assert name == "stage.one"
         assert dur >= 0 and ts >= 0
         assert tid == threading.get_ident()
         assert args == {"n": 3, "m": 4}
+        assert sid == 1 and parent_sid == 0
+        assert pid == c.pid
 
     def test_span_records_exception_type(self):
         c = obs.enable()
@@ -160,9 +162,118 @@ class TestTraceExport:
     def test_nesting_by_containment(self):
         c = self._collect()
         by_name = {s[0]: s for s in c.spans}
-        _, a_ts, a_dur, _, _ = by_name["stage.a"]
-        _, b_ts, b_dur, _, _ = by_name["stage.b"]
+        _, a_ts, a_dur, *_rest = by_name["stage.a"]
+        _, b_ts, b_dur, *_rest = by_name["stage.b"]
         assert a_ts <= b_ts and b_ts + b_dur <= a_ts + a_dur + 1e-6
+
+    def test_nesting_by_parent_sid(self):
+        c = self._collect()
+        by_name = {s[0]: s for s in c.spans}
+        assert by_name["stage.b"][6] == by_name["stage.a"][5]
+        assert by_name["stage.a"][6] == 0
+
+
+class TestSpanIdentity:
+    def test_sids_are_unique_and_stack_propagates_parents(self):
+        c = obs.enable()
+        with obs.span("a"):
+            with obs.span("b"):
+                pass
+            with obs.span("c"):
+                pass
+        by_name = {s[0]: s for s in c.spans}
+        sids = [s[5] for s in c.spans]
+        assert len(set(sids)) == 3
+        assert by_name["b"][6] == by_name["a"][5]
+        assert by_name["c"][6] == by_name["a"][5]
+        assert by_name["a"][6] == 0
+
+    def test_sibling_threads_do_not_inherit_parents(self):
+        c = obs.enable()
+        done = threading.Event()
+
+        def worker():
+            with obs.span("thread.child"):
+                pass
+            done.set()
+
+        with obs.span("main.parent"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert done.wait(1)
+        by_name = {s[0]: s for s in c.spans}
+        # the other thread's stack is empty: no cross-thread parenting
+        assert by_name["thread.child"][6] == 0
+        assert by_name["main.parent"][6] == 0
+
+
+class TestExportAbsorb:
+    def _worker_like(self):
+        """A collector standing in for a pool worker's."""
+        w = Collector()
+        with w.span("pipeline.window_emit", {"start": 0}):
+            with w.span("graph.build", {}):
+                pass
+        w.count("pipeline.window.built", 2)
+        w.gauge("graph.nodes", 10)
+        w.observe("emit_us", 5.0)
+        w.note("status", "worker-ok")
+        return w
+
+    def test_export_roundtrips_through_absorb(self):
+        w = self._worker_like()
+        export = w.export_spans()
+        parent = Collector()
+        with parent.span("pipeline.pool_build", {}) as pool:
+            pass
+        absorbed = parent.absorb(export, parent_sid=pool.sid)
+        assert absorbed == 2
+        by_name = {s[0]: s for s in parent.spans}
+        # worker top-level span reparented under the pool span; the
+        # worker-internal nesting is preserved through the sid remap
+        assert by_name["pipeline.window_emit"][6] == pool.sid
+        assert by_name["graph.build"][6] == by_name["pipeline.window_emit"][5]
+        # sids were remapped into the parent's id space (all distinct)
+        sids = [s[5] for s in parent.spans]
+        assert len(set(sids)) == 3
+        # real worker pid survives the merge
+        assert by_name["graph.build"][7] == w.pid
+        # metrics merged
+        assert parent.counter("pipeline.window.built") == 2
+        assert parent.gauges["graph.nodes"] == 10
+        assert parent.histograms["emit_us"] == [1, 5.0, 5.0, 5.0]
+        assert parent.notes["status"] == "worker-ok"
+
+    def test_absorb_rebases_timestamps_onto_the_local_epoch(self):
+        w = self._worker_like()
+        export = w.export_spans()
+        parent = Collector()
+        # both epochs come from the same monotonic clock: a worker span
+        # recorded "now" must land near the parent's "now", not near 0
+        parent_now = parent.elapsed_us()
+        parent.absorb(export)
+        ts = parent.spans[0][1]
+        assert abs(ts - parent_now) < 2_000_000  # within 2s of "now"
+
+    def test_drain_empties_the_collector(self):
+        w = self._worker_like()
+        first = w.export_spans(drain=True)
+        assert len(first["spans"]) == 2
+        assert w.spans == [] and w.counters == {}
+        assert w.histograms == {} and w.notes == {}
+        second = w.export_spans(drain=True)
+        assert second["spans"] == []
+
+    def test_counters_sum_across_repeated_absorbs(self):
+        parent = Collector()
+        for _ in range(3):
+            w = Collector()
+            w.count("pipeline.window.built")
+            w.observe("emit_us", 2.0)
+            parent.absorb(w.export_spans())
+        assert parent.counter("pipeline.window.built") == 3
+        assert parent.histograms["emit_us"] == [3, 6.0, 2.0, 2.0]
 
 
 class TestMetricsRendering:

@@ -85,6 +85,30 @@ class TestMultiThreadSpans:
         assert event["dur"] >= 0
 
 
+class TestCrossProcessMerge:
+    def test_absorbed_worker_spans_keep_their_pid_and_get_a_track(self):
+        parent = Collector()
+        with parent.span("pipeline.pool_build", {}) as pool:
+            pass
+        worker = Collector()
+        with worker.span("pipeline.window_emit", {}):
+            pass
+        export = worker.export_spans()
+        export["pid"] = 4242  # simulate a different process
+        export["spans"] = [rec[:7] + (4242,) for rec in export["spans"]]
+        parent.absorb(export, parent_sid=pool.sid)
+
+        events = trace_events(parent)
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {m["pid"] for m in metas} == {parent.pid, 4242}
+        worker_meta = next(m for m in metas if m["pid"] == 4242)
+        assert "worker" in worker_meta["args"]["name"]
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert spans["pipeline.pool_build"]["pid"] == parent.pid
+        assert spans["pipeline.window_emit"]["pid"] == 4242
+        json.loads(dumps(parent))  # still a loadable trace document
+
+
 class TestSpanlessTelemetry:
     """Counters/gauges/notes with zero spans must still round-trip."""
 

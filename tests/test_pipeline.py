@@ -59,7 +59,7 @@ class TestExactPipeline:
     def test_sharded_build_is_bit_identical(self, gcc_setup, monolithic):
         trace, cfg = gcc_setup
         provider = run_pipeline(trace, cfg, PipelineOptions(
-            jobs=2, windows=4))
+            jobs=2, windows=4, pool_threshold=0))
         g, m = provider.graph, monolithic.graph
         assert g.edge_src == m.edge_src
         assert g.edge_kind == m.edge_kind
@@ -73,12 +73,51 @@ class TestExactPipeline:
     def test_full_breakdown_identical(self, gcc_setup, monolithic):
         trace, cfg = gcc_setup
         provider = run_pipeline(trace, cfg, PipelineOptions(
-            jobs=2, windows=8))
+            jobs=2, windows=8, pool_threshold=0))
         ref = full_interaction_breakdown(monolithic, CATS)
         got = full_interaction_breakdown(provider, CATS)
         for a, b in zip(ref.entries, got.entries):
             assert (a.label, a.cycles, a.percent) == \
                 (b.label, b.cycles, b.percent)
+
+
+class TestAutoPoolHeuristic:
+    """``jobs > 1`` on a small trace must inline, not pool: the fast
+    simulator left per-shard work too small to amortize pool spawn."""
+
+    def test_small_trace_inlines_and_stays_identical(
+            self, gcc_setup, monolithic):
+        trace, cfg = gcc_setup  # ~10k insts: far under 50k/job
+        collector = obs.enable()
+        try:
+            provider = run_pipeline(trace, cfg, PipelineOptions(
+                jobs=2, windows=4))
+        finally:
+            obs.disable()
+        assert provider.stats.auto_inline
+        assert not provider.stats.pooled
+        assert collector.counter("pipeline.auto_inline") == 1
+        assert "inline" in collector.notes["pipeline.build.strategy"]
+        # no sharding happened at all: the monolithic vectorized build
+        assert "pipeline.stitch" not in collector.span_names()
+        for combo in COMBOS:
+            assert provider.cost(combo) == monolithic.cost(combo)
+
+    def test_zero_threshold_forces_the_sharded_path(self, gcc_setup):
+        trace, cfg = gcc_setup
+        collector = obs.enable()
+        try:
+            provider = run_pipeline(trace, cfg, PipelineOptions(
+                jobs=2, windows=4, pool_threshold=0))
+        finally:
+            obs.disable()
+        assert not provider.stats.auto_inline
+        assert "pipeline.stitch" in collector.span_names()
+
+    def test_jobs_1_is_not_affected(self, gcc_setup):
+        trace, cfg = gcc_setup
+        provider = run_pipeline(trace, cfg, PipelineOptions(windows=4))
+        assert not provider.stats.auto_inline
 
 
 def test_windowed_mode_bounded_error(gcc_setup, monolithic):

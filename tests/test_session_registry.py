@@ -35,6 +35,8 @@ SMOKE_ARGV = {
     "critical": ["gzip", "--scale", "0.2", "--top", "3"],
     "compare": ["gzip", "--scale", "0.2", "--after", "dl1_latency=4"],
     "multisim": ["gzip", "--scale", "0.2", "--focus", "dl1"],
+    "selfprofile": ["gzip", "--scale", "0.2", "--jobs", "2",
+                    "--windows", "4", "--no-cache"],
     "bench": ["--suite", "smoke", "--scale", "0.2", "-o", "{tmp}"],
     "ledger": ["list"],
 }
