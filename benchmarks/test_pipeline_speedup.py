@@ -3,9 +3,11 @@
 The tentpole performance claim of docs/PIPELINE.md: on gcc at scale
 2.0, a *cold* end-to-end analysis (simulate -> build -> full
 four-category power-set breakdown) through ``run_pipeline`` with
-``windows=8, jobs=4`` runs at least 2x faster than the monolithic
+``windows=8, jobs=4`` runs at least 6x faster than the monolithic
 serial path (single-pass reference build, naive engine -- what the
-plain CLI path runs), with identical rows.
+plain CLI path runs), with identical rows.  (The floor was 2x before
+the columnar event plane; the zero-materialization sim -> cache ->
+graph path measures ~13x here, and 6x leaves room for noisy hosts.)
 
 The pipeline runs in its default *auto* pool mode: ``jobs=4`` is a
 ceiling, and on a trace this small (under
@@ -119,7 +121,7 @@ class TestPipelineSpeedup:
               f"({len(gcc_trace.insts)} insts): "
               f"monolithic {base_t:.3f}s  pipeline {pipe_t:.3f}s  "
               f"speedup {speedup:.1f}x")
-        assert speedup >= 2.0, (
+        assert speedup >= 6.0, (
             f"pipeline only {speedup:.2f}x over the monolithic path "
             f"(monolithic {base_t:.3f}s, pipeline {pipe_t:.3f}s)")
 

@@ -22,7 +22,7 @@ from typing import Iterable, List, Optional
 
 from repro.core.categories import EventSelection, normalize_targets
 from repro.core.icost import Target
-from repro.graph.builder import GraphBuilder
+from repro.graph.builder import build_window_graph
 from repro.graph.cost import GraphCostAnalyzer
 from repro.isa.trace import Trace
 from repro.uarch.config import MachineConfig
@@ -83,13 +83,30 @@ class SampledGraphProvider:
             raise ValueError("cannot sample an empty run")
         window_length = min(window_length, n)
         starts = self._pick_starts(n, windows, window_length, seed)
-        builder = GraphBuilder()
-        self.windows = [WindowedRun(result, s, window_length) for s in starts]
+        # the truncating columnar emitter builds each window straight
+        # from the run's arrays -- semantically identical to
+        # GraphBuilder().build(WindowedRun(...)) (the differential suite
+        # pins it) without materializing re-indexed copies
+        self._spans = [(s, min(s + window_length, n) - s) for s in starts]
         self._analyzers = [
-            GraphCostAnalyzer(builder.build(w)) for w in self.windows
+            GraphCostAnalyzer(build_window_graph(result, s, length))
+            for s, length in self._spans
         ]
         self.result = result
-        self.graphed_instructions = sum(len(w) for w in self.windows)
+        self.graphed_instructions = sum(length for _, length in self._spans)
+        self._windows: Optional[List[WindowedRun]] = None
+
+    @property
+    def windows(self) -> List[WindowedRun]:
+        """The sampled fragments as re-indexed object windows.
+
+        Materialized on first access only -- the analyzers are built
+        columnar; this view exists for inspection and the border-case
+        tests."""
+        if self._windows is None:
+            self._windows = [WindowedRun(self.result, s, length)
+                             for s, length in self._spans]
+        return self._windows
 
     @staticmethod
     def _pick_starts(n: int, windows: int, length: int,

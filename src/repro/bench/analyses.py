@@ -110,6 +110,11 @@ class BenchAnalysis(Analysis):
                  "case's paper selection)"),
         Arg("--scale", type=float, default=1.0),
         Arg("--seed", type=int, default=0),
+        Arg("--best-of", type=int, default=3, dest="best_of",
+            metavar="N",
+            help="measured repeats per timing-bearing case after one "
+                 "warmup run; *_ms perf keys keep the minimum "
+                 "(default: 3, 1 disables the repeats)"),
         Arg("--set", action="append", metavar="KEY=VALUE",
             help="machine override layered onto every case's "
                  "config, e.g. --set dl1_latency=4"),
@@ -131,7 +136,8 @@ class BenchAnalysis(Analysis):
                      if args.workloads else None)
         settings = BenchSettings(scale=args.scale, seed=args.seed,
                                  workloads=workloads,
-                                 overrides=tuple(args.set or ()))
+                                 overrides=tuple(args.set or ()),
+                                 best_of=args.best_of)
         if args.self_icost:
             outcomes, profile = self._observed_suite(session, args,
                                                      settings)

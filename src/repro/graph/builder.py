@@ -22,13 +22,14 @@ import repro.obs as obs
 from repro.core.categories import Category
 from repro.graph.model import (
     NO_CATEGORY,
+    NODES_PER_INST,
     DependenceGraph,
     EdgeKind,
     NodeKind,
     node_id,
 )
 from repro.isa.instructions import Opcode
-from repro.uarch.events import SimResult
+from repro.uarch.events import LazyEvents, SimResult
 
 #: Version of the graph-construction model.  Participates in the
 #: content-addressed artifact-cache key (:mod:`repro.pipeline.artifacts`);
@@ -97,7 +98,8 @@ class GraphBuilder:
         insts = result.trace.insts
         cols, seed = emit_edge_arrays(
             insts, result.events, result.config,
-            breaks=self.model_taken_branch_breaks)
+            breaks=self.model_taken_branch_breaks,
+            trace=result.trace)
         return graph_from_arrays(len(insts), cols, seed)
 
     def _build(self, result: SimResult) -> DependenceGraph:
@@ -236,8 +238,9 @@ def emit_edge_arrays(insts: Sequence, events: Sequence, cfg,
                      global_ids: bool = False,
                      truncate: bool = False,
                      prev_inst=None,
-                     prev_event=None) -> Tuple[Dict[str, "np.ndarray"],
-                                               Optional[Tuple[int, int, int]]]:
+                     prev_event=None,
+                     trace=None) -> Tuple[Dict[str, "np.ndarray"],
+                                          Optional[Tuple[int, int, int]]]:
     """Emit the Table 3 edges of a contiguous instruction range as arrays.
 
     *insts*/*events* cover instructions ``start .. start+len-1`` of a
@@ -256,6 +259,14 @@ def emit_edge_arrays(insts: Sequence, events: Sequence, cfg,
       supply the one instruction of left context the first DD/PD edges
       need, so concatenating consecutive segments reproduces the
       monolithic build bit for bit (see :func:`stitch_graph`).
+
+    When *events* is a :class:`~repro.uarch.events.LazyEvents` facade
+    whose offset matches *start* and *trace* carries an
+    ``InstColumns`` block, emission reads whole columns instead of
+    iterating Python objects -- same edges, zero ``InstEvents``
+    materialized (left context included: it comes from the facade's
+    root columns, so *prev_inst*/*prev_event* are ignored).  Any other
+    input shape takes the object-gathering path unchanged.
 
     Returns ``(columns, seed)`` where *columns* maps
     :data:`EDGE_COLUMNS` to int64 arrays sorted in CSR (destination,
@@ -287,16 +298,43 @@ def emit_edge_arrays(insts: Sequence, events: Sequence, cfg,
     abs_idx = local + start
     nid5 = (local + node_off) * 5
 
-    # one attribute-gathering pass per object stream: a single tuple
-    # attrgetter amortizes the Python attribute machinery across all
-    # fields at once (it is the dominant cost of vectorized emission)
-    ev_mat = np.array([_EV_FIELDS(ev) for ev in events], dtype=np.int64)
-    icache, misp_i, fu, sbw, pp, dl1c, missc, execl = ev_mat.T
-    misp = misp_i.astype(np.bool_)
-    op_tk = [_INST_FIELDS(inst) for inst in insts]
-    opgroup = np.fromiter((_OPGROUP[op] for op, _ in op_tk), np.int64, n)
-    taken = np.fromiter((bool(t) for _, t in op_tk), np.bool_, n)
-    taken_br = (opgroup == 3) & taken  # group 3 == OpClass.BRANCH
+    # the columnar plane applies when the event facade's window lines
+    # up with [start, start+n) of its root and the trace carries the
+    # instruction column block (real traces do; WindowedRun-style
+    # stand-ins fall back to the object path, which stays the oracle)
+    ecols = icols = None
+    if isinstance(events, LazyEvents) and len(events) == n \
+            and events.offset == start:
+        getter = getattr(trace, "inst_columns", None)
+        block_cols = getter() if callable(getter) else None
+        if block_cols is not None and block_cols.n >= start + n:
+            ecols, icols = events.columns, block_cols
+
+    if ecols is not None:
+        icache = ecols.column("icache_delay")
+        misp = ecols.bool_column("mispredicted")
+        fu = ecols.column("fu_contention")
+        sbw = ecols.column("store_bw_delay")
+        pp = ecols.column("pp_partner")
+        dl1c = ecols.column("dl1_component")
+        missc = ecols.column("miss_component")
+        execl = ecols.column("exec_latency")
+        opgroup = icols.opgroup[start:start + n]
+        taken_br = icols.taken_br[start:start + n]
+    else:
+        # one attribute-gathering pass per object stream: a single tuple
+        # attrgetter amortizes the Python attribute machinery across all
+        # fields at once (it is the dominant cost of object emission)
+        ev_mat = np.array([_EV_FIELDS(ev) for ev in events], dtype=np.int64)
+        icache, misp_i, fu, sbw, pp, dl1c, missc, execl = ev_mat.T
+        misp = misp_i.astype(np.bool_)
+        op_tk = [_INST_FIELDS(inst) for inst in insts]
+        opgroup = np.fromiter((_OPGROUP[op] for op, _ in op_tk), np.int64, n)
+        taken = np.fromiter((bool(t) for _, t in op_tk), np.bool_, n)
+        taken_br = (opgroup == 3) & taken  # group 3 == OpClass.BRANCH
+        if global_ids and start > 0 and prev_event is None \
+                and isinstance(events, LazyEvents) and events.offset == start:
+            prev_event = LazyEvents(events.root)[start - 1]
 
     blocks: List[Tuple["np.ndarray", ...]] = []
 
@@ -329,9 +367,14 @@ def emit_edge_arrays(insts: Sequence, events: Sequence, cfg,
         block(nid5[:-1] + D, nid5[1:] + D, EdgeKind.DD, ic + break_lat, 0,
               cat1=np.where(ic > 0, _IMISS, NO_CATEGORY), val1=ic,
               cat2=np.where(break_lat > 0, _BW, NO_CATEGORY), val2=break_lat)
-    if global_ids and start > 0 and prev_inst is not None:
-        prev_break = 1 if (breaks and prev_inst.is_branch
-                           and prev_inst.taken) else 0
+    if global_ids and start > 0 and (icols is not None
+                                     or prev_inst is not None):
+        if icols is not None:  # left context straight from the columns
+            prev_break = 1 if (breaks and bool(icols.taken_br[start - 1])) \
+                else 0
+        else:
+            prev_break = 1 if (breaks and prev_inst.is_branch
+                               and prev_inst.taken) else 0
         ic0 = int(icache[0])
         block([(start - 1) * 5 + D], [nid5[0] + D], EdgeKind.DD,
               [ic0 + prev_break], 0,
@@ -346,49 +389,91 @@ def emit_edge_arrays(insts: Sequence, events: Sequence, cfg,
     sel = np.nonzero(misp[:-1])[0] + 1 if n > 1 else np.zeros(0, dtype=np.int64)
     block(nid5[sel - 1] + P, nid5[sel] + D, EdgeKind.PD,
           np.full(len(sel), recovery, dtype=np.int64), 3)
-    if global_ids and start > 0 and prev_event is not None \
-            and prev_event.mispredicted:
-        block([(start - 1) * 5 + P], [nid5[0] + D], EdgeKind.PD, [recovery], 3)
+    if global_ids and start > 0:
+        prev_misp = (bool(events.root.column("mispredicted")[start - 1])
+                     if ecols is not None
+                     else prev_event is not None and prev_event.mispredicted)
+        if prev_misp:
+            block([(start - 1) * 5 + P], [nid5[0] + D], EdgeKind.PD,
+                  [recovery], 3)
 
     # ---- edges into R: DR(0), PR (producer order, then the memory
     # producer); the tight loop only touches instructions' producer
     # tuples, so it stays cheap relative to the array work ----
     block(nid5 + D, nid5 + R, EdgeKind.DR, np.ones(n, dtype=np.int64), 0)
-    pr_src: List[int] = []
-    pr_dst: List[int] = []
-    pr_lat: List[int] = []
-    pr_slot: List[int] = []
-    for i, inst in enumerate(insts):
-        slot = 1
-        seen = set()
-        r_node = int(nid5[i]) + R
-        for j in inst.src_producers:
-            if j >= keep_floor and j not in seen:
-                seen.add(j)
-                pr_src.append((j - src_rebase) * 5 + P)
+    if icols is not None:
+        # the trace's deduplicated-producer CSR, filtered by keep_floor
+        # at emission time.  Slot numbers are first-occurrence positions
+        # (not renumbered over the kept subset, as the object loop
+        # does); the lexsort only consumes their relative order within a
+        # destination, which both numberings share, and the memory
+        # producer's slot (count+1) stays strictly last either way.
+        starts = icols.pr_start[start:start + n + 1]
+        lo, hi = int(starts[0]), int(starts[n])
+        prod = icols.pr_prod[lo:hi]
+        counts = np.diff(starts)
+        dst_local = np.repeat(local, counts)
+        pos = np.arange(lo, hi, dtype=np.int64) - np.repeat(starts[:-1],
+                                                            counts)
+        keep = prod >= keep_floor
+        mem = icols.mem_extra[start:start + n]
+        msel = np.nonzero(mem >= keep_floor)[0]
+        pr_src = np.concatenate((
+            (prod[keep] - src_rebase) * 5 + P,
+            (mem[msel] - src_rebase) * 5 + P))
+        if len(pr_src):
+            m = len(pr_src)
+            ks = int(np.count_nonzero(keep))
+            blocks.append((
+                pr_src,
+                np.concatenate((nid5[dst_local[keep]] + R,
+                                nid5[msel] + R)),
+                np.full(m, int(EdgeKind.PR), dtype=np.int64),
+                np.concatenate((
+                    np.full(ks, wakeup_extra, dtype=np.int64),
+                    np.zeros(m - ks, dtype=np.int64))),
+                np.full(m, NO_CATEGORY, dtype=np.int64),
+                np.zeros(m, dtype=np.int64),
+                np.full(m, NO_CATEGORY, dtype=np.int64),
+                np.zeros(m, dtype=np.int64),
+                np.concatenate((pos[keep] + 1, counts[msel] + 1)),
+            ))
+    else:
+        pr_src: List[int] = []
+        pr_dst: List[int] = []
+        pr_lat: List[int] = []
+        pr_slot: List[int] = []
+        for i, inst in enumerate(insts):
+            slot = 1
+            seen = set()
+            r_node = int(nid5[i]) + R
+            for j in inst.src_producers:
+                if j >= keep_floor and j not in seen:
+                    seen.add(j)
+                    pr_src.append((j - src_rebase) * 5 + P)
+                    pr_dst.append(r_node)
+                    pr_lat.append(wakeup_extra)
+                    pr_slot.append(slot)
+                    slot += 1
+            mem = inst.mem_producer
+            if inst.is_load and mem >= keep_floor and mem not in seen:
+                pr_src.append((mem - src_rebase) * 5 + P)
                 pr_dst.append(r_node)
-                pr_lat.append(wakeup_extra)
+                pr_lat.append(0)
                 pr_slot.append(slot)
-                slot += 1
-        mem = inst.mem_producer
-        if inst.is_load and mem >= keep_floor and mem not in seen:
-            pr_src.append((mem - src_rebase) * 5 + P)
-            pr_dst.append(r_node)
-            pr_lat.append(0)
-            pr_slot.append(slot)
-    if pr_src:
-        m = len(pr_src)
-        blocks.append((
-            np.asarray(pr_src, dtype=np.int64),
-            np.asarray(pr_dst, dtype=np.int64),
-            np.full(m, int(EdgeKind.PR), dtype=np.int64),
-            np.asarray(pr_lat, dtype=np.int64),
-            np.full(m, NO_CATEGORY, dtype=np.int64),
-            np.zeros(m, dtype=np.int64),
-            np.full(m, NO_CATEGORY, dtype=np.int64),
-            np.zeros(m, dtype=np.int64),
-            np.asarray(pr_slot, dtype=np.int64),
-        ))
+        if pr_src:
+            m = len(pr_src)
+            blocks.append((
+                np.asarray(pr_src, dtype=np.int64),
+                np.asarray(pr_dst, dtype=np.int64),
+                np.full(m, int(EdgeKind.PR), dtype=np.int64),
+                np.asarray(pr_lat, dtype=np.int64),
+                np.full(m, NO_CATEGORY, dtype=np.int64),
+                np.zeros(m, dtype=np.int64),
+                np.full(m, NO_CATEGORY, dtype=np.int64),
+                np.zeros(m, dtype=np.int64),
+                np.asarray(pr_slot, dtype=np.int64),
+            ))
 
     # ---- edge into E: RE(0) ----
     block(nid5 + R, nid5 + E, EdgeKind.RE, fu, 0,
@@ -441,29 +526,17 @@ def graph_from_arrays(num_insts: int, cols: Dict[str, "np.ndarray"],
     exactly what :func:`emit_edge_arrays` and :func:`stitch_graph`
     produce.
     """
-    graph = DependenceGraph(num_insts)
-    dst = cols["dst"]
-    graph.edge_src = cols["src"].tolist()
-    graph.edge_kind = cols["kind"].tolist()
-    graph.edge_lat = cols["lat"].tolist()
-    graph.edge_cat1 = cols["cat1"].tolist()
-    graph.edge_val1 = cols["val1"].tolist()
-    graph.edge_cat2 = cols["cat2"].tolist()
-    graph.edge_val2 = cols["val2"].tolist()
     csr = np.searchsorted(
-        dst, np.arange(graph.num_nodes + 1, dtype=np.int64),
-        side="left")
-    graph.csr_start = csr.tolist()
-    # keep the columns as int64 arrays too: array consumers (the
-    # batched engine, the idealizer, the artifact cache) read them via
-    # DependenceGraph.column_data and skip a list -> array round trip
-    graph._col_arrays = {
+        cols["dst"], np.arange(num_insts * NODES_PER_INST + 1,
+                               dtype=np.int64), side="left")
+    # the graph adopts the int64 columns directly; the python list
+    # views rebuild lazily if an object-plane consumer asks for them
+    arrays = {
         name: np.ascontiguousarray(cols[name], dtype=np.int64)
         for name in ("src", "kind", "lat", "cat1", "val1", "cat2", "val2")
     }
-    graph._col_arrays["csr"] = np.ascontiguousarray(csr, dtype=np.int64)
-    graph._cur_dst = graph.num_nodes
-    graph._finalized = True
+    arrays["csr"] = np.ascontiguousarray(csr, dtype=np.int64)
+    graph = DependenceGraph.from_arrays(num_insts, arrays)
     if seed is not None:
         graph.set_seed(*seed)
     return graph
@@ -485,24 +558,26 @@ def build_window_graph(result: SimResult, start: int, length: int,
     events = result.events[start:end]
     cols, seed = emit_edge_arrays(
         insts, events, result.config, breaks=model_taken_branch_breaks,
-        start=start, truncate=True)
+        start=start, truncate=True, trace=result.trace)
     return graph_from_arrays(len(insts), cols, seed)
 
 
 def emit_graph_segment(insts: Sequence, events: Sequence, cfg, start: int,
                        model_taken_branch_breaks: bool = True,
-                       prev_inst=None, prev_event=None):
+                       prev_inst=None, prev_event=None, trace=None):
     """One global-indexed segment of the monolithic graph (for stitching).
 
     The caller supplies the instruction before *start* as left context
-    (None at the very beginning).  The returned ``(columns, seed)``
-    block covers exactly the edges whose destination instruction lies in
+    (None at the very beginning); on the columnar path (*trace* given,
+    *events* a facade) the left context is read from the columns
+    instead.  The returned ``(columns, seed)`` block covers exactly the
+    edges whose destination instruction lies in
     ``start .. start+len(insts)-1`` of the full build.
     """
     return emit_edge_arrays(
         insts, events, cfg, breaks=model_taken_branch_breaks,
         start=start, global_ids=True,
-        prev_inst=prev_inst, prev_event=prev_event)
+        prev_inst=prev_inst, prev_event=prev_event, trace=trace)
 
 
 def stitch_graph(num_insts: int,

@@ -112,17 +112,34 @@ class GraphIdealizer:
 
     def _apply_category(self, cat: Category, lat, removed) -> None:
         ci = cat.index
-        delta = self._cat_delta.get(ci)
-        if delta is None:
-            delta = (self._val1 * (self._cat1 == ci)
-                     + self._val2 * (self._cat2 == ci))
+        if not self._cat_delta:
+            self._build_category_deltas()
+        mask = self._cat_removed.get(ci)
+        if mask is None:
             mask = np.zeros(len(lat), dtype=bool)
             for kind in _REMOVAL_KINDS.get(cat, ()):
                 mask |= self._kind == kind
-            self._cat_delta[ci] = delta
             self._cat_removed[ci] = mask
-        lat -= delta
-        removed |= self._cat_removed[ci]
+        lat -= self._cat_delta[ci]
+        removed |= mask
+
+    def _build_category_deltas(self) -> None:
+        """Every category's per-edge latency delta in two scatter
+        writes over a ``(categories + 1, edges)`` matrix -- the spare
+        row swallows the untagged (-1) components -- instead of four
+        full-array passes per category."""
+        n = len(self._lat)
+        ncats = max(c.index for c in Category) + 1
+        deltas = np.zeros((ncats + 1, n), dtype=np.int64)
+        cols = np.arange(n, dtype=np.int64)
+        # (row, col) pairs are unique within each scatter: col is the
+        # edge index, so fancy-indexed assignment/accumulate is exact
+        deltas[np.where(self._cat1 < 0, ncats,
+                        self._cat1).astype(np.int64), cols] = self._val1
+        deltas[np.where(self._cat2 < 0, ncats,
+                        self._cat2).astype(np.int64), cols] += self._val2
+        for ci in range(ncats):
+            self._cat_delta[ci] = deltas[ci]
 
     def _apply_selection(self, sel: EventSelection, lat, removed) -> None:
         cat = sel.category

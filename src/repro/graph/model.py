@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.core.categories import Category
 
@@ -100,6 +100,24 @@ def node_id(seq: int, kind: NodeKind) -> int:
     return seq * NODES_PER_INST + int(kind)
 
 
+#: List attribute -> column name in ``_col_arrays``.  For graphs
+#: assembled from arrays (vectorized build, stitched segments, cache
+#: loads) the python lists are materialised lazily from these columns
+#: on first attribute access; array consumers (the batched engine, the
+#: idealizer, the artifact cache) go through :meth:`column_data` and
+#: never pay the conversion.
+LAZY_LIST_COLUMNS = {
+    "edge_src": "src",
+    "edge_kind": "kind",
+    "edge_lat": "lat",
+    "edge_cat1": "cat1",
+    "edge_val1": "val1",
+    "edge_cat2": "cat2",
+    "edge_val2": "val2",
+    "csr_start": "csr",
+}
+
+
 class DependenceGraph:
     """CSR-stored dependence graph of one microexecution.
 
@@ -133,6 +151,38 @@ class DependenceGraph:
         # materialised from arrays (vectorized build, stitched segments,
         # cache loads); see column_data
         self._col_arrays = None
+
+    def __getattr__(self, name: str):
+        # Lazily rebuild a python edge list from the array columns.
+        # Only reached when the attribute is absent from the instance
+        # dict -- i.e. after from_arrays() dropped the eager lists.
+        key = LAZY_LIST_COLUMNS.get(name)
+        if key is not None:
+            cols = self.__dict__.get("_col_arrays")
+            if cols is not None and key in cols:
+                value = cols[key].tolist()
+                setattr(self, name, value)
+                return value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    @classmethod
+    def from_arrays(cls, num_insts: int,
+                    cols: Dict[str, object]) -> "DependenceGraph":
+        """A finalized graph backed directly by int64 edge columns.
+
+        *cols* maps every :data:`LAZY_LIST_COLUMNS` column name
+        (including ``csr``) to a destination-sorted int64 array.  The
+        arrays are adopted as-is; the python list views materialise
+        only if something actually asks for them.
+        """
+        graph = cls(num_insts)
+        for attr in LAZY_LIST_COLUMNS:
+            delattr(graph, attr)
+        graph._col_arrays = dict(cols)
+        graph._cur_dst = graph.num_nodes
+        graph._finalized = True
+        return graph
 
     def column_data(self, name: str):
         """One edge column for array consumers.

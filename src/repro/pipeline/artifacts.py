@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import operator
 import os
 import tempfile
 from dataclasses import fields
@@ -41,7 +40,11 @@ import repro.obs as obs
 import repro.graph.builder
 from repro.graph.model import DependenceGraph
 from repro.uarch.config import IdealConfig, MachineConfig
-from repro.uarch.events import InstEvents, SimResult
+from repro.uarch.events import (
+    EVENT_FIELDS,
+    EventColumns,
+    SimResult,
+)
 from repro.uarch.persist import FORMAT_VERSION, _static_to_dict
 
 #: Environment variable supplying a default cache directory.
@@ -50,11 +53,18 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 _EXT = {"sim": ".npz", "graph": ".npz", "meta": ".json",
         "cycles": ".json"}
 
+#: Schema of the sim artifact's on-disk layout.  Layout 1 (PR 3-7)
+#: stored one row-major ``(n, F)`` "events" array; layout 2 stores the
+#: field-major ``(F, n)`` "columns" matrix :class:`EventColumns` owns,
+#: so a warm load is a straight npz -> matrix handoff with no
+#: per-instruction rebuild.  The tag lives *inside* the artifact head,
+#: not in :func:`sim_key` -- both layouts describe the same simulation,
+#: so old caches keep hitting and are simply read through the compat
+#: path below instead of cold-starting.
+SIM_ARTIFACT_LAYOUT = 2
+
 #: InstEvents columns of the columnar sim artifact, in dataclass order.
-_EVENT_FIELDS = tuple(f.name for f in fields(InstEvents))
-_EVENT_BOOLS = frozenset(f.name for f in fields(InstEvents)
-                         if isinstance(f.default, bool))
-_EVENT_GETTER = operator.attrgetter(*_EVENT_FIELDS)
+_EVENT_FIELDS = EVENT_FIELDS
 
 
 def _digest(payload: Any) -> str:
@@ -233,35 +243,41 @@ class ArtifactCache:
         with obs.span("pipeline.cache.load", kind="sim"):
             with np.load(path) as data:
                 head = json.loads(bytes(bytearray(data["head"])).decode())
-                mat = data["events"]
-            names = head["fields"]
-            columns = []
-            for j, name in enumerate(names):
-                col = mat[:, j]
-                columns.append(col.astype(bool).tolist()
-                               if name in _EVENT_BOOLS else col.tolist())
-            if tuple(names) == _EVENT_FIELDS:  # fast positional path
-                events = [InstEvents(*row) for row in zip(*columns)]
-            else:  # field set evolved since the artifact was written
-                events = [InstEvents(**dict(zip(names, row)))
-                          for row in zip(*columns)]
+                if "columns" in data:  # layout 2: field-major matrix
+                    mat = np.ascontiguousarray(data["columns"],
+                                               dtype=np.int64)
+                else:  # layout 1 (PR 3-7): row-major (n, F) events
+                    mat = np.ascontiguousarray(data["events"].T,
+                                               dtype=np.int64)
+            names = tuple(head["fields"])
+            if names == _EVENT_FIELDS:
+                columns = EventColumns(mat)
+            else:  # field set evolved since the artifact was written:
+                # map rows by name, default the missing fields
+                columns = EventColumns.from_field_rows(
+                    {name: mat[j] for j, name in enumerate(names)},
+                    mat.shape[1])
             ideal = IdealConfig.for_categories(head["ideal"]) \
                 if head["ideal"] else IdealConfig()
-            return SimResult(trace=trace, config=config, ideal=ideal,
-                             events=events, cycles=head["cycles"],
-                             stats=dict(head["stats"]))
+            return SimResult.from_columns(
+                trace, config, ideal, columns,
+                cycles=head["cycles"], stats=dict(head["stats"]))
 
     def put_sim(self, key: str, result: SimResult) -> None:
-        """Store *result*'s timing events columnar under *key*."""
+        """Store *result*'s timing events columnar under *key*.
+
+        A columnar result's matrix goes to disk as-is; an object-plane
+        result (reference simulator) is gathered into columns first.
+        """
         if np is None or not self.enabled:
             return
 
         def writer(tmp: str) -> None:
-            mat = np.asarray(
-                [_EVENT_GETTER(ev) for ev in result.events],
-                dtype=np.int64).reshape(-1, len(_EVENT_FIELDS))
+            mat = np.ascontiguousarray(result.event_columns().matrix,
+                                       dtype=np.int64)
             head = json.dumps({
                 "format": FORMAT_VERSION,
+                "layout": SIM_ARTIFACT_LAYOUT,
                 "fields": list(_EVENT_FIELDS),
                 "cycles": result.cycles,
                 "stats": dict(result.stats),
@@ -269,7 +285,7 @@ class ArtifactCache:
                 else [],
             }, sort_keys=True, separators=(",", ":")).encode()
             with open(tmp, "wb") as handle:
-                np.savez(handle, events=mat,
+                np.savez(handle, columns=mat,
                          head=np.frombuffer(head, dtype=np.uint8))
 
         self._store("sim", key, writer)
@@ -285,23 +301,15 @@ class ArtifactCache:
             return None
         with obs.span("pipeline.cache.load", kind="graph"), \
                 np.load(path) as data:
-            graph = DependenceGraph(int(data["num_insts"]))
             cols = {name: np.ascontiguousarray(data[name], dtype=np.int64)
                     for name in ("src", "kind", "lat", "cat1", "val1",
                                  "cat2", "val2", "csr")}
-            graph.edge_src = cols["src"].tolist()
-            graph.edge_kind = cols["kind"].tolist()
-            graph.edge_lat = cols["lat"].tolist()
-            graph.edge_cat1 = cols["cat1"].tolist()
-            graph.edge_val1 = cols["val1"].tolist()
-            graph.edge_cat2 = cols["cat2"].tolist()
-            graph.edge_val2 = cols["val2"].tolist()
-            graph.csr_start = cols["csr"].tolist()
-            graph._col_arrays = cols
+            # npz -> columns, no per-edge rebuild: the python list
+            # views stay lazy just like a freshly built graph's
+            graph = DependenceGraph.from_arrays(int(data["num_insts"]),
+                                                cols)
             seed = data["seed"]
             graph.set_seed(int(seed[0]), int(seed[1]), int(seed[2]))
-        graph._cur_dst = graph.num_nodes
-        graph._finalized = True
         return graph
 
     def put_graph(self, key: str, graph: DependenceGraph) -> None:

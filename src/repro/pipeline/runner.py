@@ -55,7 +55,7 @@ from repro.isa.trace import Trace
 from repro.pipeline.artifacts import ArtifactCache, graph_key, sim_key
 from repro.uarch.config import MachineConfig
 from repro.uarch.fastcore import simulate
-from repro.uarch.events import SimResult
+from repro.uarch.events import LazyEvents, SimResult
 
 
 #: Manifest phase of each pipeline stage span, consumed by
@@ -281,11 +281,18 @@ def _build_sharded(result: SimResult, opts: PipelineOptions,
 
 def _emit_bounds(result: SimResult, start: int, end: int, breaks: bool):
     insts = result.trace.insts
+    events = result.events[start:end]
+    # columnar results carry their own left context (the facade's root
+    # columns); materializing prev_event here would be the one object
+    # the zero-materialization gate counts
+    columnar = isinstance(events, LazyEvents)
     return emit_graph_segment(
-        insts[start:end], result.events[start:end], result.config, start,
+        insts[start:end], events, result.config, start,
         model_taken_branch_breaks=breaks,
         prev_inst=insts[start - 1] if start else None,
-        prev_event=result.events[start - 1] if start else None)
+        prev_event=(result.events[start - 1]
+                    if start and not columnar else None),
+        trace=result.trace)
 
 
 def _record_window(stats: PipelineStats, wall_ms: float) -> None:

@@ -53,7 +53,7 @@ from repro.isa.instructions import OpClass, Opcode
 from repro.isa.trace import Trace
 from repro.uarch.config import OPCLASS_TO_FU, FUKind, IdealConfig, MachineConfig
 from repro.uarch.core import _HUGE, SimulationError
-from repro.uarch.events import InstEvents, SimResult
+from repro.uarch.events import EVENT_FIELDS, EventColumns, SimResult
 
 #: Engine names accepted by :func:`simulate` and the ``--sim-engine`` CLI flag.
 SIM_ENGINE_NAMES = ("auto", "fast", "reference")
@@ -1352,32 +1352,45 @@ def _stats_dict(ideal: IdealConfig, stats_arr, cycles: int,
     return stats
 
 
-def _materialize(trace: Trace, cfg: MachineConfig, ideal: IdealConfig,
-                 out, stats_arr, lookups: int, mispredicts: int) -> SimResult:
-    """Build the bit-identical SimResult from the kernel's output rows."""
+#: kernel output row -> InstEvents column row, for the directly copied
+#: (non-bool, non-derived) fields
+_OUT_TO_EVENT = (
+    (_O_F, "f"), (_O_D, "d"), (_O_R, "r"), (_O_E, "e"), (_O_P, "p"),
+    (_O_C, "c"), (_O_ICACHE, "icache_delay"), (_O_EXLAT, "exec_latency"),
+    (_O_DL1C, "dl1_component"), (_O_MISSC, "miss_component"),
+    (_O_FUCONT, "fu_contention"), (_O_STOREBW, "store_bw_delay"),
+    (_O_PP, "pp_partner"),
+)
+#: OFLAGS bit -> InstEvents bool column
+_OFLAG_TO_EVENT = (
+    (_OF_L1I, "l1i_miss"), (_OF_L2I, "l2i_miss"), (_OF_ITLB, "itlb_miss"),
+    (_OF_L1D, "l1d_miss"), (_OF_L2D, "l2d_miss"), (_OF_DTLB, "dtlb_miss"),
+    (_OF_MISP, "mispredicted"),
+)
+
+
+def _columns_result(trace: Trace, cfg: MachineConfig, ideal: IdealConfig,
+                    out, stats_arr, lookups: int,
+                    mispredicts: int) -> SimResult:
+    """Build the columnar SimResult straight from the kernel's output
+    rows -- whole-array moves and bit tests, no per-instruction loop.
+    The events facade materializes objects bit-identical to the
+    reference core's list only if legacy code indexes it."""
     cols = _columns(trace)
     n = cols.n
-    pc = cols.pc_list
-    rows = [out[r].tolist() for r in range(_O_COUNT)]
-    (f_, d_, r_, e_, p_, c_, icache, exlat, dl1c, missc, fucont, storebw,
-     pp, oflags) = rows
-    events = [
-        InstEvents(
-            i, pc[i], f_[i], d_[i], r_[i], e_[i], p_[i], c_[i],
-            icache[i],
-            bool(oflags[i] & _OF_L1I), bool(oflags[i] & _OF_L2I),
-            bool(oflags[i] & _OF_ITLB),
-            exlat[i], dl1c[i], missc[i],
-            bool(oflags[i] & _OF_L1D), bool(oflags[i] & _OF_L2D),
-            bool(oflags[i] & _OF_DTLB),
-            pp[i], fucont[i],
-            bool(oflags[i] & _OF_MISP), storebw[i],
-        )
-        for i in range(n)
-    ]
+    mat = np.empty((len(EVENT_FIELDS), n), dtype=np.int64)
+    row_of = {name: i for i, name in enumerate(EVENT_FIELDS)}
+    mat[row_of["seq"], :] = np.arange(n, dtype=np.int64)
+    mat[row_of["pc"], :] = cols.pc
+    for src_row, name in _OUT_TO_EVENT:
+        mat[row_of[name], :] = out[src_row]
+    oflags = out[_O_OFLAGS]
+    for bit, name in _OFLAG_TO_EVENT:
+        mat[row_of[name], :] = (oflags & bit) != 0
     cycles = int(stats_arr[_S_CYCLES])
     stats = _stats_dict(ideal, stats_arr, cycles, lookups, mispredicts)
-    return SimResult(trace, cfg, ideal, events, cycles, stats)
+    return SimResult.from_columns(trace, cfg, ideal, EventColumns(mat),
+                                  cycles, stats)
 
 
 # ----------------------------------------------------------------------
@@ -1421,7 +1434,7 @@ def simulate(trace: Trace, config: Optional[MachineConfig] = None,
     with obs.span("sim.run", insns=len(trace.insts),
                   idealized=ideal is not None, engine="fast") as sp:
         payload = _kernel_run(trace, cfg, idl, kernel)
-        result = _materialize(trace, cfg, idl, *payload)
+        result = _columns_result(trace, cfg, idl, *payload)
         sp.set(cycles=result.cycles)
     obs.count("sim.fast_runs")
     return result
@@ -1480,7 +1493,7 @@ def _run_batch(trace: Trace, points: Sequence, engine: Optional[str],
             payload = _kernel_run(trace, cfg, idl, kernel)
             obs.count("sim.fast_runs")
             if want_events:
-                out.append(_materialize(trace, cfg, idl, *payload))
+                out.append(_columns_result(trace, cfg, idl, *payload))
             else:
                 out.append(int(payload[1][_S_CYCLES]))
         obs.count("sim.batched_points", len(resolved))

@@ -16,7 +16,11 @@ np = pytest.importorskip("numpy")
 
 import repro.obs as obs
 from repro.analysis.graphsim import analyze_trace
-from repro.core import Category, full_interaction_breakdown
+from repro.core import (
+    Category,
+    full_interaction_breakdown,
+    interaction_breakdown,
+)
 from repro.pipeline import (
     ArtifactCache,
     PipelineOptions,
@@ -159,6 +163,25 @@ class TestArtifactCache:
         for combo in COMBOS:
             assert warm.cost(combo) == cold_costs[tuple(combo)]
             assert warm.cost(combo) == monolithic.cost(combo)
+
+    def test_cold_and_warm_breakdowns_materialize_nothing(
+            self, gcc_setup, tmp_path):
+        """The columnar data plane end to end: a focused pipeline
+        breakdown -- cold or warm -- builds its graphs straight from
+        the event matrix, so not a single ``InstEvents`` object may be
+        materialized (CI greps the same counter out of the CLI runs)."""
+        trace, cfg = gcc_setup
+        opts = PipelineOptions(jobs=2, windows=4, cache_dir=str(tmp_path))
+        for expected_state in ("cold", "warm"):
+            collector = obs.enable()
+            try:
+                provider = run_pipeline(trace, cfg, opts)
+                interaction_breakdown(provider, focus=Category.DL1,
+                                      workload="gcc")
+            finally:
+                obs.disable()
+            assert provider.stats.cache_state == expected_state
+            assert collector.counter("sim.events_materialized") == 0
 
     def test_partial_state_after_sim_only(self, gcc_setup, tmp_path):
         trace, cfg = gcc_setup
