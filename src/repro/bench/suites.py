@@ -390,6 +390,84 @@ def case_sim(session, settings: BenchSettings) -> MetricPair:
     return metrics, perf
 
 
+def case_serve(session, settings: BenchSettings) -> MetricPair:
+    """Serve-daemon throughput: concurrent clients on a warm cache.
+
+    Boots one in-process :class:`~repro.serve.server.ReproServer` over
+    a fresh shared cache, issues one cold request to warm it, then
+    hammers it with N concurrent clients submitting the *same*
+    breakdown request with coalescing disabled -- every request runs
+    the full analysis, so the requests/sec and p95 numbers measure real
+    executions over the shared warm cache, not queue-level dedup.  The
+    accuracy metric is the digest contract: every response (cold one
+    included) must carry the identical result ETag.
+    """
+    import tempfile
+    import threading
+
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ReproServer
+    from repro.session.lifecycle import SessionManager
+
+    name = _names(settings, ("gzip",))[0]
+    argv = [name, "--scale", str(settings.scale),
+            "--seed", str(settings.seed)]
+    clients, per_client = 8, 4
+    etags: List[str] = []
+    latencies_ms: List[float] = []
+    lock = threading.Lock()
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        manager = SessionManager(cache_dir=tmp)
+        server = ReproServer(manager, port=0, workers=4, queue_size=64,
+                             idle_reap_s=0)
+        server.start()
+        try:
+            warmer = ServeClient(server.url)
+            t0 = time.perf_counter()
+            cold = warmer.run("breakdown", argv, reuse=False,
+                              timeout=300.0)
+            cold_ms = (time.perf_counter() - t0) * 1000.0
+            etags.append(cold["etag"])
+
+            def hammer() -> None:
+                client = ServeClient(server.url)
+                for _ in range(per_client):
+                    t1 = time.perf_counter()
+                    doc = client.run("breakdown", argv, reuse=False,
+                                     timeout=300.0)
+                    elapsed = (time.perf_counter() - t1) * 1000.0
+                    with lock:
+                        etags.append(doc["etag"])
+                        latencies_ms.append(elapsed)
+
+            threads = [threading.Thread(target=hammer)
+                       for _ in range(clients)]
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            warm_wall_ms = (time.perf_counter() - t0) * 1000.0
+        finally:
+            server.stop()
+    total = clients * per_client
+    latencies_ms.sort()
+    p95_ms = latencies_ms[max(0, int(0.95 * (len(latencies_ms) - 1)))]
+    metrics = {
+        "serve.digest_mismatches": float(len(set(etags)) - 1),
+        "serve.clients": float(clients),
+        "serve.requests": float(total),
+    }
+    perf = {
+        "serve.cold_ms": round(cold_ms, 3),
+        "serve.warm_wall_ms": round(warm_wall_ms, 3),
+        "serve.p95_ms": round(p95_ms, 3),
+        "serve.requests_x1k": float(total * 1000),
+        "serve.warm_rps": round(total * 1000.0 / warm_wall_ms, 3),
+    }
+    return metrics, perf
+
+
 Case = Callable[[object, BenchSettings], MetricPair]
 
 #: derived perf ratios and the ``*_ms`` keys they divide.  After the
@@ -405,6 +483,10 @@ PERF_RATIOS: Dict[str, Tuple[str, str]] = {
     "sim.speedup": ("sim.reference_ms", "sim.fast_ms"),
     "sim.speedup_batched_sweep": ("sim.reference_sweep_ms",
                                   "sim.batched_sweep_ms"),
+    # req/s = requests * 1000 / warm wall ms; the numerator is the
+    # constant request count (pre-scaled so the generic ms-ratio
+    # recompute lands in requests per *second*)
+    "serve.warm_rps": ("serve.requests_x1k", "serve.warm_wall_ms"),
 }
 
 
@@ -430,6 +512,7 @@ _CASES: Dict[str, Case] = {
     "engine": case_engine,
     "pipeline": case_pipeline,
     "sim": case_sim,
+    "serve": case_serve,
 }
 
 #: suite name -> ordered case names.  ``smoke`` is the reduced suite CI
@@ -441,6 +524,7 @@ SUITES: Dict[str, Tuple[str, ...]] = {
     "engine": ("engine",),
     "pipeline": ("pipeline", "sim"),
     "sim": ("sim",),
+    "serve": ("serve",),
     "smoke": ("table4a", "figure1"),
 }
 

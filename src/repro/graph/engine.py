@@ -60,6 +60,7 @@ from repro.core.categories import Category, EventSelection
 from repro.graph.critical_path import longest_path
 from repro.graph.idealize import GraphIdealizer
 from repro.graph.model import DependenceGraph
+from repro.lockfile import compile_lock
 
 Target = Union[Category, EventSelection]
 Key = FrozenSet[Target]
@@ -102,6 +103,35 @@ _native_reason = "not attempted"
 _native_warned = False
 
 
+def _compile_locked(lib_path):
+    """Compile the C sweep into *lib_path* (caller holds the lock).
+
+    Writes to a pid-unique tmp then publishes with ``os.replace``.
+    Returns None on success (or when another process already published
+    the library while we waited), else a failure reason string.
+    """
+    if os.path.exists(lib_path):
+        return None  # lost the race; winner already published
+    src_path = lib_path[:-3] + ".c"
+    with open(src_path, "w") as fh:
+        fh.write(_KERNEL_SOURCE)
+    tmp_path = f"{lib_path}.{os.getpid()}.tmp"
+    errors = []
+    for compiler in ("cc", "gcc", "clang"):
+        proc = subprocess.run(
+            [compiler, "-O3", "-shared", "-fPIC", "-o",
+             tmp_path, src_path],
+            capture_output=True, timeout=60)
+        if proc.returncode == 0:
+            os.replace(tmp_path, lib_path)
+            return None
+        stderr = proc.stderr.decode(errors="replace").strip()
+        detail = stderr.splitlines()[-1] if stderr \
+            else f"exit {proc.returncode}"
+        errors.append(f"{compiler}: {detail}")
+    return "no working C compiler (" + "; ".join(errors) + ")"
+
+
 def _compile_native_kernel():
     """Compile and load the C sweep.
 
@@ -119,24 +149,14 @@ def _compile_native_kernel():
         tempfile.gettempdir(), f"repro-cp-kernel-{digest}-{uid}.so")
     try:
         if not os.path.exists(lib_path):
-            src_path = lib_path[:-3] + ".c"
-            with open(src_path, "w") as fh:
-                fh.write(_KERNEL_SOURCE)
-            errors = []
-            for compiler in ("cc", "gcc", "clang"):
-                proc = subprocess.run(
-                    [compiler, "-O3", "-shared", "-fPIC", "-o",
-                     lib_path + ".tmp", src_path],
-                    capture_output=True, timeout=60)
-                if proc.returncode == 0:
-                    os.replace(lib_path + ".tmp", lib_path)
-                    break
-                stderr = proc.stderr.decode(errors="replace").strip()
-                detail = stderr.splitlines()[-1] if stderr \
-                    else f"exit {proc.returncode}"
-                errors.append(f"{compiler}: {detail}")
-            else:
-                return None, "no working C compiler (" + "; ".join(errors) + ")"
+            # Advisory lock so concurrent processes/threads racing the
+            # first compile don't clobber each other's in-flight cc
+            # output; re-check under the lock -- the loser usually
+            # finds the winner's published .so and skips the compile.
+            with compile_lock(lib_path, "graph sweep"):
+                reason = _compile_locked(lib_path)
+            if reason is not None:
+                return None, reason
         lib = ctypes.CDLL(lib_path)
         fn = lib.cp_sweep
         ptr = ctypes.POINTER(ctypes.c_int64)

@@ -1,0 +1,76 @@
+"""Advisory file locking for on-demand native kernel compiles.
+
+Both compile-with-fallback caches (:mod:`repro.graph.engine` and
+:mod:`repro.uarch.fastcore`) build a shared library in the system temp
+directory the first time a process asks for the kernel.  Two processes
+(or threads) racing that first compile used to clobber each other's
+in-flight ``cc`` output; :func:`compile_lock` serializes them with an
+advisory ``flock`` on a sidecar ``<lib>.lock`` file:
+
+- the winner compiles while holding the exclusive lock;
+- losers block, print a one-line stderr note (so an unexpectedly slow
+  import is explainable), and on waking typically find the finished
+  ``.so`` already published -- the compile sites re-check existence
+  under the lock, so the work happens once per host.
+
+On platforms without ``fcntl`` (Windows) the lock degrades to a no-op:
+the tmp-file + ``os.replace`` publish the compile sites already use
+keeps clobbering from corrupting a *published* library there; only the
+duplicate-work protection is lost.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import sys
+from typing import Iterator
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["CONTENTION_NOTE", "compile_lock"]
+
+#: The stderr line printed when a compile waits on a concurrent one
+#: (``{what}``/``{path}`` filled in; tests pin this text).
+CONTENTION_NOTE = ("note: waiting for a concurrent {what} compile "
+                   "({path})")
+
+
+@contextlib.contextmanager
+def compile_lock(lib_path: str, what: str = "native kernel"
+                 ) -> Iterator[bool]:
+    """Hold an advisory exclusive lock around one kernel compile.
+
+    *lib_path* is the library being produced (the lock lives next to it
+    as ``<lib_path>.lock``); *what* names the kernel in the contention
+    note.  Yields ``True`` when the lock was contended (this process
+    waited for another compiler), ``False`` when it was acquired
+    immediately or locking is unavailable on this platform.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platform
+        yield False
+        return
+    lock_path = lib_path + ".lock"
+    try:
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+    except OSError:  # pragma: no cover - unwritable temp dir
+        yield False
+        return
+    waited = False
+    try:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            waited = True
+            print(CONTENTION_NOTE.format(what=what, path=lib_path),
+                  file=sys.stderr)
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        yield waited
+    finally:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)

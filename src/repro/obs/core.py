@@ -135,6 +135,10 @@ class Collector:
         self.histograms: Dict[str, List[float]] = {}
         self.notes: Dict[str, str] = {}
         self.api_calls = 0  # how many instrumentation hits were recorded
+        #: finished-span listeners (``repro serve`` streams progress
+        #: lines from these); empty for everyone else, so the only cost
+        #: on the normal path is one truthiness check per span
+        self._listeners: List[Any] = []
 
     @property
     def pid(self) -> int:
@@ -173,11 +177,17 @@ class Collector:
                     pass
         ts = (start_ns - self._epoch_ns) / 1000.0
         dur = (end_ns - start_ns) / 1000.0
+        record = (span.name, ts, dur, threading.get_ident(), span.args,
+                  span.sid, span.parent_sid, self._pid)
         with self._lock:
             self.api_calls += 1
-            self.spans.append(
-                (span.name, ts, dur, threading.get_ident(), span.args,
-                 span.sid, span.parent_sid, self._pid))
+            self.spans.append(record)
+        if self._listeners:  # notify outside the lock: listeners may
+            for listener in list(self._listeners):  # touch the collector
+                try:
+                    listener(record)
+                except Exception:  # pragma: no cover - listener bug
+                    pass
 
     def count(self, name: str, n: float = 1) -> None:
         """Increment counter *name* by *n*."""
@@ -211,6 +221,27 @@ class Collector:
         with self._lock:
             self.api_calls += 1
             self.notes[name] = str(text)
+
+    # ---- finished-span listeners -------------------------------------
+
+    def add_listener(self, listener: Any) -> None:
+        """Call *listener(record)* after every span finishes.
+
+        *record* is the :data:`SpanRecord` tuple just appended.  The
+        serve daemon registers one per in-flight job (filtering by the
+        job's worker thread id) to stream progress lines; listeners run
+        outside the collector lock and must not raise.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Any) -> None:
+        """Detach a listener added with :meth:`add_listener`."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
 
     # ---- cross-process stitching -------------------------------------
 

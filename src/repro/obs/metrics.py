@@ -86,6 +86,22 @@ def _pipeline_summary(collector: Collector) -> List[str]:
     if fallback:
         lines.append(f"pipeline pool fallbacks   : {_fmt(fallback)} "
                      f"(ran serially in-process)")
+    evictions = collector.counter("cache.evictions")
+    quarantined = collector.counter("cache.quarantined")
+    if evictions or quarantined:
+        cache_bytes = collector.gauges.get("cache.bytes")
+        size = (f", {cache_bytes / 1e6:.1f} MB resident"
+                if cache_bytes is not None else "")
+        lines.append(f"artifact cache pressure   : {_fmt(evictions)} "
+                     f"evicted, {_fmt(quarantined)} quarantined{size}")
+    served = collector.counter("serve.job.done")
+    failed = collector.counter("serve.job.failed")
+    rejected = collector.counter("serve.request.rejected")
+    if served or failed or rejected:
+        coalesced = collector.counter("serve.job.coalesced")
+        lines.append(f"serve jobs                : {_fmt(served)} done, "
+                     f"{_fmt(failed)} failed, {_fmt(rejected)} "
+                     f"rejected (429), {_fmt(coalesced)} coalesced")
     return lines
 
 

@@ -20,6 +20,25 @@ count, so a warm run can skip loading the full result), and ``cycles``
 Writes go through a temporary file in the destination directory and an
 atomic ``os.replace``, so concurrent runs sharing one cache directory
 can only ever observe complete artifacts.
+
+Concurrency model (the ``repro serve`` daemon shares one cache across
+every in-flight session):
+
+- **reads are lock-free** -- an artifact is either absent or complete
+  (the tmp+rename invariant), so loads never block behind writers;
+  a file evicted between the existence probe and the open is a miss.
+- **writes take a per-key lock** so two threads producing the same
+  artifact do the work once and never interleave inside one store;
+  distinct keys store concurrently.  Cross-*process* writers stay safe
+  through tmp+rename alone (last complete rename wins).
+- **corrupt artifacts are quarantined, not raised**: a load that fails
+  to parse renames the file to ``<name>.bad``, counts it
+  (``cache.quarantined``) and reports a miss, so a torn or bit-rotted
+  entry costs one re-simulation instead of a crashed request.
+- **bounded size**: when ``max_bytes`` (or ``$REPRO_CACHE_MAX_BYTES``)
+  is set, stores evict least-recently-used artifacts (hits bump the
+  file mtime) until the cache fits, publishing ``cache.evictions`` and
+  the ``cache.bytes`` gauge.
 """
 
 from __future__ import annotations
@@ -28,8 +47,9 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from dataclasses import fields
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 try:
     import numpy as np
@@ -49,6 +69,12 @@ from repro.uarch.persist import FORMAT_VERSION, _static_to_dict
 
 #: Environment variable supplying a default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable supplying a default size bound (bytes).
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+#: Suffix quarantined (unreadable) artifacts are renamed to.
+QUARANTINE_SUFFIX = ".bad"
 
 _EXT = {"sim": ".npz", "graph": ".npz", "meta": ".json",
         "cycles": ".json"}
@@ -162,19 +188,61 @@ class ArtifactCache:
     :data:`CACHE_DIR_ENV` environment variable, and a cache with no
     root is *disabled*: every lookup misses and every store is a no-op,
     so callers never need to special-case ``--no-cache``.
+
+    *max_bytes* bounds the on-disk footprint (``None`` consults
+    :data:`CACHE_MAX_BYTES_ENV`; unset = unbounded): stores that push
+    the cache over the bound evict least-recently-used artifacts.
+
+    One instance may be shared by any number of threads; see the module
+    docstring for the multi-reader/single-writer discipline.
     """
 
-    def __init__(self, root: Optional[str] = None) -> None:
+    def __init__(self, root: Optional[str] = None,
+                 max_bytes: Optional[int] = None) -> None:
         if root is None:
             root = os.environ.get(CACHE_DIR_ENV) or None
+        if max_bytes is None:
+            env = os.environ.get(CACHE_MAX_BYTES_ENV)
+            max_bytes = int(env) if env else None
         self.root = root
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+        self.quarantined = 0
+        self._stats_lock = threading.Lock()
+        #: (kind, key) -> per-key write lock; the guard serializes
+        #: creation only, never the stores themselves
+        self._write_locks: Dict[Tuple[str, str], threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+        #: total artifact bytes, scanned lazily on the first store
+        self._bytes: Optional[int] = None
+
+    @classmethod
+    def disabled_cache(cls) -> "ArtifactCache":
+        """A cache that is disabled even if the environment configures
+        a directory (the ``--no-cache`` contract)."""
+        cache = cls.__new__(cls)
+        cache.root = None
+        cache.max_bytes = None
+        cache.hits = cache.misses = cache.stores = 0
+        cache.evictions = cache.quarantined = 0
+        cache._stats_lock = threading.Lock()
+        cache._write_locks = {}
+        cache._locks_guard = threading.Lock()
+        cache._bytes = None
+        return cache
 
     @property
     def enabled(self) -> bool:
         return self.root is not None
+
+    # -- stats (thread-safe) -------------------------------------------
+
+    def _bump(self, attr: str, n: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self, attr, getattr(self, attr) + n)
 
     # -- pathing -------------------------------------------------------
 
@@ -184,36 +252,164 @@ class ArtifactCache:
             raise RuntimeError("artifact cache is disabled")
         return os.path.join(self.root, kind, key[:2], key + _EXT[kind])
 
-    def _lookup(self, kind: str, key: str) -> Optional[str]:
+    # -- loading (lock-free, quarantine on corruption) -----------------
+
+    def _load(self, kind: str, key: str,
+              loader: Callable[[str], Any]) -> Optional[Any]:
+        """Resolve, read and parse one artifact; ``None`` on any miss.
+
+        Counts a hit only after *loader* succeeds, so a present-but-
+        unreadable artifact is billed as a miss (and quarantined), and
+        an artifact evicted between the existence probe and the open is
+        a plain miss.  A successful load bumps the file mtime -- the
+        recency signal :meth:`_evict` orders by.
+        """
         if not self.enabled:
             return None
         path = self.path_for(kind, key)
-        if os.path.exists(path):
-            self.hits += 1
-            obs.count(f"pipeline.cache.{kind}.hit")
-            return path
-        self.misses += 1
+        if not os.path.exists(path):
+            self._bump("misses")
+            obs.count(f"pipeline.cache.{kind}.miss")
+            return None
+        try:
+            with obs.span("pipeline.cache.load", kind=kind):
+                value = loader(path)
+        except FileNotFoundError:  # lost a race with the evictor
+            self._bump("misses")
+            obs.count(f"pipeline.cache.{kind}.miss")
+            return None
+        except Exception as exc:  # corrupt/truncated: quarantine as miss
+            self._quarantine(kind, path, exc)
+            return None
+        self._bump("hits")
+        obs.count(f"pipeline.cache.{kind}.hit")
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - evicted right after load
+            pass
+        return value
+
+    def _quarantine(self, kind: str, path: str, exc: Exception) -> None:
+        """Move an unreadable artifact aside so it is never retried."""
+        try:
+            os.replace(path, path + QUARANTINE_SUFFIX)
+        except OSError:  # pragma: no cover - concurrent quarantine/evict
+            pass
+        self._bump("quarantined")
+        self._bump("misses")
+        obs.count("cache.quarantined")
         obs.count(f"pipeline.cache.{kind}.miss")
-        return None
+        obs.get_logger("pipeline.cache").warning(
+            "quarantined unreadable %s artifact %s (%s: %s)",
+            kind, path, type(exc).__name__, exc)
+
+    # -- storing (per-key write lock, tmp + atomic rename) -------------
+
+    def _write_lock(self, kind: str, key: str) -> threading.Lock:
+        with self._locks_guard:
+            return self._write_locks.setdefault((kind, key),
+                                                threading.Lock())
 
     def _store(self, kind: str, key: str, writer) -> None:
-        """Atomically publish one artifact via tmp-file + rename."""
+        """Atomically publish one artifact via tmp-file + rename.
+
+        The per-key lock makes concurrent same-key stores do the work
+        once (the second writer sees the published file and returns);
+        distinct keys never contend.
+        """
         if not self.enabled:
             return
         path = self.path_for(kind, key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   suffix=".tmp")
-        os.close(fd)
+        with self._write_lock(kind, key):
+            if os.path.exists(path):  # another writer already published
+                obs.count(f"pipeline.cache.{kind}.store_dup")
+                return
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+            os.close(fd)
+            try:
+                with obs.span("pipeline.cache.store", kind=kind):
+                    writer(tmp)
+                    os.replace(tmp, path)
+                self._bump("stores")
+                obs.count(f"pipeline.cache.{kind}.store")
+            finally:
+                if os.path.exists(tmp):  # writer failed before replace
+                    os.unlink(tmp)
         try:
-            with obs.span("pipeline.cache.store", kind=kind):
-                writer(tmp)
-                os.replace(tmp, path)
-            self.stores += 1
-            obs.count(f"pipeline.cache.{kind}.store")
-        finally:
-            if os.path.exists(tmp):  # writer failed before replace
-                os.unlink(tmp)
+            size = os.path.getsize(path)
+        except OSError:  # pragma: no cover - evicted immediately
+            size = 0
+        self._account(size)
+
+    # -- size accounting and LRU eviction ------------------------------
+
+    def _artifact_files(self) -> List[Tuple[float, int, str]]:
+        """Every artifact on disk as ``(mtime, size, path)`` rows
+        (quarantined ``.bad`` files included -- they hold bytes too)."""
+        rows: List[Tuple[float, int, str]] = []
+        for kind in _EXT:
+            base = os.path.join(self.root, kind)
+            if not os.path.isdir(base):
+                continue
+            for dirpath, _dirs, names in os.walk(base):
+                for name in names:
+                    if name.endswith(".tmp"):
+                        continue  # in-flight writer temp, never evict
+                    path = os.path.join(dirpath, name)
+                    try:
+                        stat = os.stat(path)
+                    except OSError:
+                        continue
+                    rows.append((stat.st_mtime, stat.st_size, path))
+        return rows
+
+    def total_bytes(self) -> int:
+        """Bytes the cache holds on disk (0 when disabled)."""
+        if not self.enabled:
+            return 0
+        return sum(size for _mtime, size, _path in self._artifact_files())
+
+    def _account(self, added: int) -> None:
+        """Fold one store's bytes into the running total; evict when
+        over budget.  The total is an in-process approximation (other
+        processes sharing the directory are recounted on eviction)."""
+        with self._stats_lock:
+            if self._bytes is None:
+                self._bytes = self.total_bytes()
+            else:
+                self._bytes += added
+            current = self._bytes
+        obs.gauge("cache.bytes", current)
+        if self.max_bytes is not None and current > self.max_bytes:
+            self._evict()
+
+    def _evict(self) -> None:
+        """Delete least-recently-used artifacts until under budget.
+
+        Deleting a file a concurrent reader already opened is safe on
+        POSIX (the handle survives); a reader racing the unlink before
+        its open simply records a miss.
+        """
+        rows = sorted(self._artifact_files())
+        total = sum(size for _mtime, size, _path in rows)
+        evicted = 0
+        for _mtime, size, path in rows:
+            if total <= self.max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue  # concurrent evictor/quarantine got it first
+            total -= size
+            evicted += 1
+        with self._stats_lock:
+            self._bytes = total
+            self.evictions += evicted
+        if evicted:
+            obs.count("cache.evictions", evicted)
+        obs.gauge("cache.bytes", total)
 
     # -- simulation results --------------------------------------------
     #
@@ -232,15 +428,13 @@ class ArtifactCache:
         Both must be the objects the key was derived from (content
         addressing guarantees they describe the same run).
         """
-        if np is None:
-            return None
-        path = self._lookup("sim", key)
-        if path is None:
+        if np is None or not self.enabled:
             return None
         if trace is None or config is None:
             raise TypeError("get_sim needs the trace and config the "
                             "key was derived from")
-        with obs.span("pipeline.cache.load", kind="sim"):
+
+        def loader(path: str) -> SimResult:
             with np.load(path) as data:
                 head = json.loads(bytes(bytearray(data["head"])).decode())
                 if "columns" in data:  # layout 2: field-major matrix
@@ -262,6 +456,8 @@ class ArtifactCache:
             return SimResult.from_columns(
                 trace, config, ideal, columns,
                 cycles=head["cycles"], stats=dict(head["stats"]))
+
+        return self._load("sim", key, loader)
 
     def put_sim(self, key: str, result: SimResult) -> None:
         """Store *result*'s timing events columnar under *key*.
@@ -294,23 +490,24 @@ class ArtifactCache:
 
     def get_graph(self, key: str) -> Optional[DependenceGraph]:
         """Rebuild the cached dependence graph under *key*, or None."""
-        if np is None:
+        if np is None or not self.enabled:
             return None
-        path = self._lookup("graph", key)
-        if path is None:
-            return None
-        with obs.span("pipeline.cache.load", kind="graph"), \
-                np.load(path) as data:
-            cols = {name: np.ascontiguousarray(data[name], dtype=np.int64)
-                    for name in ("src", "kind", "lat", "cat1", "val1",
-                                 "cat2", "val2", "csr")}
-            # npz -> columns, no per-edge rebuild: the python list
-            # views stay lazy just like a freshly built graph's
-            graph = DependenceGraph.from_arrays(int(data["num_insts"]),
-                                                cols)
-            seed = data["seed"]
-            graph.set_seed(int(seed[0]), int(seed[1]), int(seed[2]))
-        return graph
+
+        def loader(path: str) -> DependenceGraph:
+            with np.load(path) as data:
+                cols = {name: np.ascontiguousarray(data[name],
+                                                   dtype=np.int64)
+                        for name in ("src", "kind", "lat", "cat1", "val1",
+                                     "cat2", "val2", "csr")}
+                # npz -> columns, no per-edge rebuild: the python list
+                # views stay lazy just like a freshly built graph's
+                graph = DependenceGraph.from_arrays(int(data["num_insts"]),
+                                                    cols)
+                seed = data["seed"]
+                graph.set_seed(int(seed[0]), int(seed[1]), int(seed[2]))
+            return graph
+
+        return self._load("graph", key, loader)
 
     def put_graph(self, key: str, graph: DependenceGraph) -> None:
         """Store *graph*'s edge columns and seed under *key*."""
@@ -340,12 +537,12 @@ class ArtifactCache:
 
     def get_json(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
         """Load the small JSON artifact of *kind* under *key*, or None."""
-        path = self._lookup(kind, key)
-        if path is None:
-            return None
-        with obs.span("pipeline.cache.load", kind=kind), \
-                open(path, "r", encoding="utf-8") as handle:
-            return json.load(handle)
+
+        def loader(path: str) -> Dict[str, Any]:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+
+        return self._load(kind, key, loader)
 
     def put_json(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
         """Store *payload* as the JSON artifact of *kind* under *key*."""

@@ -139,15 +139,13 @@ def open_cache(cache_dir: Optional[str] = None,
     always miss and whose stores are no-ops.
     """
     if no_cache:
-        cache = ArtifactCache.__new__(ArtifactCache)
-        cache.root = None
-        cache.hits = cache.misses = cache.stores = 0
-        return cache
+        return ArtifactCache.disabled_cache()
     return ArtifactCache(cache_dir)
 
 
 def run_pipeline(trace: Trace, config: Optional[MachineConfig] = None,
-                 options: Optional[PipelineOptions] = None):
+                 options: Optional[PipelineOptions] = None,
+                 cache: Optional[ArtifactCache] = None):
     """Run the staged pipeline; returns a cost provider.
 
     The provider implements the :class:`repro.core.icost.CostProvider`
@@ -157,10 +155,16 @@ def run_pipeline(trace: Trace, config: Optional[MachineConfig] = None,
     bit-identical to :func:`repro.analysis.graphsim.analyze_trace`; with
     ``approx=True`` and more than one window it is a
     :class:`WindowedCostProvider` with the documented bounded error.
+
+    *cache* injects an existing :class:`ArtifactCache` (the session
+    layer passes its own, so concurrent sessions and their pipelines
+    share one in-process instance with one set of write locks); by
+    default one is opened from the options.
     """
     opts = options or PipelineOptions()
     cfg = config or MachineConfig()
-    cache = open_cache(opts.cache_dir, opts.no_cache)
+    if cache is None:
+        cache = open_cache(opts.cache_dir, opts.no_cache)
     mode = "windowed" if (opts.approx and opts.windows > 1) else "exact"
     with obs.span("pipeline.run", mode=mode, windows=opts.windows,
                   jobs=opts.jobs, cache=cache.enabled):

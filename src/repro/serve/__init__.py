@@ -1,0 +1,32 @@
+"""Analysis-as-a-service: the declarative registry over HTTP/JSON.
+
+``repro serve`` turns the single-shot CLI into a long-lived daemon: a
+stdlib :class:`~http.server.ThreadingHTTPServer` front end
+(:mod:`repro.serve.server`) over a bounded async job queue
+(:mod:`repro.serve.jobs`) whose workers run registered analyses in
+per-request :class:`~repro.session.AnalysisSession`\\ s sharing one
+concurrent :class:`~repro.pipeline.artifacts.ArtifactCache` via a
+:class:`~repro.session.SessionManager`.
+
+The service contract (docs/SERVING.md):
+
+- **backpressure** -- a full job queue answers HTTP 429 instead of
+  accepting unbounded work;
+- **reproducible results** -- every finished job carries an ETag-style
+  digest over the ledger's :func:`~repro.obs.ledger.stable_view`
+  manifest (minus warm/cold-sensitive counters), so concurrent
+  identical requests provably produced bit-identical results;
+- **job coalescing** -- identical in-flight requests share one
+  execution by request key;
+- **progress** -- each job streams one line per finished obs span of
+  its worker thread.
+
+:mod:`repro.serve.client` is the matching stdlib-only client used by
+the bench suite, the smoke tests and CI.
+"""
+
+from repro.serve.jobs import Job, JobQueue, QueueFull
+from repro.serve.server import ReproServer
+from repro.serve.client import ServeClient
+
+__all__ = ["Job", "JobQueue", "QueueFull", "ReproServer", "ServeClient"]

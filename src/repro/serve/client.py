@@ -1,0 +1,182 @@
+"""A stdlib-only client for the ``repro serve`` daemon.
+
+:class:`ServeClient` speaks the HTTP/JSON protocol of
+:mod:`repro.serve.server` with nothing but :mod:`urllib`, so the bench
+suite, the smoke tests and CI scripts need no extra dependencies.  The
+convenience :meth:`ServeClient.run` submits, polls until the job
+settles and returns the full result document (including the ETag the
+digest-equality checks compare).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """An HTTP-level failure talking to the daemon.
+
+    Carries the response *status* and decoded *payload* so callers can
+    branch on backpressure (429) without string matching.
+    """
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: "
+                         f"{payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Talks to one daemon at *base_url* (e.g. ``http://127.0.0.1:8377``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ---- transport ----------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 headers: Optional[Dict[str, str]] = None
+                 ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        data = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json",
+                     **(headers or {})})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as resp:
+                raw = resp.read()
+                try:
+                    payload = json.loads(raw) if raw else {}
+                except json.JSONDecodeError:  # text/plain endpoints
+                    payload = raw.decode("utf-8", "replace")
+                return resp.status, payload, dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            return exc.code, payload, dict(exc.headers or {})
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 ok=(200, 202)) -> Dict[str, Any]:
+        status, payload, _headers = self._request(method, path, body)
+        if status not in ok:
+            raise ServeError(status, payload)
+        return payload
+
+    # ---- endpoints ----------------------------------------------------
+
+    def health(self) -> bool:
+        """True when ``GET /healthz`` answers ok."""
+        try:
+            return bool(self._checked("GET", "/healthz").get("ok"))
+        except (ServeError, OSError):
+            return False
+
+    def analyses(self) -> List[Dict[str, str]]:
+        """The registered analyses (name + help)."""
+        return self._checked("GET", "/v1/analyses")["analyses"]
+
+    def submit(self, analysis: str, argv: Optional[List[str]] = None,
+               reuse: bool = True,
+               wait: Optional[float] = None) -> Dict[str, Any]:
+        """Submit one request; raises :class:`ServeError` on 4xx (429
+        included -- check ``exc.status`` for backpressure).
+
+        With *wait* (seconds), the server long-polls the job and the
+        returned document is the full result when it finished in time
+        (one round trip instead of submit + poll + fetch).
+        """
+        body: Dict[str, Any] = {"analysis": analysis,
+                                "argv": list(argv or []),
+                                "reuse": reuse}
+        if wait:
+            body["wait"] = wait
+        return self._checked("POST", "/v1/jobs", body)
+
+    def status(self, job_id: str,
+               etag: Optional[str] = None) -> Dict[str, Any]:
+        """Job status; with *etag*, a 304 returns ``{"state":
+        "unchanged"}``."""
+        headers = {"If-None-Match": f'"{etag}"'} if etag else None
+        code, payload, _ = self._request("GET", f"/v1/jobs/{job_id}",
+                                         headers=headers)
+        if code == 304:
+            return {"job": job_id, "state": "unchanged", "etag": etag}
+        if code != 200:
+            raise ServeError(code, payload)
+        return payload
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's result document (409 while running)."""
+        return self._checked("GET", f"/v1/jobs/{job_id}/result")
+
+    def progress(self, job_id: str) -> List[str]:
+        """The job's progress lines so far (one per finished span)."""
+        status, payload, _ = self._request("GET",
+                                           f"/v1/jobs/{job_id}/progress")
+        if status != 200:
+            raise ServeError(status, payload)
+        text = payload if isinstance(payload, str) else ""
+        return [line for line in text.splitlines() if line]
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's queue/job/cache statistics."""
+        return self._checked("GET", "/v1/stats")
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop gracefully."""
+        try:
+            self._checked("POST", "/v1/shutdown")
+        except (ServeError, OSError):
+            pass
+
+    # ---- convenience ---------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll_s: float = 0.02) -> Dict[str, Any]:
+        """Poll until the job settles; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(job_id)
+            if doc["state"] in ("done", "failed"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['state']} "
+                    f"after {timeout:g}s")
+            time.sleep(poll_s)
+
+    def run(self, analysis: str, argv: Optional[List[str]] = None,
+            reuse: bool = True, timeout: float = 60.0) -> Dict[str, Any]:
+        """Submit, wait, and return the full result document.
+
+        Uses the long-poll submit (one round trip on the warm path)
+        and falls back to status polling when the job outlives it.
+        """
+        doc = self.submit(analysis, argv, reuse=reuse, wait=timeout)
+        if "rendered" in doc:  # finished within the long poll
+            return doc
+        if doc.get("state") == "failed":
+            raise ServeError(500, {"error": doc.get("error",
+                                                    "job failed"),
+                                   **doc})
+        final = self.wait(doc["job"], timeout=timeout)
+        if final["state"] != "done":
+            raise ServeError(500, {"error": final.get("error",
+                                                      "job failed"),
+                                   **final})
+        return self.result(doc["job"])

@@ -1,0 +1,311 @@
+"""The serve daemon's bounded async job queue.
+
+A :class:`JobQueue` accepts analysis requests (registry name + argv),
+coalesces identical in-flight work by request key, and executes each
+job on a small pool of worker threads.  Every worker builds a fresh
+:class:`~repro.session.AnalysisSession` through the shared
+:class:`~repro.session.SessionManager` -- per-request memo state,
+shared warm artifact cache -- runs the registered analysis, and
+publishes:
+
+- the rendered text and the typed result's JSON;
+- the run manifest (:func:`~repro.obs.ledger.build_manifest`);
+- an **ETag** digest over the manifest's
+  :func:`~repro.obs.ledger.stable_view` minus the ``counters`` section
+  (counters differ between a cold and a warm run of the same request;
+  everything else is the determinism contract, so two identical
+  requests must produce equal ETags);
+- progress lines, one per obs span finished on the job's worker
+  thread (streamed by the server's progress endpoint).
+
+Backpressure is structural: the submit queue is a bounded
+``queue.Queue`` and :meth:`JobQueue.submit` raises :class:`QueueFull`
+(the HTTP layer answers 429) instead of buffering unbounded work.
+
+Obs counters: ``serve.request``, ``serve.request.rejected``,
+``serve.job.coalesced``, ``serve.job.done``, ``serve.job.failed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import io
+import json
+import queue
+import threading
+import time
+from contextlib import redirect_stderr
+from typing import Any, Dict, List, Optional
+
+import repro.obs as obs
+
+__all__ = ["Job", "JobQueue", "QueueFull", "request_key", "result_etag"]
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`JobQueue.submit` when the queue is at capacity."""
+
+
+def request_key(name: str, argv: List[str]) -> str:
+    """The coalescing key of one request: analysis name + exact argv."""
+    blob = json.dumps([name, list(argv)], separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+def result_etag(manifest: Dict[str, Any]) -> str:
+    """The reproducibility digest of one finished job.
+
+    Taken over the ledger's stable view *minus counters*: counters are
+    deterministic for a fixed cache state but differ between the cold
+    and warm executions of the same request, and the serve contract is
+    that identical requests -- whenever they run -- carry equal ETags
+    exactly when their results are bit-identical.
+    """
+    from repro.obs.ledger import stable_view
+
+    view = dict(stable_view(manifest))
+    view.pop("counters", None)
+    blob = json.dumps(view, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class Job:
+    """One submitted analysis request and (eventually) its result."""
+
+    __slots__ = ("id", "key", "analysis", "argv", "state", "error",
+                 "rendered", "result_json", "manifest", "etag",
+                 "progress", "created_s", "wall_ms", "done",
+                 "_progress_lock")
+
+    def __init__(self, job_id: str, key: str, analysis: str,
+                 argv: List[str]) -> None:
+        self.id = job_id
+        self.key = key
+        self.analysis = analysis
+        self.argv = list(argv)
+        self.state = "queued"  # queued | running | done | failed
+        self.error: Optional[str] = None
+        self.rendered: Optional[str] = None
+        self.result_json: Optional[str] = None
+        self.manifest: Optional[Dict[str, Any]] = None
+        self.etag: Optional[str] = None
+        self.progress: List[str] = []
+        self.created_s = time.time()
+        self.wall_ms = 0.0
+        self.done = threading.Event()
+        self._progress_lock = threading.Lock()
+
+    def add_progress(self, line: str) -> None:
+        """Append one progress line (thread-safe)."""
+        with self._progress_lock:
+            self.progress.append(line)
+
+    def progress_lines(self) -> List[str]:
+        """A snapshot of the progress lines so far."""
+        with self._progress_lock:
+            return list(self.progress)
+
+    def status(self) -> Dict[str, Any]:
+        """The job's status document (the ``GET /v1/jobs/<id>`` body)."""
+        doc: Dict[str, Any] = {
+            "job": self.id,
+            "analysis": self.analysis,
+            "state": self.state,
+            "progress_lines": len(self.progress),
+        }
+        if self.state == "done":
+            doc["etag"] = self.etag
+            doc["wall_ms"] = round(self.wall_ms, 3)
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class JobQueue:
+    """Bounded queue + worker pool executing registered analyses.
+
+    *manager* is the :class:`~repro.session.SessionManager` whose
+    shared cache every job's session warms; *workers* threads drain the
+    queue (0 keeps jobs queued forever -- the deterministic-429 test
+    mode); *queue_size* bounds accepted-but-unstarted work; *history*
+    bounds how many finished jobs stay addressable.
+    """
+
+    def __init__(self, manager, workers: int = 2, queue_size: int = 16,
+                 history: int = 256) -> None:
+        self.manager = manager
+        self.queue_size = queue_size
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(
+            maxsize=max(1, queue_size))
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}       # id -> job
+        self._inflight: Dict[str, Job] = {}   # request key -> live job
+        self._next_id = 0
+        self._history = history
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"serve-worker-{i}", daemon=True)
+            for i in range(workers)]
+        for thread in self._workers:
+            thread.start()
+
+    # ---- submission ---------------------------------------------------
+
+    def submit(self, analysis: str, argv: List[str],
+               reuse: bool = True) -> Dict[str, Any]:
+        """Accept one request; returns ``{"job", "state", "coalesced"}``.
+
+        With *reuse* (the default), a request identical to one already
+        queued, running, or finished is coalesced onto that job instead
+        of executing again -- the warm path concurrent sweeps rely on.
+        Raises :class:`QueueFull` when the queue is at capacity and
+        :class:`KeyError` when *analysis* is not a registered name.
+        """
+        from repro.session.registry import REGISTRY
+
+        obs.count("serve.request")
+        if analysis not in REGISTRY:
+            raise KeyError(analysis)
+        key = request_key(analysis, argv)
+        with self._lock:
+            if reuse:
+                live = self._inflight.get(key)
+                if live is not None:
+                    obs.count("serve.job.coalesced")
+                    return {"job": live.id, "state": live.state,
+                            "coalesced": True}
+            self._next_id += 1
+            job = Job(f"j{self._next_id:06d}", key, analysis, argv)
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self._next_id -= 1
+                obs.count("serve.request.rejected")
+                raise QueueFull(
+                    f"job queue full ({self.queue_size} pending)")
+            self._jobs[job.id] = job
+            self._inflight[key] = job
+            self._trim_history()
+        return {"job": job.id, "state": job.state, "coalesced": False}
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job called *job_id*, or None when unknown/expired."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def depth(self) -> int:
+        """How many accepted jobs have not started executing yet."""
+        return self._queue.qsize()
+
+    def _trim_history(self) -> None:
+        # caller holds the lock; drop the oldest finished jobs
+        while len(self._jobs) > self._history:
+            for job_id, job in list(self._jobs.items()):
+                if job.state in ("done", "failed"):
+                    del self._jobs[job_id]
+                    break
+            else:
+                return
+
+    # ---- execution ----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # shutdown sentinel
+                return
+            try:
+                self._execute(job)
+            finally:
+                with self._lock:
+                    if self._inflight.get(job.key) is job \
+                            and job.state in ("done", "failed"):
+                        # finished jobs stay reusable via _jobs; only
+                        # failed ones stop absorbing new submissions
+                        if job.state == "failed":
+                            del self._inflight[job.key]
+                self._queue.task_done()
+
+    def _build_args(self, analysis, argv: List[str]) -> argparse.Namespace:
+        """Parse *argv* with the analysis's own declared parser.
+
+        argparse answers bad requests with ``SystemExit``; the caller
+        maps that to HTTP 400.  Its usage text goes to stderr, which is
+        redirected into the raised error so daemon logs stay clean.
+        """
+        parser = argparse.ArgumentParser(prog=analysis.name,
+                                         add_help=False)
+        analysis.configure(parser)
+        buf = io.StringIO()
+        try:
+            with redirect_stderr(buf):
+                return parser.parse_args(argv)
+        except SystemExit:
+            detail = buf.getvalue().strip().splitlines()
+            raise ValueError(detail[-1] if detail else "bad arguments")
+
+    def _execute(self, job: Job) -> None:
+        """Run one job on this worker thread, start to finish."""
+        from repro.obs.ledger import build_manifest
+        from repro.session.registry import REGISTRY
+
+        job.state = "running"
+        collector = obs.collector()
+        listener = None
+        if collector is not None:
+            me = threading.get_ident()
+
+            def listener(record, _job=job, _me=me):
+                name, _ts, dur, tid = record[0], record[1], record[2], \
+                    record[3]
+                if tid == _me:
+                    _job.add_progress(f"{name} {dur / 1000.0:.1f}ms")
+
+            collector.add_listener(listener)
+        t0 = time.perf_counter()
+        try:
+            with obs.span("serve.job", analysis=job.analysis):
+                analysis = REGISTRY[job.analysis]
+                args = self._build_args(analysis, job.argv)
+                # validates the workload name exactly like the CLI...
+                probe = analysis.make_session(args)
+                # ...then reopens the session through the manager, so
+                # it runs over the *shared* cache and is reap-tracked
+                session = self.manager.open(probe.run)
+                try:
+                    result = analysis.run(session, args)
+                    wall_s = time.perf_counter() - t0
+                    job.manifest = build_manifest(
+                        job.analysis, session, result,
+                        collector=obs.collector(), wall_s=wall_s)
+                    job.etag = result_etag(job.manifest)
+                    job.rendered = analysis.render(result, args)
+                    job.result_json = result.to_json()
+                finally:
+                    self.manager.close(session)
+            job.wall_ms = (time.perf_counter() - t0) * 1000.0
+            job.state = "done"
+            self.jobs_done += 1
+            obs.count("serve.job.done")
+        except (Exception, SystemExit) as exc:
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = "failed"
+            self.jobs_failed += 1
+            obs.count("serve.job.failed")
+        finally:
+            if collector is not None and listener is not None:
+                collector.remove_listener(listener)
+            job.done.set()
+
+    def shutdown(self) -> None:
+        """Stop the workers after the current jobs finish."""
+        for _ in self._workers:
+            try:
+                self._queue.put_nowait(None)
+            except queue.Full:
+                self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout=10)

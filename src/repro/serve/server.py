@@ -1,0 +1,305 @@
+"""The ``repro serve`` HTTP front end (stdlib only).
+
+A :class:`ReproServer` wraps a :class:`~http.server.ThreadingHTTPServer`
+around one :class:`~repro.serve.jobs.JobQueue`.  Endpoints
+(docs/SERVING.md):
+
+========================  =============================================
+``GET /healthz``          liveness: ``{"ok": true}``
+``GET /v1/analyses``      the registered analyses (name + help)
+``POST /v1/jobs``         submit ``{"analysis", "argv", "reuse",
+                          "wait"}`` -- 202 accepted, 429 queue full,
+                          404 unknown analysis, 400 malformed body;
+                          with ``wait`` (seconds) the response blocks
+                          on the job and carries the full result
+                          document in the same round trip
+``GET /v1/jobs/<id>``     job status; when done carries an ``ETag``
+                          header and honours ``If-None-Match`` -> 304
+``GET /v1/jobs/<id>/result``   rendered text + typed result JSON + ETag
+``GET /v1/jobs/<id>/progress`` one line per finished obs span of the
+                          job's worker (plain text snapshot)
+``GET /v1/stats``         queue depth, job totals, shared-cache stats
+``POST /v1/shutdown``     graceful stop (used by tests/CI)
+========================  =============================================
+
+Request handling threads only ever touch the queue's thread-safe
+surface; analyses run on the queue's workers, never on HTTP threads,
+so a slow analysis cannot starve health checks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import repro.obs as obs
+from repro.serve.jobs import JobQueue, QueueFull
+
+__all__ = ["ReproServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning :class:`ReproServer`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route access logs to the obs logger instead of stderr."""
+        obs.get_logger("serve").debug(format, *args)
+
+    # ---- plumbing -----------------------------------------------------
+
+    def _send_json(self, code: int, payload: Dict[str, Any],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _job_or_404(self, job_id: str):
+        job = self.server.jobs.get(job_id)  # type: ignore[attr-defined]
+        if job is None:
+            self._send_json(404, {"error": f"unknown job {job_id!r}"})
+        return job
+
+    # ---- routes -------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        """Dispatch the read-only endpoints."""
+        server: "ReproServer" = self.server.owner  # type: ignore
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif path == "/v1/analyses":
+            self._send_json(200, {"analyses": server.analyses()})
+        elif path == "/v1/stats":
+            self._send_json(200, server.stats())
+        elif path.startswith("/v1/jobs/"):
+            self._get_job(server, path[len("/v1/jobs/"):])
+        else:
+            self._send_json(404, {"error": f"no route {path!r}"})
+
+    def _result_doc(self, job) -> Dict[str, Any]:
+        return {"job": job.id, "etag": job.etag,
+                "rendered": job.rendered,
+                "result": json.loads(job.result_json),
+                "manifest": job.manifest}
+
+    def _get_job(self, server: "ReproServer", rest: str) -> None:
+        parts = rest.split("/")
+        job = server.jobs.get(parts[0])
+        if job is None:
+            self._send_json(404, {"error": f"unknown job {parts[0]!r}"})
+            return
+        sub = parts[1] if len(parts) > 1 else ""
+        if sub == "result":
+            if job.state != "done":
+                self._send_json(409, {"error": f"job is {job.state}",
+                                      **job.status()})
+                return
+            self._send_json(200, self._result_doc(job),
+                            headers={"ETag": f'"{job.etag}"'})
+        elif sub == "progress":
+            self._send_text(200, "\n".join(job.progress_lines()) + "\n")
+        elif sub == "":
+            headers = {}
+            if job.state == "done" and job.etag:
+                if self.headers.get("If-None-Match") == f'"{job.etag}"':
+                    self.send_response(304)
+                    self.send_header("ETag", f'"{job.etag}"')
+                    self.send_header("Content-Length", "0")
+                    self.end_headers()
+                    return
+                headers["ETag"] = f'"{job.etag}"'
+            self._send_json(200, job.status(), headers=headers)
+        else:
+            self._send_json(404, {"error": f"no job endpoint {sub!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        """Dispatch the mutating endpoints (submit, shutdown)."""
+        server: "ReproServer" = self.server.owner  # type: ignore
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/v1/jobs":
+            body = self._read_body()
+            if body is None or not isinstance(body.get("analysis"), str):
+                self._send_json(400, {"error": "body must be JSON with "
+                                               "an 'analysis' name"})
+                return
+            argv = body.get("argv") or []
+            if not (isinstance(argv, list)
+                    and all(isinstance(a, str) for a in argv)):
+                self._send_json(400,
+                                {"error": "'argv' must be a string list"})
+                return
+            try:
+                accepted = server.jobs.submit(
+                    body["analysis"], argv,
+                    reuse=bool(body.get("reuse", True)))
+            except KeyError:
+                self._send_json(404, {"error": "unknown analysis "
+                                               f"{body['analysis']!r}"})
+                return
+            except QueueFull as exc:
+                self._send_json(429, {"error": str(exc)},
+                                headers={"Retry-After": "1"})
+                return
+            wait = body.get("wait")
+            if wait:
+                # long-poll submit: block (cheaply, on the job's done
+                # event) and answer with the full result document in
+                # this same round trip -- the warm-path fast lane
+                job = server.jobs.get(accepted["job"])
+                if job is not None:
+                    job.done.wait(min(float(wait), 300.0))
+                    if job.state == "done":
+                        self._send_json(200, self._result_doc(job),
+                                        headers={"ETag":
+                                                 f'"{job.etag}"'})
+                        return
+                    self._send_json(200 if job.state == "failed"
+                                    else 202, job.status())
+                    return
+            self._send_json(202, accepted)
+        elif path == "/v1/shutdown":
+            self._send_json(200, {"ok": True, "stopping": True})
+            threading.Thread(target=server.stop, daemon=True).start()
+        else:
+            self._send_json(404, {"error": f"no route {path!r}"})
+
+
+class ReproServer:
+    """One serve daemon: HTTP front end + job queue + session manager.
+
+    *manager* is the shared :class:`~repro.session.SessionManager`;
+    *workers*/*queue_size* shape the job queue; *idle_reap_s* closes
+    sessions idle past that many seconds between requests (0 disables
+    reaping).  Port 0 binds an ephemeral port (tests); read it back
+    from :attr:`port` after construction.
+    """
+
+    def __init__(self, manager, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 2, queue_size: int = 16,
+                 idle_reap_s: float = 300.0) -> None:
+        self.manager = manager
+        self.jobs = JobQueue(manager, workers=workers,
+                             queue_size=queue_size)
+        self.idle_reap_s = idle_reap_s
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.owner = self  # type: ignore[attr-defined]
+        self._httpd.jobs = self.jobs  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._reaper: Optional[threading.Timer] = None
+        self._stopped = threading.Event()
+        self._stop_lock = threading.Lock()
+
+    @property
+    def host(self) -> str:
+        """The bound interface."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved when constructed with port 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The service base URL."""
+        return f"http://{self.host}:{self.port}"
+
+    def analyses(self) -> list:
+        """The registry as ``[{"name", "help"}, ...]``."""
+        from repro.session.registry import all_analyses
+
+        return [{"name": a.name, "help": a.help} for a in all_analyses()]
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``GET /v1/stats`` document."""
+        cache = self.manager.cache
+        return {
+            "queue_depth": self.jobs.depth(),
+            "queue_size": self.jobs.queue_size,
+            "jobs_done": self.jobs.jobs_done,
+            "jobs_failed": self.jobs.jobs_failed,
+            "sessions_active": len(self.manager.active()),
+            "cache": {
+                "enabled": cache.enabled,
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "stores": cache.stores,
+                "evictions": cache.evictions,
+                "quarantined": cache.quarantined,
+            },
+        }
+
+    # ---- lifecycle ----------------------------------------------------
+
+    def _reap_tick(self) -> None:
+        if self._stopped.is_set() or not self.idle_reap_s:
+            return
+        self.manager.reap(self.idle_reap_s)
+        self._reaper = threading.Timer(
+            max(1.0, self.idle_reap_s / 4), self._reap_tick)
+        self._reaper.daemon = True
+        self._reaper.start()
+
+    def start(self) -> None:
+        """Serve in a background thread (returns immediately)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http",
+            kwargs={"poll_interval": 0.05}, daemon=True)
+        self._thread.start()
+        if self.idle_reap_s:
+            self._reap_tick()
+        obs.count("serve.start")
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` (or Ctrl-C)."""
+        if self.idle_reap_s:
+            self._reap_tick()
+        obs.count("serve.start")
+        try:
+            self._httpd.serve_forever(poll_interval=0.05)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Shut down: stop accepting, drain workers, close sessions."""
+        with self._stop_lock:
+            if self._stopped.is_set():
+                return
+            self._stopped.set()
+        if self._reaper is not None:
+            self._reaper.cancel()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self.jobs.shutdown()
+        self.manager.close_all()
+        if self._thread is not None:
+            self._thread.join(timeout=10)

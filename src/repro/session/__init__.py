@@ -22,6 +22,7 @@ complete as soon as ``repro.session`` is imported.
 """
 
 from repro.session.config import RunConfig, machine_with_overrides
+from repro.session.lifecycle import SessionManager
 from repro.session.registry import (
     REGISTRY,
     Analysis,
@@ -32,12 +33,14 @@ from repro.session.registry import (
 )
 from repro.session.session import AnalysisSession
 
-# populate the registry with the built-in analyses (+ bench/ledger)
+# populate the registry with the built-in analyses (+ bench/serve/ledger)
 import repro.session.analyses as _analyses  # noqa: E402,F401  (registration side effect)
 import repro.bench.analyses as _bench_analyses  # noqa: E402,F401  (registration side effect)
+import repro.serve.analysis as _serve_analysis  # noqa: E402,F401  (registration side effect)
 
 __all__ = [
     "AnalysisSession",
+    "SessionManager",
     "RunConfig",
     "machine_with_overrides",
     "Analysis",

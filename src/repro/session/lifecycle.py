@@ -1,0 +1,103 @@
+"""Session lifecycle management: N sessions, one shared warm cache.
+
+An :class:`AnalysisSession` memoises per-request sweep state (its
+``_sims``/``_cycles`` dicts) and *separately* holds a handle to the
+content-addressed :class:`~repro.pipeline.artifacts.ArtifactCache`.
+The memo state is cheap, mutable and request-scoped; the artifact cache
+is expensive, concurrent-safe and host-scoped.  A :class:`SessionManager`
+makes that split operational for multi-client frontends (the ``repro
+serve`` daemon, batch drivers): it owns one shared cache and hands out
+independent sessions over it, so concurrent requests never share
+mutable sweep state but do share every warm artifact.
+
+The manager also owns the lifecycle the single-shot CLI never needed:
+:meth:`SessionManager.open` tracks live sessions, :meth:`close` /
+:meth:`close_all` retire them, and :meth:`reap` closes sessions idle
+past a deadline (the serve daemon calls it between requests).  Obs
+counters: ``session.open``, ``session.reaped``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+import repro.obs as obs
+from repro.session.config import RunConfig
+from repro.session.session import AnalysisSession
+
+__all__ = ["SessionManager"]
+
+
+class SessionManager:
+    """Opens, tracks and reaps sessions sharing one artifact cache.
+
+    *cache* is the shared :class:`~repro.pipeline.artifacts.ArtifactCache`
+    (possibly disabled); when None, one is opened from *cache_dir* /
+    ``$REPRO_CACHE_DIR`` on first use.  All methods are thread-safe.
+    """
+
+    def __init__(self, cache=None, cache_dir: Optional[str] = None,
+                 no_cache: bool = False) -> None:
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._sessions: Dict[int, AnalysisSession] = {}
+        if cache is None:
+            from repro.pipeline import open_cache
+
+            cache = open_cache(cache_dir, no_cache)
+        self.cache = cache
+
+    def open(self, run: Optional[RunConfig] = None,
+             trace=None) -> AnalysisSession:
+        """A new tracked session over the shared cache.
+
+        The session gets its own memo state (no sweep state is shared
+        between sessions) but this manager's cache object, so a warm
+        artifact produced by any session is visible to every other.
+        """
+        session = AnalysisSession(run, trace=trace, cache=self.cache)
+        with self._lock:
+            sid = self._next_id = self._next_id + 1
+            self._sessions[sid] = session
+        session.manager_id = sid
+        obs.count("session.open")
+        return session
+
+    def close(self, session: AnalysisSession) -> None:
+        """Close *session* and stop tracking it (idempotent)."""
+        sid = getattr(session, "manager_id", None)
+        with self._lock:
+            self._sessions.pop(sid, None)
+        session.close()
+
+    def reap(self, idle_s: float) -> int:
+        """Close every tracked session idle for at least *idle_s* seconds.
+
+        Returns the number of sessions reaped (also counted on the
+        ``session.reaped`` obs counter).
+        """
+        with self._lock:
+            stale = [(sid, s) for sid, s in self._sessions.items()
+                     if s.idle_s() >= idle_s]
+            for sid, _ in stale:
+                del self._sessions[sid]
+        for _, session in stale:
+            session.close()
+        if stale:
+            obs.count("session.reaped", len(stale))
+        return len(stale)
+
+    def close_all(self) -> int:
+        """Close every tracked session; returns how many were open."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+        return len(sessions)
+
+    def active(self) -> List[AnalysisSession]:
+        """The currently tracked (not yet closed/reaped) sessions."""
+        with self._lock:
+            return list(self._sessions.values())

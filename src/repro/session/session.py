@@ -33,6 +33,7 @@ the request touches.
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 import repro.obs as obs
@@ -83,6 +84,11 @@ class AnalysisSession:
         self._sims: Dict[str, SimResult] = {}
         #: sim_key -> cycle count (cheap sweep memo; no events retained)
         self._cycles: Dict[str, int] = {}
+        #: lifecycle timestamps (monotonic seconds) -- the serve layer's
+        #: SessionManager reaps sessions idle past a deadline
+        self.created_s = time.monotonic()
+        self.last_used_s = self.created_s
+        self._closed = False
 
     @classmethod
     def for_trace(cls, trace: Trace,
@@ -170,6 +176,7 @@ class AnalysisSession:
         directory skips the simulator across processes too.
         """
         trace, config = self._resolve(trace, config)
+        self.touch()
         cats = _ideal_key(ideal)
         key = self._key(trace, config, cats)
         hit = self._sims.get(key)
@@ -201,6 +208,7 @@ class AnalysisSession:
         stream.
         """
         trace, config = self._resolve(trace, config)
+        self.touch()
         cats = _ideal_key(ideal)
         key = self._key(trace, config, cats)
         hit = self._cycles.get(key)
@@ -234,6 +242,7 @@ class AnalysisSession:
         The returned list aligns with *points*.
         """
         trace = trace if trace is not None else self.trace
+        self.touch()
         jobs = jobs if jobs is not None else self.run.jobs
         resolved = [_as_point(p) for p in points]
         keys = [self._key(trace, cfg, cats) for cfg, cats in resolved]
@@ -342,12 +351,16 @@ class AnalysisSession:
         unless ``approx`` opts into the windowed bounded-error mode.
         """
         trace = trace if trace is not None else self.trace
+        self.touch()
         if self.run.pipeline_requested():
             from repro.pipeline import run_pipeline
 
+            # pass this session's cache object through so concurrent
+            # sessions built over one SessionManager share an instance
             return run_pipeline(trace, config=self.machine,
                                 options=self.run.pipeline_options(
-                                    allow_approx))
+                                    allow_approx),
+                                cache=self.cache)
         from repro.analysis.graphsim import analyze_trace
 
         return analyze_trace(trace, config=self.machine,
@@ -390,10 +403,41 @@ class AnalysisSession:
 
     # -- lifecycle -------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called on this session."""
+        return self._closed
+
+    def touch(self) -> None:
+        """Mark the session as just-used (defers an idle reap)."""
+        self.last_used_s = time.monotonic()
+
+    def idle_s(self) -> float:
+        """Seconds since the session was last used (or created)."""
+        return time.monotonic() - self.last_used_s
+
     def close(self) -> None:
-        """Drop every memoised simulation result."""
+        """Drop every memoised simulation result.
+
+        Idempotent and non-poisoning: the session remains usable after
+        a close (memos simply start cold again) because the CLI closes
+        the session before rendering and some renderers re-read cheap
+        state.  The shared :class:`~repro.pipeline.artifacts.ArtifactCache`
+        is **not** touched -- it outlives every session that uses it.
+        """
+        if not self._closed:
+            self._closed = True
+            obs.count("session.close")
         self._sims.clear()
         self._cycles.clear()
+
+    def __enter__(self) -> "AnalysisSession":
+        """Support ``with AnalysisSession(...) as session:`` usage."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close (drop memos) on context-manager exit."""
+        self.close()
 
 
 # -- sweep pool worker state (the trace ships once per worker) ----------

@@ -51,6 +51,7 @@ except ImportError:  # pragma: no cover - numpy is a hard dep elsewhere
 import repro.obs as obs
 from repro.isa.instructions import OpClass, Opcode
 from repro.isa.trace import Trace
+from repro.lockfile import compile_lock
 from repro.uarch.config import OPCLASS_TO_FU, FUKind, IdealConfig, MachineConfig
 from repro.uarch.core import _HUGE, SimulationError
 from repro.uarch.events import EVENT_FIELDS, EventColumns, SimResult
@@ -940,6 +941,35 @@ _native_reason = "not attempted"
 _native_warned = False
 
 
+def _compile_sim_locked(lib_path):
+    """Compile the C simulator into *lib_path* (caller holds the lock).
+
+    Writes to a pid-unique tmp then publishes with ``os.replace``.
+    Returns None on success (or when another process already published
+    the library while we waited), else a failure reason string.
+    """
+    if os.path.exists(lib_path):
+        return None  # lost the race; winner already published
+    src_path = lib_path[:-3] + ".c"
+    with open(src_path, "w") as fh:
+        fh.write(_SIM_KERNEL_SOURCE)
+    tmp_path = f"{lib_path}.{os.getpid()}.tmp"
+    errors = []
+    for compiler in ("cc", "gcc", "clang"):
+        proc = subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o",
+             tmp_path, src_path],
+            capture_output=True, timeout=60)
+        if proc.returncode == 0:
+            os.replace(tmp_path, lib_path)
+            return None
+        stderr = proc.stderr.decode(errors="replace").strip()
+        detail = stderr.splitlines()[-1] if stderr \
+            else f"exit {proc.returncode}"
+        errors.append(f"{compiler}: {detail}")
+    return "no working C compiler (" + "; ".join(errors) + ")"
+
+
 def _compile_sim_kernel():
     """Compile and load the C simulator kernel.
 
@@ -958,24 +988,13 @@ def _compile_sim_kernel():
         tempfile.gettempdir(), f"repro-sim-kernel-{digest}-{uid}.so")
     try:
         if not os.path.exists(lib_path):
-            src_path = lib_path[:-3] + ".c"
-            with open(src_path, "w") as fh:
-                fh.write(_SIM_KERNEL_SOURCE)
-            errors = []
-            for compiler in ("cc", "gcc", "clang"):
-                proc = subprocess.run(
-                    [compiler, "-O2", "-shared", "-fPIC", "-o",
-                     lib_path + ".tmp", src_path],
-                    capture_output=True, timeout=60)
-                if proc.returncode == 0:
-                    os.replace(lib_path + ".tmp", lib_path)
-                    break
-                stderr = proc.stderr.decode(errors="replace").strip()
-                detail = stderr.splitlines()[-1] if stderr \
-                    else f"exit {proc.returncode}"
-                errors.append(f"{compiler}: {detail}")
-            else:
-                return None, "no working C compiler (" + "; ".join(errors) + ")"
+            # Advisory lock: concurrent processes/threads racing the
+            # first compile serialize here instead of clobbering each
+            # other's in-flight cc output (see repro.lockfile).
+            with compile_lock(lib_path, "simulator"):
+                reason = _compile_sim_locked(lib_path)
+            if reason is not None:
+                return None, reason
         lib = ctypes.CDLL(lib_path)
         ptr = ctypes.POINTER(ctypes.c_int64)
         sim_fn = lib.fast_sim

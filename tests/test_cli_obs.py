@@ -114,6 +114,7 @@ class TestFlagsAcceptedEverywhere:
         "selfprofile": ["gzip"],
         "bench": [],
         "ledger": ["list"],
+        "serve": [],
     }
 
     def test_covers_every_subcommand(self):

@@ -267,6 +267,57 @@ class TestCachingProviderStats:
         assert c.counter("icost.cache.hit") == 1
 
 
+class TestCacheAndServeCounters:
+    """Pinned names of the concurrency-era counters: artifact-cache
+    pressure (``cache.*``) and the serve daemon (``serve.*``)."""
+
+    def test_eviction_and_bytes_names(self, tmp_path):
+        from repro.pipeline.artifacts import ArtifactCache
+
+        c = obs.enable()
+        cache = ArtifactCache(root=str(tmp_path), max_bytes=16)
+        cache.put_json("cycles", "a" * 64, {"cycles": 1})
+        cache.put_json("cycles", "b" * 64, {"cycles": 2})
+        obs.disable()
+        assert c.counter("cache.evictions") >= 1
+        assert "cache.bytes" in c.gauges
+
+    def test_quarantine_counter_name(self, tmp_path):
+        from repro.pipeline.artifacts import ArtifactCache
+
+        cache = ArtifactCache(root=str(tmp_path))
+        key = "c" * 64
+        cache.put_json("cycles", key, {"cycles": 3})
+        with open(cache.path_for("cycles", key), "w") as fh:
+            fh.write("not json{")
+        c = obs.enable()
+        assert cache.get_json("cycles", key) is None
+        obs.disable()
+        assert c.counter("cache.quarantined") == 1
+
+    def test_serve_job_counter_names(self, tmp_path):
+        from repro.serve.client import ServeClient
+        from repro.serve.server import ReproServer
+        from repro.session.lifecycle import SessionManager
+
+        c = obs.enable()
+        server = ReproServer(SessionManager(no_cache=True), port=0,
+                             workers=1, queue_size=4, idle_reap_s=0)
+        server.start()
+        try:
+            client = ServeClient(server.url)
+            client.run("workloads", [], timeout=30.0)
+            client.submit("workloads", [], reuse=True)
+        finally:
+            server.stop()
+        obs.disable()
+        assert c.counter("serve.request") == 2
+        assert c.counter("serve.job.done") == 1
+        assert c.counter("serve.job.coalesced") == 1
+        assert c.counter("session.open") == 1
+        assert c.counter("session.close") == 1
+
+
 class TestProfilerInstrumentation:
     def test_profiler_spans_and_fragment_counters(self, small_gzip_trace):
         c = obs.enable()

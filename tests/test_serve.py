@@ -1,0 +1,224 @@
+"""The ``repro serve`` daemon: endpoints, backpressure, digests.
+
+Every test boots a real :class:`~repro.serve.server.ReproServer` on an
+ephemeral port and talks to it over actual HTTP through
+:class:`~repro.serve.client.ServeClient` -- the protocol itself is the
+unit under test, not the internals.
+"""
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import request_key, result_etag
+from repro.serve.server import ReproServer
+from repro.session.lifecycle import SessionManager
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture()
+def server(tmp_path):
+    """A live daemon over a fresh shared cache (2 workers)."""
+    srv = ReproServer(SessionManager(cache_dir=str(tmp_path / "cache")),
+                      port=0, workers=2, queue_size=8, idle_reap_s=0)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(server.url, timeout=30.0)
+
+
+@pytest.fixture()
+def stalled(tmp_path):
+    """A daemon with zero workers: accepts jobs, never runs them."""
+    srv = ReproServer(SessionManager(no_cache=True), port=0, workers=0,
+                      queue_size=2, idle_reap_s=0)
+    srv.start()
+    yield ServeClient(srv.url, timeout=30.0)
+    srv.stop()
+
+
+class TestEndpoints:
+    def test_health(self, client):
+        assert client.health()
+
+    def test_analyses_lists_the_whole_registry(self, client):
+        from repro.session.registry import REGISTRY
+
+        names = {entry["name"] for entry in client.analyses()}
+        assert names == set(REGISTRY)
+
+    def test_job_end_to_end(self, client):
+        accepted = client.submit("workloads", [])
+        assert accepted["state"] in ("queued", "running", "done")
+        final = client.wait(accepted["job"], timeout=30.0)
+        assert final["state"] == "done"
+        assert final["etag"]
+        doc = client.result(accepted["job"])
+        assert doc["etag"] == final["etag"]
+        assert "gzip" in doc["rendered"]
+        assert doc["manifest"]["run"]["command"] == "workloads"
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError) as err:
+            client.status("j999999")
+        assert err.value.status == 404
+
+    def test_unknown_analysis_is_404(self, client):
+        with pytest.raises(ServeError) as err:
+            client.submit("frobnicate", [])
+        assert err.value.status == 404
+
+    def test_malformed_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/jobs", data=b"not json", method="POST",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+    def test_failed_job_carries_the_error(self, client):
+        doc = client.submit("breakdown", ["no-such-workload"],
+                            wait=30.0)
+        assert doc["state"] == "failed"
+        assert "workload" in doc["error"]
+
+    def test_bad_argv_fails_the_job(self, client):
+        doc = client.submit("breakdown", ["gzip", "--no-such-flag"],
+                            wait=30.0)
+        assert doc["state"] == "failed"
+
+    def test_stats_reports_queue_and_cache(self, client):
+        client.run("workloads", [], timeout=30.0)
+        stats = client.stats()
+        assert stats["jobs_done"] >= 1
+        assert stats["queue_size"] == 8
+        assert set(stats["cache"]) >= {"enabled", "hits", "misses",
+                                       "stores", "evictions",
+                                       "quarantined"}
+
+    def test_progress_lines_stream_from_spans(self, tmp_path):
+        # progress comes from the obs collector, so enable one
+        collector = obs.enable()
+        try:
+            srv = ReproServer(
+                SessionManager(cache_dir=str(tmp_path / "c")), port=0,
+                workers=1, queue_size=8, idle_reap_s=0)
+            srv.start()
+            try:
+                client = ServeClient(srv.url, timeout=60.0)
+                doc = client.run("breakdown", ["gzip", "--scale", "0.05"],
+                                 timeout=60.0)
+                lines = client.progress(doc["job"])
+            finally:
+                srv.stop()
+        finally:
+            obs.disable()
+        assert lines  # at least one span finished on the worker
+        assert any("sim.run" in line or "graph.build" in line
+                   for line in lines)
+
+
+class TestBackpressure:
+    def test_full_queue_answers_429(self, stalled):
+        # workers=0, queue_size=2: the first two distinct submissions
+        # occupy the queue, the third must be rejected
+        stalled.submit("workloads", ["--v1"])  # distinct argv: no
+        stalled.submit("workloads", ["--v2"])  # coalescing in the way
+        with pytest.raises(ServeError) as err:
+            stalled.submit("workloads", ["--v3"])
+        assert err.value.status == 429
+
+    def test_coalescing_survives_a_full_queue(self, stalled):
+        first = stalled.submit("workloads", ["--v1"])
+        stalled.submit("workloads", ["--v2"])
+        again = stalled.submit("workloads", ["--v1"])  # identical
+        assert again["coalesced"]
+        assert again["job"] == first["job"]
+
+
+class TestCoalescingAndETags:
+    def test_identical_requests_coalesce(self, client):
+        done = client.run("workloads", [], timeout=30.0)
+        again = client.submit("workloads", [], reuse=True)
+        assert again["coalesced"]
+        assert again["state"] == "done"
+        assert client.result(again["job"])["etag"] == done["etag"]
+
+    def test_reuse_false_forces_a_fresh_execution(self, client):
+        first = client.submit("workloads", [], wait=30.0)
+        second = client.submit("workloads", [], reuse=False, wait=30.0)
+        assert first["job"] != second["job"]
+        assert first["etag"] == second["etag"]  # same result regardless
+
+    def test_if_none_match_answers_304(self, client):
+        doc = client.submit("workloads", [], wait=30.0)
+        unchanged = client.status(doc["job"], etag=doc["etag"])
+        assert unchanged["state"] == "unchanged"
+
+    def test_etag_excludes_volatile_and_counters(self):
+        manifest = {
+            "schema": 1,
+            "meta": {"run_id": "a", "timestamp": "t1"},
+            "run": {"command": "x"},
+            "counters": {"session.simulate": 3},
+            "phases": {"simulate": 1.0},
+            "perf": {"wall_ms": 12.0},
+            "metrics": {"m": 1.0},
+            "result": {"type": "R", "digest": "d"},
+        }
+        cold = result_etag(manifest)
+        warm = dict(manifest)
+        warm["meta"] = {"run_id": "b", "timestamp": "t2"}
+        warm["counters"] = {"session.simulate.cache_hit": 3}
+        warm["perf"] = {"wall_ms": 1.0}
+        assert result_etag(warm) == cold
+        changed = dict(manifest)
+        changed["result"] = {"type": "R", "digest": "other"}
+        assert result_etag(changed) != cold
+
+    def test_request_key_is_order_sensitive_and_stable(self):
+        a = request_key("breakdown", ["gzip", "--focus", "dl1"])
+        assert a == request_key("breakdown", ["gzip", "--focus", "dl1"])
+        assert a != request_key("breakdown", ["gzip", "--focus", "win"])
+        assert a != request_key("matrix", ["gzip", "--focus", "dl1"])
+
+
+class TestServeAnalysis:
+    def test_smoke_mode_round_trips(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--port", "0", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke cycle ok" in out
+
+    def test_serve_result_serializes(self):
+        from repro.serve.analysis import ServeResult
+
+        result = ServeResult(host="127.0.0.1", port=1234, workers=2,
+                             queue_size=16, jobs_done=1, jobs_failed=0,
+                             smoke=True, smoke_etag="abc")
+        assert ServeResult.from_json(result.to_json()) == result
+
+    def test_shutdown_endpoint_stops_the_daemon(self, tmp_path):
+        srv = ReproServer(SessionManager(no_cache=True), port=0,
+                          workers=1, queue_size=4, idle_reap_s=0)
+        srv.start()
+        client = ServeClient(srv.url, timeout=10.0)
+        assert client.health()
+        client.shutdown()
+        deadline = threading.Event()
+        deadline.wait(0.3)  # give the daemon a beat to wind down
+        assert not client.health()

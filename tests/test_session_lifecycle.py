@@ -1,0 +1,156 @@
+"""Session lifecycle: N sessions, one shared warm cache.
+
+Pins the split the concurrency refactor introduced: per-request memo
+state lives and dies with each :class:`AnalysisSession`, while the
+content-addressed :class:`ArtifactCache` is shared, host-scoped and
+outlives every session.  :class:`SessionManager` owns that cache and
+the open/close/reap lifecycle the ``repro serve`` daemon drives.
+"""
+
+import pytest
+
+from repro import obs
+from repro.pipeline.artifacts import ArtifactCache
+from repro.session.config import RunConfig
+from repro.session.lifecycle import SessionManager
+from repro.session.session import AnalysisSession
+
+RUN = RunConfig(workload="gzip", scale=0.2)
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    mgr = SessionManager(cache_dir=str(tmp_path / "cache"))
+    yield mgr
+    mgr.close_all()
+
+
+class TestManagerLifecycle:
+    def test_open_tracks_and_close_untracks(self, manager):
+        session = manager.open(RUN)
+        assert session in manager.active()
+        assert session.manager_id is not None
+        manager.close(session)
+        assert session not in manager.active()
+        assert session.closed
+
+    def test_close_is_idempotent(self, manager):
+        session = manager.open(RUN)
+        manager.close(session)
+        manager.close(session)  # second close is a no-op
+        assert manager.active() == []
+
+    def test_close_all_retires_every_session(self, manager):
+        sessions = [manager.open(RUN) for _ in range(3)]
+        assert manager.close_all() == 3
+        assert manager.active() == []
+        assert all(s.closed for s in sessions)
+
+    def test_reap_closes_only_idle_sessions(self, manager):
+        idle = manager.open(RUN)
+        busy = manager.open(RUN)
+        idle.last_used_s -= 100.0  # pretend it went idle long ago
+        assert manager.reap(idle_s=60.0) == 1
+        assert idle.closed and not busy.closed
+        assert manager.active() == [busy]
+
+    def test_reap_with_zero_deadline_closes_everything(self, manager):
+        manager.open(RUN)
+        manager.open(RUN)
+        assert manager.reap(idle_s=0.0) == 2
+        assert manager.active() == []
+
+    def test_lifecycle_counters(self, tmp_path):
+        collector = obs.enable()
+        try:
+            mgr = SessionManager(no_cache=True)
+            session = mgr.open(RUN)
+            mgr.close(session)
+            idle = mgr.open(RUN)
+            idle.last_used_s -= 100.0
+            mgr.reap(idle_s=1.0)
+        finally:
+            obs.disable()
+        assert collector.counter("session.open") == 2
+        assert collector.counter("session.close") == 2
+        assert collector.counter("session.reaped") == 1
+
+
+class TestSharedCache:
+    def test_sessions_share_the_manager_cache(self, manager):
+        a = manager.open(RUN)
+        b = manager.open(RUN)
+        assert a.cache is manager.cache
+        assert b.cache is manager.cache
+
+    def test_warm_artifacts_cross_sessions_not_memos(self, manager):
+        a = manager.open(RUN)
+        cycles = a.simulate().cycles
+        stores = manager.cache.stores
+        assert stores >= 1
+        manager.close(a)
+
+        b = manager.open(RUN)
+        assert b._sims == {}  # fresh memo state, nothing shared
+        assert b.simulate().cycles == cycles
+        assert manager.cache.hits >= 1  # warm via the shared cache
+        assert manager.cache.stores == stores  # nothing re-stored
+
+    def test_explicit_cache_object_is_adopted(self):
+        cache = ArtifactCache.disabled_cache()
+        mgr = SessionManager(cache=cache)
+        assert mgr.cache is cache
+        assert mgr.open(RUN).cache is cache
+
+    def test_no_cache_manager_hands_out_disabled_caches(self):
+        mgr = SessionManager(no_cache=True)
+        assert not mgr.cache.enabled
+        assert not mgr.open(RUN).cache.enabled
+
+
+class TestSessionLifecycle:
+    def test_touch_resets_idleness(self):
+        session = AnalysisSession(RUN)
+        session.last_used_s -= 50.0
+        assert session.idle_s() >= 50.0
+        session.touch()
+        assert session.idle_s() < 1.0
+
+    def test_use_counts_as_touch(self):
+        session = AnalysisSession(RUN)
+        session.last_used_s -= 50.0
+        session.simulate()
+        assert session.idle_s() < 1.0
+
+    def test_close_drops_memos_but_not_usability(self):
+        session = AnalysisSession(RUN)
+        cycles = session.simulate().cycles
+        assert session._sims
+        session.close()
+        assert session.closed
+        assert session._sims == {}
+        # non-poisoning: renderers may re-read cheap state after close
+        assert session.simulate().cycles == cycles
+
+    def test_context_manager_closes(self):
+        with AnalysisSession(RUN) as session:
+            session.simulate()
+            assert not session.closed
+        assert session.closed
+
+    def test_close_never_touches_the_shared_cache(self, tmp_path):
+        cache = ArtifactCache(root=str(tmp_path))
+        session = AnalysisSession(RUN, cache=cache)
+        session.simulate()
+        stored = cache.stores
+        assert stored >= 1
+        session.close()
+        assert cache.stores == stored
+        assert cache.total_bytes() > 0  # artifacts survive the session

@@ -39,6 +39,7 @@ SMOKE_ARGV = {
                     "--windows", "4", "--no-cache"],
     "bench": ["--suite", "smoke", "--scale", "0.2", "-o", "{tmp}"],
     "ledger": ["list"],
+    "serve": ["--port", "0", "--smoke"],
 }
 
 
