@@ -302,22 +302,23 @@ class LedgerAnalysis(Analysis):
                           simulate_runs=args.threshold_sims)
 
     def _list(self, ledger, args: argparse.Namespace) -> LedgerResult:
-        runs = ledger.runs()
-        if not runs:
+        # listing goes through the sidecar index (O(page) reads), the
+        # same path the serve daemon's /v1/runs endpoint uses
+        page = ledger.page(limit=None)
+        if not page["runs"]:
             return LedgerResult(action="list",
                                 text=f"ledger {ledger.path}: no runs")
-        lines = [f"== run ledger: {ledger.path} ({len(runs)} run(s)) ==",
+        lines = [f"== run ledger: {ledger.path} "
+                 f"({page['total']} run(s)) ==",
                  f"{'run id':<14}{'recorded':<21}{'command':<12}"
                  f"{'workload':<10}config"]
-        for manifest in runs:
-            meta, run = manifest["meta"], manifest["run"]
-            workload = (run.get("config") or {}).get("workload") or "-"
+        for row in reversed(page["runs"]):  # append order, oldest first
             lines.append(
-                f"{meta['run_id']:<14}{meta['timestamp']:<21}"
-                f"{run['command']:<12}{workload:<10}"
-                f"{run['config_digest'][:12]}")
-        if ledger.read_errors:
-            lines.append(f"({len(ledger.read_errors)} malformed "
+                f"{row['run_id']:<14}{row['recorded']:<21}"
+                f"{row['analysis']:<12}{row['workload'] or '-':<10}"
+                f"{row['config_digest']}")
+        if page.get("skipped_lines"):
+            lines.append(f"({page['skipped_lines']} malformed "
                          f"line(s) skipped)")
         return LedgerResult(action="list", text="\n".join(lines))
 

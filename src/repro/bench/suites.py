@@ -448,6 +448,12 @@ def case_serve(session, settings: BenchSettings) -> MetricPair:
             for thread in threads:
                 thread.join()
             warm_wall_ms = (time.perf_counter() - t0) * 1000.0
+            # scrape once after the timed regions: telemetry is part of
+            # the serve contract, but its cost must not shape the
+            # throughput numbers above
+            exposition = warmer.metrics()
+            telemetry_series = float(
+                exposition.count("\nrepro_serve_request_ms_count"))
         finally:
             server.stop()
     total = clients * per_client
@@ -457,6 +463,7 @@ def case_serve(session, settings: BenchSettings) -> MetricPair:
         "serve.digest_mismatches": float(len(set(etags)) - 1),
         "serve.clients": float(clients),
         "serve.requests": float(total),
+        "serve.telemetry_series": telemetry_series,
     }
     perf = {
         "serve.cold_ms": round(cold_ms, 3),

@@ -142,8 +142,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     obs.setup_logging(_log_level(args))
     # the ledger wants per-phase timings and counters in its manifest,
-    # so an active ledger turns the collector on too
+    # so an active ledger turns the collector on too; analyses can
+    # also ask for one themselves (serve: traces + /metrics)
     collector = obs.enable() if (args.trace or args.metrics
+                                 or args.analysis.wants_collector
                                  or _ledger_active(args)) else None
     try:
         code = _dispatch(args)

@@ -42,6 +42,7 @@ import logging
 from typing import Any, Optional, Union
 
 from repro.obs.core import NOOP_SPAN, Collector, Span
+from repro.obs.expo import encode_labels, render_prometheus
 from repro.obs.metrics import render_metrics_table
 from repro.obs import tracefile
 
@@ -58,6 +59,8 @@ __all__ = [
     "observe",
     "note",
     "write_trace",
+    "encode_labels",
+    "render_prometheus",
     "render_metrics_table",
     "get_logger",
     "setup_logging",

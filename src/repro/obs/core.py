@@ -157,6 +157,41 @@ class Collector:
             stack = self._tls.stack = []
         return stack
 
+    # ---- request tracing ---------------------------------------------
+
+    def set_trace(self, trace_id: Optional[str]) -> None:
+        """Tag every span finished on the calling thread with *trace_id*.
+
+        The serve daemon mints one trace id per submitted job and sets
+        it on the worker thread for the job's duration, so the job's
+        spans can later be sliced out of the shared collector
+        (:meth:`take_trace`) regardless of what other jobs recorded in
+        between.  ``None`` clears the tag.
+        """
+        self._tls.trace = trace_id
+
+    def current_trace(self) -> Optional[str]:
+        """The calling thread's trace id, or None."""
+        return getattr(self._tls, "trace", None)
+
+    def take_trace(self, trace_id: str,
+                   remove: bool = True) -> List[SpanRecord]:
+        """Every span tagged *trace_id*, in completion order.
+
+        With *remove* (the default) the spans are also dropped from the
+        collector in the same locked step -- the serve daemon calls this
+        once per finished job, which is what keeps a long-lived
+        daemon's span list bounded by its in-flight work rather than
+        its uptime.
+        """
+        with self._lock:
+            mine = [rec for rec in self.spans
+                    if rec[4].get("trace") == trace_id]
+            if remove and mine:
+                self.spans = [rec for rec in self.spans
+                              if rec[4].get("trace") != trace_id]
+        return mine
+
     def _enter_span(self) -> Tuple[int, int]:
         """Allocate a span id, push it, return ``(sid, parent_sid)``."""
         stack = self._stack()
@@ -175,6 +210,9 @@ class Collector:
                     stack.remove(span.sid)
                 except ValueError:
                     pass
+        trace = getattr(self._tls, "trace", None)
+        if trace is not None:
+            span.args.setdefault("trace", trace)
         ts = (start_ns - self._epoch_ns) / 1000.0
         dur = (end_ns - start_ns) / 1000.0
         record = (span.name, ts, dur, threading.get_ident(), span.args,
@@ -284,16 +322,23 @@ class Collector:
         *parent_sid* -- the pipeline passes the pool span's id here, so
         worker spans nest under the pool in the merged forest.
         Counters are summed, gauges last-write-wins, histograms folded,
-        notes updated.  Returns the number of spans absorbed.
+        notes updated.  When the absorbing thread carries a trace id
+        (:meth:`set_trace`), absorbed spans inherit it -- worker
+        processes know nothing about the request that spawned them, so
+        the merge point is where a serve job's identity reaches its
+        pool spans.  Returns the number of spans absorbed.
         """
         records = export.get("spans", ())
         shift_us = (export["epoch_ns"] - self._epoch_ns) / 1000.0
+        trace = getattr(self._tls, "trace", None)
         # records are in completion order (children finish before their
         # parents), so build the full sid remap before appending any
         sid_map = {rec[5]: next(self._next_sid) for rec in records}
         with self._lock:
             for name, ts, dur, tid, args, sid, parent, pid in records:
                 self.api_calls += 1
+                if trace is not None:
+                    args.setdefault("trace", trace)
                 self.spans.append(
                     (name, ts + shift_us, dur, tid, args, sid_map[sid],
                      sid_map.get(parent, parent_sid), pid))

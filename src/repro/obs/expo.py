@@ -1,0 +1,172 @@
+"""Prometheus-style text exposition of obs registries.
+
+The serve daemon's ``GET /metrics`` endpoint renders every counter,
+gauge and histogram a :class:`~repro.obs.core.Collector` accumulated
+in the Prometheus text format (version 0.0.4), so a stock scraper --
+or plain ``curl`` -- can watch a fleet of daemons without any new
+dependency on either side.
+
+Labels ride inside the metric *name* using the same brace syntax the
+exposition format uses (``serve.request_ms{code=200,route=/healthz}``):
+:func:`encode_labels` builds such a name with deterministic key order,
+:func:`parse_labeled` splits it back apart, and the renderer escapes
+label values per the exposition spec (``\\`` -> ``\\\\``, ``"`` ->
+``\\"``, newline -> ``\\n``).  Keeping labels in the name means the
+:class:`Collector` itself needs no schema change -- a labeled series is
+just another histogram/counter entry, merged across processes by the
+existing :meth:`~repro.obs.core.Collector.absorb` machinery.
+
+Dots in repro metric names become underscores (``serve.job.done`` ->
+``repro_serve_job_done_total``); every exposed metric is prefixed
+``repro_`` so a shared Prometheus never collides with other jobs.
+
+Histograms here are the collector's count/total/min/max summaries, so
+they render as a Prometheus *summary* (``_count``/``_sum``) plus
+``_min``/``_max`` gauges rather than as bucketed histograms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.obs.core import Collector
+
+__all__ = [
+    "encode_labels",
+    "parse_labeled",
+    "escape_label_value",
+    "metric_name",
+    "render_prometheus",
+]
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def encode_labels(name: str, **labels: Union[str, int, float]) -> str:
+    """*name* with *labels* attached, deterministically ordered.
+
+    ``encode_labels("serve.request_ms", route="/healthz", code=200)``
+    -> ``serve.request_ms{code=200,route=/healthz}``.  Values are kept
+    raw here; escaping happens at render time so the collector stores
+    human-readable names.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_labeled(name: str) -> Tuple[str, Dict[str, str]]:
+    """Split an :func:`encode_labels` name into ``(base, labels)``."""
+    if not name.endswith("}") or "{" not in name:
+        return name, {}
+    base, _, inner = name[:-1].partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner.split(","):
+        if part:
+            key, _, value = part.partition("=")
+            labels[key] = value
+    return base, labels
+
+
+def escape_label_value(value: str) -> str:
+    """A label value escaped per the exposition format."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def metric_name(name: str) -> str:
+    """The exposition name of a repro metric (``repro_`` + sanitized)."""
+    return "repro_" + _NAME_BAD.sub("_", name)
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _label_str(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{escape_label_value(str(labels[key]))}"'
+                     for key in sorted(labels))
+    return f"{{{inner}}}"
+
+
+def _merged(collectors: Iterable[Collector]):
+    """Counters summed, gauges last-write-wins, histograms folded."""
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, List[float]] = {}
+    for collector in collectors:
+        if collector is None:
+            continue
+        with collector._lock:
+            snap_counters = dict(collector.counters)
+            snap_gauges = dict(collector.gauges)
+            snap_hists = {k: list(v)
+                          for k, v in collector.histograms.items()}
+        for name, value in snap_counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges.update(snap_gauges)
+        for name, h in snap_hists.items():
+            mine = histograms.get(name)
+            if mine is None:
+                histograms[name] = list(h)
+            else:
+                mine[0] += h[0]
+                mine[1] += h[1]
+                mine[2] = min(mine[2], h[2])
+                mine[3] = max(mine[3], h[3])
+    return counters, gauges, histograms
+
+
+def render_prometheus(collectors: Union[Collector,
+                                        Iterable[Collector]]) -> str:
+    """The full exposition document of one or more collectors.
+
+    Series sharing a base metric (labeled variants) are grouped under
+    one ``# TYPE`` line; everything is rendered in sorted order so the
+    output is deterministic -- the golden test pins it byte for byte.
+    """
+    if isinstance(collectors, Collector):
+        collectors = (collectors,)
+    counters, gauges, histograms = _merged(collectors)
+    out: List[str] = []
+
+    def emit(table: Dict[str, float], kind: str, suffix: str = "") -> None:
+        grouped: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+        for name in sorted(table):
+            base, labels = parse_labeled(name)
+            grouped.setdefault(base, []).append((labels, table[name]))
+        for base in sorted(grouped):
+            exposed = metric_name(base) + suffix
+            out.append(f"# TYPE {exposed} {kind}")
+            for labels, value in grouped[base]:
+                out.append(f"{exposed}{_label_str(labels)} "
+                           f"{_fmt_value(value)}")
+
+    emit(counters, "counter", suffix="_total")
+    emit(gauges, "gauge")
+
+    grouped: Dict[str, List[Tuple[Dict[str, str], List[float]]]] = {}
+    for name in sorted(histograms):
+        base, labels = parse_labeled(name)
+        grouped.setdefault(base, []).append((labels, histograms[name]))
+    for base in sorted(grouped):
+        exposed = metric_name(base)
+        out.append(f"# TYPE {exposed} summary")
+        for labels, (count, total, lo, hi) in grouped[base]:
+            label_str = _label_str(labels)
+            out.append(f"{exposed}_count{label_str} "
+                       f"{_fmt_value(float(count))}")
+            out.append(f"{exposed}_sum{label_str} "
+                       f"{_fmt_value(float(total))}")
+        for bound, index in (("min", 2), ("max", 3)):
+            out.append(f"# TYPE {exposed}_{bound} gauge")
+            for labels, h in grouped[base]:
+                out.append(f"{exposed}_{bound}{_label_str(labels)} "
+                           f"{_fmt_value(float(h[index]))}")
+    return "\n".join(out) + ("\n" if out else "")

@@ -30,15 +30,18 @@ from repro.obs.ledger.report import (
     LedgerDiff,
     Thresholds,
     diff_manifests,
+    render_dashboard_html,
     render_diff_table,
     render_html_report,
 )
 from repro.obs.ledger.store import (
+    INDEX_FILENAME,
     LEDGER_DIR_ENV,
     LEDGER_FILENAME,
     LedgerError,
     RunLedger,
     open_ledger,
+    run_summary,
     validate_manifest,
 )
 
@@ -54,12 +57,15 @@ __all__ = [
     "LedgerDiff",
     "Thresholds",
     "diff_manifests",
+    "render_dashboard_html",
     "render_diff_table",
     "render_html_report",
+    "INDEX_FILENAME",
     "LEDGER_DIR_ENV",
     "LEDGER_FILENAME",
     "LedgerError",
     "RunLedger",
     "open_ledger",
+    "run_summary",
     "validate_manifest",
 ]

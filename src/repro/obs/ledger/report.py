@@ -35,6 +35,7 @@ __all__ = [
     "diff_manifests",
     "render_diff_table",
     "render_html_report",
+    "render_dashboard_html",
 ]
 
 
@@ -363,5 +364,138 @@ def render_html_report(manifests: Sequence[Dict[str, Any]],
         parts.append(_manifest_summary(manifest))
         parts.append(_phase_bars(manifest, max_ms))
         parts.append(_selfprofile_section(manifest))
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------
+# live dashboard (the serve daemon's GET /dashboard)
+# ---------------------------------------------------------------------
+
+def _sparkline(values: Sequence[float], width: int = 280,
+               height: int = 36) -> str:
+    """An inline SVG sparkline (self-contained, no external assets)."""
+    points = [float(v) for v in values]
+    if not points:
+        return "<span class='info'>no samples yet</span>"
+    hi = max(points) or 1.0
+    lo = min(points)
+    span = (hi - lo) or 1.0
+    n = len(points)
+    step = width / max(1, n - 1)
+    coords = " ".join(
+        f"{i * step if n > 1 else width / 2:.1f},"
+        f"{height - 2 - (height - 4) * (v - lo) / span:.1f}"
+        for i, v in enumerate(points))
+    return (f"<svg width='{width}' height='{height}' "
+            f"viewBox='0 0 {width} {height}'>"
+            f"<polyline points='{coords}' fill='none' "
+            f"stroke='#5470c6' stroke-width='1.5'/></svg>"
+            f"<span class='info'> {points[-1]:.1f} ms last, "
+            f"{hi:.1f} ms peak ({n} sample(s))</span>")
+
+
+def _stat_tiles(stats: Dict[str, Any]) -> str:
+    cache = stats.get("cache", {})
+    tiles = [
+        ("queue depth", f"{stats.get('queue_depth', 0)}"
+                        f" / {stats.get('queue_size', 0)}"),
+        ("jobs", f"{stats.get('jobs_done', 0)} done, "
+                 f"{stats.get('jobs_failed', 0)} failed"),
+        ("sessions", f"{stats.get('sessions_active', 0)} active"),
+        ("cache", f"{cache.get('hits', 0)} hit / "
+                  f"{cache.get('misses', 0)} miss"),
+        ("cache pressure", f"{cache.get('evictions', 0)} evicted, "
+                           f"{cache.get('quarantined', 0)} quarantined"),
+    ]
+    cells = "".join(
+        f"<td><div class='info'>{html.escape(label)}</div>"
+        f"<div class='stat'>{html.escape(value)}</div></td>"
+        for label, value in tiles)
+    return f"<table class='tiles'><tr>{cells}</tr></table>"
+
+
+def _route_table(routes: Sequence[Dict[str, Any]]) -> str:
+    if not routes:
+        return "<p class='info'>no requests served yet</p>"
+    rows = []
+    for r in routes:
+        count = float(r.get("count", 0)) or 1.0
+        rows.append(
+            f"<tr><td class='name'><code>"
+            f"{html.escape(str(r.get('route')))}</code></td>"
+            f"<td>{html.escape(str(r.get('code')))}</td>"
+            f"<td>{int(r.get('count', 0))}</td>"
+            f"<td>{float(r.get('total_ms', 0.0)) / count:.1f}</td>"
+            f"<td>{float(r.get('max_ms', 0.0)):.1f}</td></tr>")
+    return ("<table><tr><th class='name'>route</th><th>code</th>"
+            "<th>requests</th><th>mean ms</th><th>max ms</th></tr>"
+            + "".join(rows) + "</table>")
+
+
+def _runs_table(runs: Sequence[Dict[str, Any]]) -> str:
+    if not runs:
+        return ("<p class='info'>no recorded runs (start the daemon "
+                "with a ledger directory)</p>")
+    rows = []
+    for r in runs:
+        delta = r.get("baseline_wall_delta_ms")
+        regressions = r.get("baseline_regressions")
+        if regressions is None:
+            verdict = "<td class='info'>&mdash;</td>"
+        elif regressions:
+            verdict = f"<td class='bad'>{int(regressions)} regression(s)</td>"
+        else:
+            verdict = "<td class='ok'>ok</td>"
+        rows.append(
+            f"<tr><td class='name'><code>"
+            f"{html.escape(str(r.get('run_id')))}</code></td>"
+            f"<td class='name'>{html.escape(str(r.get('recorded')))}</td>"
+            f"<td class='name'>{html.escape(str(r.get('analysis')))}</td>"
+            f"<td class='name'>{html.escape(str(r.get('workload') or '-'))}"
+            f"</td><td>{float(r.get('wall_ms', 0.0)):.0f}</td>"
+            f"<td>{'' if delta is None else f'{delta:+.0f}'}</td>"
+            f"{verdict}</tr>")
+    return ("<table><tr><th class='name'>run</th>"
+            "<th class='name'>recorded</th>"
+            "<th class='name'>analysis</th>"
+            "<th class='name'>workload</th><th>wall ms</th>"
+            "<th>&Delta; vs baseline</th><th>verdict</th></tr>"
+            + "".join(rows) + "</table>")
+
+
+def render_dashboard_html(doc: Dict[str, Any]) -> str:
+    """The live serve dashboard from one snapshot document.
+
+    *doc* is :meth:`repro.serve.server.ReproServer.dashboard_doc`:
+    ``{"url", "stats", "telemetry": {"routes", "samples_ms"},
+    "runs", "baseline"}``.  Pure function of the snapshot so tests can
+    render without a live daemon; self-contained HTML (inline CSS +
+    SVG sparkline, no external assets), sharing the report stylesheet.
+    """
+    telemetry = doc.get("telemetry", {})
+    baseline = doc.get("baseline")
+    extra_css = """
+.tiles td { border: 1px solid #d0d0e0; padding: 0.6em 1.2em;
+            text-align: left; } .stat { font-size: 1.2em;
+            font-weight: 600; } .info { color: #667; font-size: 0.85em; }
+"""
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<meta http-equiv='refresh' content='5'>"
+        f"<title>repro serve dashboard</title>"
+        f"<style>{_CSS}{extra_css}</style></head><body>"
+        f"<h1>repro serve dashboard &mdash; "
+        f"<code>{html.escape(str(doc.get('url', '')))}</code></h1>",
+        _stat_tiles(doc.get("stats", {})),
+        "<h2>Request latency</h2>",
+        _sparkline(telemetry.get("samples_ms", ())),
+        _route_table(telemetry.get("routes", ())),
+        "<h2>Recent runs</h2>",
+    ]
+    if baseline:
+        parts.append(f"<p class='info'>deltas vs pinned baseline "
+                     f"<code>{html.escape(str(baseline))}</code></p>")
+    parts.append(_runs_table(doc.get("runs", ())))
     parts.append("</body></html>")
     return "".join(parts)

@@ -102,7 +102,33 @@ def _pipeline_summary(collector: Collector) -> List[str]:
         lines.append(f"serve jobs                : {_fmt(served)} done, "
                      f"{_fmt(failed)} failed, {_fmt(rejected)} "
                      f"rejected (429), {_fmt(coalesced)} coalesced")
+    lines.extend(_serve_latency_summary(collector))
+    index_scanned = collector.counter("ledger.index.scan_bytes")
+    index_reads = collector.counter("ledger.page.lines_read")
+    if index_scanned or index_reads:
+        lines.append(f"ledger index              : {_fmt(index_scanned)} "
+                     f"byte(s) scanned, {_fmt(index_reads)} "
+                     f"line(s) paged in")
     return lines
+
+
+def _serve_latency_summary(collector: Collector) -> List[str]:
+    """Aggregate the labeled per-route request histograms into one line."""
+    from repro.obs.expo import parse_labeled
+
+    count = total = 0.0
+    worst = None
+    for name, h in collector.histograms.items():
+        base, _labels = parse_labeled(name)
+        if base != "serve.request_ms":
+            continue
+        count += h[0]
+        total += h[1]
+        worst = h[3] if worst is None else max(worst, h[3])
+    if not count:
+        return []
+    return [f"serve request latency     : {_fmt(count)} request(s), "
+            f"{total / count:.1f} ms mean, {worst:.1f} ms max"]
 
 
 def _span_totals(collector: Collector):

@@ -15,27 +15,31 @@ from typing import IO, Union
 
 from repro.obs.core import Collector
 
-__all__ = ["trace_events", "dumps", "write"]
+__all__ = ["records_to_events", "trace_events", "dumps", "dumps_records",
+           "write"]
 
 
-def trace_events(collector: Collector) -> list:
-    """The ``traceEvents`` list for *collector*'s recorded activity.
+def records_to_events(records, root_pid: int,
+                      process_name: str =
+                      "repro-icost analysis pipeline") -> list:
+    """Chrome trace events for a list of span records.
 
     Spans absorbed from pipeline pool workers keep their real pid
     (:meth:`Collector.absorb` rebases their clocks, not their
     identities), so each worker shows up as its own named process track
-    in Perfetto with the nesting the worker recorded.
+    in Perfetto with the nesting the worker recorded.  The serve
+    daemon's per-job trace endpoint feeds this the slice of one
+    request's spans (:meth:`Collector.take_trace`).
     """
-    root_pid = collector.pid
     events = [{
         "name": "process_name",
         "ph": "M",
         "pid": root_pid,
         "tid": 0,
-        "args": {"name": "repro-icost analysis pipeline"},
+        "args": {"name": process_name},
     }]
     seen_pids = {root_pid}
-    for name, ts, dur, tid, args, _sid, _parent, pid in collector.spans:
+    for name, ts, dur, tid, args, _sid, _parent, pid in records:
         if pid not in seen_pids:
             seen_pids.add(pid)
             events.append({
@@ -57,6 +61,13 @@ def trace_events(collector: Collector) -> list:
         if args:
             event["args"] = args
         events.append(event)
+    return events
+
+
+def trace_events(collector: Collector) -> list:
+    """The ``traceEvents`` list for *collector*'s recorded activity."""
+    root_pid = collector.pid
+    events = records_to_events(collector.spans, root_pid)
     end = collector.elapsed_us()
     for name, value in sorted(collector.counters.items()):
         events.append({
@@ -84,6 +95,24 @@ def dumps(collector: Collector) -> str:
         "traceEvents": trace_events(collector),
         "displayTimeUnit": "ms",
         "otherData": meta,
+    }
+    return json.dumps(doc, default=str)
+
+
+def dumps_records(records, root_pid: int,
+                  other: Union[dict, None] = None,
+                  process_name: str = "repro-serve job") -> str:
+    """A standalone trace file for a slice of span records.
+
+    *other* travels in ``otherData`` (the serve trace endpoint puts the
+    job id, analysis and trace id there so a downloaded slice is
+    self-describing).
+    """
+    doc = {
+        "traceEvents": records_to_events(records, root_pid,
+                                         process_name=process_name),
+        "displayTimeUnit": "ms",
+        "otherData": other or {},
     }
     return json.dumps(doc, default=str)
 

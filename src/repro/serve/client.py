@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -136,6 +137,55 @@ class ServeClient:
     def stats(self) -> Dict[str, Any]:
         """The daemon's queue/job/cache statistics."""
         return self._checked("GET", "/v1/stats")
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text of ``GET /metrics``."""
+        status, payload, _ = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, payload if isinstance(payload, dict)
+                             else {"error": payload})
+        return payload if isinstance(payload, str) else ""
+
+    def dashboard(self) -> str:
+        """The live dashboard HTML (``GET /dashboard``)."""
+        status, payload, _ = self._request("GET", "/dashboard")
+        if status != 200:
+            raise ServeError(status, payload if isinstance(payload, dict)
+                             else {"error": payload})
+        return payload if isinstance(payload, str) else ""
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's Chrome trace document (``traceEvents`` + meta)."""
+        return self._checked("GET", f"/v1/jobs/{job_id}/trace")
+
+    def runs(self, analysis: Optional[str] = None,
+             workload: Optional[str] = None,
+             since: Optional[Any] = None,
+             limit: Optional[int] = None,
+             offset: Optional[int] = None) -> Dict[str, Any]:
+        """One page of the daemon's run ledger, newest first."""
+        params = {"analysis": analysis, "workload": workload,
+                  "since": since, "limit": limit, "offset": offset}
+        query = urllib.parse.urlencode(
+            {key: value for key, value in params.items()
+             if value is not None})
+        return self._checked("GET",
+                             "/v1/runs" + (f"?{query}" if query else ""))
+
+    def run_record(self, ref: str) -> Dict[str, Any]:
+        """One recorded run (``{"run": summary, "manifest": ...}``).
+
+        *ref* is a run id, a unique prefix, or a negative index
+        (``-1`` = latest).  Named ``run_record`` because :meth:`run`
+        is the execute-an-analysis convenience.
+        """
+        return self._checked(
+            "GET", "/v1/runs/" + urllib.parse.quote(ref, safe=""))
+
+    def runs_diff(self, a: str, b: str) -> Dict[str, Any]:
+        """Regression findings between two recorded runs."""
+        query = urllib.parse.urlencode({"a": a, "b": b})
+        return self._checked("GET", f"/v1/runs/diff?{query}")
 
     def shutdown(self) -> None:
         """Ask the daemon to stop gracefully."""

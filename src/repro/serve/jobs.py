@@ -22,8 +22,23 @@ Backpressure is structural: the submit queue is a bounded
 ``queue.Queue`` and :meth:`JobQueue.submit` raises :class:`QueueFull`
 (the HTTP layer answers 429) instead of buffering unbounded work.
 
+Every job is minted a **trace id** at submit time.  While the job
+runs, its worker thread tags every span it finishes (and every span it
+absorbs from pipeline pool workers) with that id via
+:meth:`~repro.obs.core.Collector.set_trace`; when it settles, the
+job's slice is cut out of the daemon's long-lived collector with
+:meth:`~repro.obs.core.Collector.take_trace` -- bounding the
+collector's memory to in-flight work -- and served back by the
+``GET /v1/jobs/<id>/trace`` endpoint as a standalone Chrome trace.
+
+When the queue was built with a *ledger*, every finished job's
+manifest is appended to it, which is what makes ``GET /v1/runs``
+queryable across daemon restarts.  Recording is best effort: a ledger
+write failure never fails the job that produced the result.
+
 Obs counters: ``serve.request``, ``serve.request.rejected``,
-``serve.job.coalesced``, ``serve.job.done``, ``serve.job.failed``.
+``serve.job.coalesced``, ``serve.job.done``, ``serve.job.failed``,
+``serve.job.recorded``.
 """
 
 from __future__ import annotations
@@ -32,6 +47,7 @@ import argparse
 import hashlib
 import io
 import json
+import os
 import queue
 import threading
 import time
@@ -76,7 +92,7 @@ class Job:
     __slots__ = ("id", "key", "analysis", "argv", "state", "error",
                  "rendered", "result_json", "manifest", "etag",
                  "progress", "created_s", "wall_ms", "done",
-                 "_progress_lock")
+                 "trace_id", "trace_spans", "_progress_lock")
 
     def __init__(self, job_id: str, key: str, analysis: str,
                  argv: List[str]) -> None:
@@ -94,6 +110,11 @@ class Job:
         self.created_s = time.time()
         self.wall_ms = 0.0
         self.done = threading.Event()
+        self.trace_id: Optional[str] = None
+        #: the job's span slice, cut from the collector when it settles
+        #: (None while queued/running -- the trace endpoint serves a
+        #: live snapshot instead)
+        self.trace_spans: Optional[list] = None
         self._progress_lock = threading.Lock()
 
     def add_progress(self, line: str) -> None:
@@ -112,6 +133,7 @@ class Job:
             "job": self.id,
             "analysis": self.analysis,
             "state": self.state,
+            "trace": self.trace_id,
             "progress_lines": len(self.progress),
         }
         if self.state == "done":
@@ -133,9 +155,12 @@ class JobQueue:
     """
 
     def __init__(self, manager, workers: int = 2, queue_size: int = 16,
-                 history: int = 256) -> None:
+                 history: int = 256, ledger=None) -> None:
         self.manager = manager
         self.queue_size = queue_size
+        #: optional RunLedger; finished jobs' manifests are appended to
+        #: it (best effort) so /v1/runs can list them
+        self.ledger = ledger
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(
             maxsize=max(1, queue_size))
         self._lock = threading.Lock()
@@ -176,9 +201,12 @@ class JobQueue:
                 if live is not None:
                     obs.count("serve.job.coalesced")
                     return {"job": live.id, "state": live.state,
-                            "coalesced": True}
+                            "trace": live.trace_id, "coalesced": True}
             self._next_id += 1
             job = Job(f"j{self._next_id:06d}", key, analysis, argv)
+            job.trace_id = hashlib.sha256(
+                f"{os.getpid()}:{job.id}:{time.time_ns()}"
+                .encode("utf-8")).hexdigest()[:16]
             try:
                 self._queue.put_nowait(job)
             except queue.Full:
@@ -189,7 +217,8 @@ class JobQueue:
             self._jobs[job.id] = job
             self._inflight[key] = job
             self._trim_history()
-        return {"job": job.id, "state": job.state, "coalesced": False}
+        return {"job": job.id, "state": job.state,
+                "trace": job.trace_id, "coalesced": False}
 
     def get(self, job_id: str) -> Optional[Job]:
         """The job called *job_id*, or None when unknown/expired."""
@@ -265,6 +294,7 @@ class JobQueue:
                     _job.add_progress(f"{name} {dur / 1000.0:.1f}ms")
 
             collector.add_listener(listener)
+            collector.set_trace(job.trace_id)
         t0 = time.perf_counter()
         try:
             with obs.span("serve.job", analysis=job.analysis):
@@ -290,15 +320,39 @@ class JobQueue:
             job.state = "done"
             self.jobs_done += 1
             obs.count("serve.job.done")
+            self._record(job)
         except (Exception, SystemExit) as exc:
             job.error = f"{type(exc).__name__}: {exc}"
             job.state = "failed"
             self.jobs_failed += 1
             obs.count("serve.job.failed")
         finally:
-            if collector is not None and listener is not None:
-                collector.remove_listener(listener)
+            if collector is not None:
+                if listener is not None:
+                    collector.remove_listener(listener)
+                collector.set_trace(None)
+                # cut the job's slice out of the daemon's long-lived
+                # collector: serves /v1/jobs/<id>/trace and keeps the
+                # span list bounded by in-flight work
+                job.trace_spans = collector.take_trace(job.trace_id)
             job.done.set()
+
+    def _record(self, job: Job) -> None:
+        """Append the finished job's manifest to the run ledger.
+
+        Best effort by contract: the job already succeeded, so a full
+        disk or a permission error on the ledger directory must not
+        retroactively fail it.
+        """
+        ledger = self.ledger
+        if ledger is None or not ledger.enabled or job.manifest is None:
+            return
+        try:
+            ledger.append(job.manifest)
+            obs.count("serve.job.recorded")
+        except Exception as exc:  # noqa: BLE001 -- recording is optional
+            obs.get_logger("serve").warning(
+                "could not record job %s to the ledger: %s", job.id, exc)
 
     def shutdown(self) -> None:
         """Stop the workers after the current jobs finish."""

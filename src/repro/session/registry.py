@@ -88,6 +88,9 @@ class Analysis:
     #: ledger when one is active (``repro ledger`` itself opts out --
     #: reading history must not rewrite it)
     ledger_record: ClassVar[bool] = True
+    #: whether this analysis needs an obs collector even without
+    #: --trace/--metrics (the serve daemon: per-job traces + /metrics)
+    wants_collector: ClassVar[bool] = False
 
     def configure(self, parser: argparse.ArgumentParser) -> None:
         """Attach this analysis's declared arguments to *parser*."""

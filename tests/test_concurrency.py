@@ -217,6 +217,52 @@ class TestLedgerUnderConcurrentWriter:
         assert len(ledger.read_errors) == 1
         assert "line 2" in ledger.read_errors[0]
 
+    def test_paging_tolerates_a_concurrent_appender(self, tmp_path):
+        # /v1/runs is this call over HTTP: the indexed page() path must
+        # hold the same whole-lines-only guarantee runs() does
+        ledger = RunLedger(root=str(tmp_path))
+        total = 40
+        done = threading.Event()
+
+        def appender():
+            for i in range(total):
+                ledger.append(_manifest(f"run{i:04d}"))
+            done.set()
+
+        def pager():
+            mine = RunLedger(root=str(tmp_path))
+            while not done.is_set():
+                page = mine.page(limit=5)
+                ids = [r["run_id"] for r in page["runs"]]
+                assert ids == sorted(ids, reverse=True)  # newest first
+                assert len(ids) <= 5
+                assert page["total"] >= len(ids)
+
+        _run_threads([appender, pager])
+        assert RunLedger(root=str(tmp_path)).page(limit=None)["total"] \
+            == total
+
+    def test_torn_line_pages_warm_without_rescanning(self, tmp_path):
+        ledger = RunLedger(root=str(tmp_path))
+        ledger.append(_manifest("run0"))
+        with open(ledger.path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "meta": {"run_id": "to\n')
+        ledger.append(_manifest("run1"))
+        ledger.page(limit=None)  # builds and persists the sidecar
+        collector = obs.enable()
+        try:
+            warm = RunLedger(root=str(tmp_path))
+            page = warm.page(limit=1)
+            assert [r["run_id"] for r in page["runs"]] == ["run1"]
+            assert page["total"] == 2
+            assert page["skipped_lines"] == 1
+            # the sidecar answered: zero ledger bytes rescanned, only
+            # the page's own line read back -- the O(page) contract
+            assert collector.counter("ledger.index.scan_bytes") == 0
+            assert collector.counter("ledger.page.lines_read") == 1
+        finally:
+            obs.disable()
+
     def test_concurrent_appenders_never_interleave(self, tmp_path):
         ledger = RunLedger(root=str(tmp_path))
 
@@ -357,3 +403,37 @@ class TestServeConcurrency:
         assert cold["etag"] == warm["etag"]
         stats = client.stats()
         assert stats["cache"]["hits"] >= 1  # second run hit the cache
+
+    def test_concurrent_jobs_keep_disjoint_trace_slices(self, tmp_path):
+        # two jobs racing on the worker pool: each trace must carry
+        # only its own spans, every one tagged with its own id
+        obs.enable()
+        srv = ReproServer(SessionManager(cache_dir=str(tmp_path / "t")),
+                          port=0, workers=2, queue_size=16,
+                          idle_reap_s=0)
+        srv.start()
+        try:
+            client = ServeClient(srv.url, timeout=300.0)
+            docs = [None, None]
+
+            def runner(slot, argv):
+                def go():
+                    docs[slot] = client.run("breakdown", argv,
+                                            reuse=False, timeout=300.0)
+                return go
+
+            _run_threads([
+                runner(0, ["gzip", "--scale", "0.05"]),
+                runner(1, ["mcf", "--scale", "0.05"]),
+            ])
+            traces = [client.trace(doc["job"]) for doc in docs]
+            for doc, trace in zip(docs, traces):
+                events = [e for e in trace["traceEvents"]
+                          if e.get("ph") == "X"]
+                assert events
+                assert all(e["args"]["trace"] == doc["trace"]
+                           for e in events)
+            assert docs[0]["trace"] != docs[1]["trace"]
+        finally:
+            srv.stop()
+            obs.disable()

@@ -18,6 +18,7 @@ import pytest
 from repro import obs
 from repro.cli import build_parser, main
 from repro.obs.ledger import (
+    INDEX_FILENAME,
     LEDGER_DIR_ENV,
     LedgerError,
     RunLedger,
@@ -27,6 +28,7 @@ from repro.obs.ledger import (
     open_ledger,
     render_diff_table,
     render_html_report,
+    run_summary,
     stable_view,
     validate_manifest,
 )
@@ -220,6 +222,119 @@ class TestStore:
         ledger = RunLedger()
         assert ledger.enabled
         assert ledger.root == str(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# the sidecar index (the /v1/runs read path)
+# ----------------------------------------------------------------------
+
+class TestSidecarIndex:
+    def _fill(self, tmp_path, n=4):
+        ledger = RunLedger(str(tmp_path))
+        for i in range(n):
+            ledger.append(_toy_manifest(f"aaaa{i:08d}"))
+        return ledger
+
+    def test_sidecar_reloads_without_rescanning_the_ledger(
+            self, tmp_path):
+        ledger = self._fill(tmp_path)
+        ledger.page(limit=None)  # builds and persists the sidecar
+        assert os.path.exists(os.path.join(str(tmp_path),
+                                           INDEX_FILENAME))
+        collector = obs.enable()
+        try:
+            warm = RunLedger(str(tmp_path))
+            page = warm.page(limit=2)
+            assert [r["run_id"] for r in page["runs"]] \
+                == ["aaaa00000003", "aaaa00000002"]
+            assert page["total"] == 4
+            # the O(page) contract: zero ledger bytes rescanned, only
+            # the page's own lines read back
+            assert collector.counter("ledger.index.scan_bytes") == 0
+            assert collector.counter("ledger.page.lines_read") == 2
+        finally:
+            obs.disable()
+
+    def test_index_extends_incrementally_for_foreign_appends(
+            self, tmp_path):
+        ledger = self._fill(tmp_path)
+        ledger.page(limit=None)
+        # a second process appends behind this instance's back
+        other = RunLedger(str(tmp_path))
+        other.append(_toy_manifest("bbbb00000099"))
+        collector = obs.enable()
+        try:
+            page = ledger.page(limit=1)
+            assert page["runs"][0]["run_id"] == "bbbb00000099"
+            scanned = collector.counter("ledger.index.scan_bytes")
+            assert 0 < scanned < os.path.getsize(ledger.path)
+        finally:
+            obs.disable()
+
+    def test_truncated_ledger_triggers_a_rebuild(self, tmp_path):
+        ledger = self._fill(tmp_path)
+        ledger.page(limit=None)
+        # an operator rotated/truncated the ledger file underneath us
+        with open(ledger.path, encoding="utf-8") as handle:
+            first_line = handle.readline()
+        with open(ledger.path, "w", encoding="utf-8") as handle:
+            handle.write(first_line)
+        fresh = RunLedger(str(tmp_path))
+        page = fresh.page(limit=None)
+        assert page["total"] == 1
+        assert page["runs"][0]["run_id"] == "aaaa00000000"
+        assert fresh.get("-1")["meta"]["run_id"] == "aaaa00000000"
+
+    def test_deleted_sidecar_is_rebuilt_from_the_ledger(self, tmp_path):
+        ledger = self._fill(tmp_path)
+        ledger.page(limit=None)
+        os.unlink(os.path.join(str(tmp_path), INDEX_FILENAME))
+        fresh = RunLedger(str(tmp_path))
+        assert fresh.page(limit=None)["total"] == 4
+        assert fresh.get("-1")["meta"]["run_id"] == "aaaa00000003"
+
+    def test_page_filters_on_the_index_alone(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        ledger.append(_toy_manifest("aaaa00000001", command="breakdown"))
+        ledger.append(_toy_manifest("bbbb00000002", command="matrix"))
+        collector = obs.enable()
+        try:
+            page = ledger.page(analysis="matrix")
+            assert page["total"] == 1
+            assert page["runs"][0]["analysis"] == "matrix"
+            # the filtered-out manifest was never read back
+            assert collector.counter("ledger.page.lines_read") == 1
+        finally:
+            obs.disable()
+
+    def test_get_resolves_through_the_index(self, tmp_path):
+        ledger = self._fill(tmp_path)
+        assert ledger.get("aaaa00000002")["meta"]["run_id"] \
+            == "aaaa00000002"
+        with pytest.raises(LedgerError, match="ambiguous"):
+            ledger.get("aaaa")
+        with pytest.raises(LedgerError):
+            ledger.get("ffff")
+
+    def test_run_summary_row_shape(self):
+        row = run_summary(_toy_manifest("cccc00000003",
+                                        perf={"wall_ms": 12.5}))
+        assert row == {
+            "run_id": "cccc00000003",
+            "recorded": "2026-01-01T00:00:00",
+            "unix_time": 0.0,
+            "analysis": "breakdown",
+            "workload": "gzip",
+            "config_digest": "d" * 12,
+            "wall_ms": 12.5,
+            "result_type": "BreakdownResult",
+        }
+
+    def test_disabled_ledger_pages_empty(self, tmp_path):
+        ledger = open_ledger(str(tmp_path), disabled=True)
+        page = ledger.page()
+        assert page["enabled"] is False
+        assert page["runs"] == [] and page["total"] == 0
 
 
 # ----------------------------------------------------------------------

@@ -131,6 +131,26 @@ class TestEndpoints:
                    for line in lines)
 
 
+    def test_progress_of_an_unstarted_job_is_an_empty_body(
+            self, stalled):
+        # regression pin: no finished spans must yield a 0-byte body,
+        # not a lone blank line
+        accepted = stalled.submit("workloads", [])
+        with urllib.request.urlopen(
+                stalled.base_url
+                + f"/v1/jobs/{accepted['job']}/progress",
+                timeout=10) as resp:
+            assert resp.status == 200
+            assert resp.read() == b""
+        assert stalled.progress(accepted["job"]) == []
+
+    def test_accepted_document_carries_a_trace_id(self, client):
+        accepted = client.submit("workloads", [])
+        assert accepted["trace"]
+        status = client.wait(accepted["job"], timeout=30.0)
+        assert status["trace"] == accepted["trace"]
+
+
 class TestBackpressure:
     def test_full_queue_answers_429(self, stalled):
         # workers=0, queue_size=2: the first two distinct submissions
